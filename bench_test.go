@@ -1,0 +1,596 @@
+package anonmix
+
+// One benchmark per figure and theorem of the paper's evaluation section,
+// plus ablation and raw-performance benches. Figure benches regenerate the
+// full data series each iteration and report headline metrics (peak
+// locations, anonymity-degree gaps) via b.ReportMetric, so
+// `go test -bench=. -benchmem` doubles as the reproduction harness.
+// EXPERIMENTS.md records the paper-vs-measured comparison.
+
+import (
+	"crypto/rand"
+	"math"
+	"testing"
+	"time"
+
+	"anonmix/internal/adversary"
+	"anonmix/internal/degrade"
+	"anonmix/internal/dist"
+	"anonmix/internal/events"
+	"anonmix/internal/figures"
+	"anonmix/internal/mixbatch"
+	"anonmix/internal/montecarlo"
+	"anonmix/internal/onion"
+	"anonmix/internal/optimize"
+	"anonmix/internal/pathsel"
+	"anonmix/internal/simnet"
+	"anonmix/internal/stats"
+	"anonmix/internal/theory"
+	"anonmix/internal/trace"
+)
+
+// benchFigure runs a figure generator and reports series count.
+func benchFigure(b *testing.B, gen func() (figures.Figure, error)) figures.Figure {
+	b.Helper()
+	var fig figures.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = gen()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return fig
+}
+
+// BenchmarkFig3a regenerates Figure 3(a) — H* vs fixed path length,
+// N=100, C=1 — and reports the long-path-effect peak.
+func BenchmarkFig3a(b *testing.B) {
+	fig := benchFigure(b, figures.Fig3a)
+	x, y, err := fig.Peak("F(l)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(x, "peak_l")
+	b.ReportMetric(y, "peak_H*_bits")
+}
+
+// BenchmarkFig3b regenerates Figure 3(b) — the short-path zoom — and
+// reports the l=1 plateau value (paper: ≈6.482).
+func BenchmarkFig3b(b *testing.B) {
+	fig := benchFigure(b, figures.Fig3b)
+	b.ReportMetric(fig.Series[0].Y[1], "H*_at_l1_bits")
+	b.ReportMetric(fig.Series[0].Y[4], "H*_at_l4_bits")
+}
+
+// BenchmarkFig4a..d regenerate the four panels of Figure 4 (H* vs
+// expectation at equal variance).
+func BenchmarkFig4a(b *testing.B) {
+	fig := benchFigure(b, figures.Fig4a)
+	_, y, err := fig.Peak("U(4,4+L)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(y, "peak_H*_bits")
+}
+
+func BenchmarkFig4b(b *testing.B) { benchFigure(b, figures.Fig4b) }
+func BenchmarkFig4c(b *testing.B) { benchFigure(b, figures.Fig4c) }
+
+func BenchmarkFig4d(b *testing.B) {
+	fig := benchFigure(b, figures.Fig4d)
+	// The U(0,L) curve recovers from the short-path effect at large L.
+	s := fig.Series[0]
+	b.ReportMetric(s.Y[len(s.Y)-1]-s.Y[0], "U0_recovery_bits")
+}
+
+// BenchmarkFig5a..d regenerate the four panels of Figure 5 (H* vs variance
+// at equal expectation). Panel (a) reports the maximum deviation of the
+// a ≥ 3 uniform curves from F(L) — Theorem 3 says it should be ~0.
+func BenchmarkFig5a(b *testing.B) {
+	fig := benchFigure(b, figures.Fig5a)
+	ref := map[float64]float64{}
+	for i, x := range fig.Series[0].X {
+		ref[x] = fig.Series[0].Y[i]
+	}
+	var maxDev float64
+	for _, s := range fig.Series[1:] {
+		for i, x := range s.X {
+			if want, ok := ref[x]; ok {
+				if d := math.Abs(s.Y[i] - want); d > maxDev {
+					maxDev = d
+				}
+			}
+		}
+	}
+	b.ReportMetric(maxDev, "overlay_max_dev_bits")
+}
+
+func BenchmarkFig5b(b *testing.B) { benchFigure(b, figures.Fig5b) }
+func BenchmarkFig5c(b *testing.B) { benchFigure(b, figures.Fig5c) }
+
+func BenchmarkFig5d(b *testing.B) {
+	fig := benchFigure(b, figures.Fig5d)
+	// Inequality (18) gap at L=20: U(1,2L−1) over F(L).
+	var u1, f float64
+	for _, s := range fig.Series {
+		for i, x := range s.X {
+			if x != 20 {
+				continue
+			}
+			switch s.Label {
+			case "U(1,2L-1)":
+				u1 = s.Y[i]
+			case "F(L)":
+				f = s.Y[i]
+			}
+		}
+	}
+	b.ReportMetric(u1-f, "ineq18_gap_bits")
+}
+
+// BenchmarkFig6 regenerates Figure 6 — the optimal distribution versus
+// F(L) and U(2,2L−2) — and reports the optimization gain at the largest
+// mean.
+func BenchmarkFig6(b *testing.B) {
+	fig := benchFigure(b, func() (figures.Figure, error) { return figures.Fig6(12) })
+	series := map[string][]float64{}
+	for _, s := range fig.Series {
+		series[s.Label] = s.Y
+	}
+	last := len(series["F(L)"]) - 1
+	b.ReportMetric(series["Optimization"][last]-series["F(L)"][last], "opt_gain_bits")
+}
+
+// BenchmarkTheorem1 sweeps the Theorem-1 closed form against the engine
+// and reports the maximum disagreement (should be ≈0).
+func BenchmarkTheorem1(b *testing.B) {
+	e, err := events.New(100, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var maxDev float64
+	for i := 0; i < b.N; i++ {
+		maxDev = 0
+		for l := 0; l <= 99; l++ {
+			f, err := dist.NewFixed(l)
+			if err != nil {
+				b.Fatal(err)
+			}
+			got, err := e.AnonymityDegree(f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			want, err := theory.FixedSimpleC1(100, l)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if d := math.Abs(got - want); d > maxDev {
+				maxDev = d
+			}
+		}
+	}
+	b.ReportMetric(maxDev, "max_dev_bits")
+}
+
+// BenchmarkTheorem2 sweeps the geometric (coin-flip, Formula 12) closed
+// form against the engine over forwarding probabilities.
+func BenchmarkTheorem2(b *testing.B) {
+	e, err := events.New(100, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var maxDev float64
+	for i := 0; i < b.N; i++ {
+		maxDev = 0
+		for _, pf := range []float64{0.1, 0.25, 0.5, 0.66, 0.75, 0.9, 0.99} {
+			g, err := dist.NewGeometric(pf, 1, 99)
+			if err != nil {
+				b.Fatal(err)
+			}
+			got, err := e.AnonymityDegree(g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			want, err := theory.GeometricC1(100, pf, 1, 99)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if d := math.Abs(got - want); d > maxDev {
+				maxDev = d
+			}
+		}
+	}
+	b.ReportMetric(maxDev, "max_dev_bits")
+}
+
+// BenchmarkTheorem3 verifies the mean-only property of uniform strategies
+// with lower bound ≥ 3 across the support and reports the worst deviation.
+func BenchmarkTheorem3(b *testing.B) {
+	e, err := events.New(100, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var maxDev float64
+	for i := 0; i < b.N; i++ {
+		maxDev = 0
+		for mean := 5; mean <= 45; mean += 5 {
+			want, err := theory.MeanOnlyC1(100, float64(mean))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for a := 3; a <= mean; a += 4 {
+				u, err := dist.NewUniform(a, 2*mean-a)
+				if err != nil {
+					b.Fatal(err)
+				}
+				got, err := e.AnonymityDegree(u)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if d := math.Abs(got - want); d > maxDev {
+					maxDev = d
+				}
+			}
+		}
+	}
+	b.ReportMetric(maxDev, "max_dev_bits")
+}
+
+// BenchmarkSystemsSurvey evaluates the §2 system presets exactly and
+// reports the spread between the best and worst surveyed strategy.
+func BenchmarkSystemsSurvey(b *testing.B) {
+	e, err := events.New(100, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	remailer, err := pathsel.Remailer(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	strats := []pathsel.Strategy{
+		pathsel.Anonymizer(), pathsel.LPWA(), pathsel.Freedom(),
+		pathsel.PipeNet(), pathsel.OnionRoutingI(), remailer,
+	}
+	var best, worst float64
+	for i := 0; i < b.N; i++ {
+		best, worst = math.Inf(-1), math.Inf(1)
+		for _, s := range strats {
+			h, err := e.AnonymityDegree(s.Length)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if h > best {
+				best = h
+			}
+			if h < worst {
+				worst = h
+			}
+		}
+	}
+	b.ReportMetric(best-worst, "survey_spread_bits")
+}
+
+// BenchmarkTestbedAgreement runs the goroutine testbed end to end and
+// reports |empirical − exact| for the anonymity degree.
+func BenchmarkTestbedAgreement(b *testing.B) {
+	const n, trials = 14, 1500
+	compromised := []trace.NodeID{2, 7, 11}
+	u, err := dist.NewUniform(0, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	strat := pathsel.Strategy{Name: "U(0,6)", Length: u, Kind: pathsel.Simple}
+	engine, err := events.New(n, len(compromised))
+	if err != nil {
+		b.Fatal(err)
+	}
+	exact, err := engine.AnonymityDegree(u)
+	if err != nil {
+		b.Fatal(err)
+	}
+	analyst, err := adversary.NewAnalyst(engine, u, compromised)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sel, err := pathsel.NewSelector(n, strat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var delta float64
+	for i := 0; i < b.N; i++ {
+		nw, err := simnet.New(simnet.Config{N: n, Compromised: compromised})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nw.Start()
+		rng := stats.NewRand(int64(i) + 1)
+		senders := make(map[trace.MessageID]trace.NodeID, trials)
+		for t := 0; t < trials; t++ {
+			sender := trace.NodeID(rng.Intn(n))
+			path, err := sel.SelectPath(rng, sender)
+			if err != nil {
+				b.Fatal(err)
+			}
+			id, err := nw.SendRoute(sender, path, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			senders[id] = sender
+		}
+		if err := nw.WaitSettled(time.Minute); err != nil {
+			b.Fatal(err)
+		}
+		var sum stats.Summary
+		for id, mt := range trace.Collate(nw.Tuples()) {
+			if analyst.Compromised(senders[id]) {
+				sum.Add(0)
+				continue
+			}
+			post, err := analyst.Posterior(mt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sum.Add(post.H)
+		}
+		nw.Close()
+		delta = math.Abs(sum.Mean() - exact)
+	}
+	b.ReportMetric(delta, "emp_vs_exact_bits")
+	b.ReportMetric(float64(trials), "messages")
+}
+
+// BenchmarkAblationInference compares the fixed-length peak location under
+// the standard adversary and the full-position oracle (DESIGN.md §2).
+func BenchmarkAblationInference(b *testing.B) {
+	peak := func(mode events.InferenceMode) (int, float64) {
+		e, err := events.New(100, 1, events.WithInference(mode))
+		if err != nil {
+			b.Fatal(err)
+		}
+		bestL, bestH := 0, math.Inf(-1)
+		for l := 1; l <= 99; l++ {
+			f, err := dist.NewFixed(l)
+			if err != nil {
+				b.Fatal(err)
+			}
+			h, err := e.AnonymityDegree(f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if h > bestH {
+				bestH, bestL = h, l
+			}
+		}
+		return bestL, bestH
+	}
+	var stdL, posL int
+	for i := 0; i < b.N; i++ {
+		stdL, _ = peak(events.InferenceStandard)
+		posL, _ = peak(events.InferenceFullPosition)
+	}
+	b.ReportMetric(float64(stdL), "peak_standard_l")
+	b.ReportMetric(float64(posL), "peak_fullposition_l")
+}
+
+// BenchmarkAblationCompromiseSweep reports how the anonymity degree of the
+// Onion Routing I strategy decays as the number of compromised nodes grows.
+func BenchmarkAblationCompromiseSweep(b *testing.B) {
+	var h1, h8 float64
+	for i := 0; i < b.N; i++ {
+		for _, c := range []int{1, 2, 4, 8} {
+			e, err := events.New(100, c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			h, err := e.AnonymityDegree(pathsel.OnionRoutingI().Length)
+			if err != nil {
+				b.Fatal(err)
+			}
+			switch c {
+			case 1:
+				h1 = h
+			case 8:
+				h8 = h
+			}
+		}
+	}
+	b.ReportMetric(h1-h8, "decay_c1_to_c8_bits")
+}
+
+// BenchmarkEngineEval measures a single exact H*(S) evaluation (N=100,
+// C=1, full-support uniform) — the optimizer's inner-loop cost.
+func BenchmarkEngineEval(b *testing.B) {
+	e, err := events.New(100, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := dist.NewUniform(0, 99)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.AnonymityDegree(u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineEvalC8 measures the exact engine with a large class space
+// (C=8: ~9.8k observation classes).
+func BenchmarkEngineEvalC8(b *testing.B) {
+	e, err := events.New(100, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := dist.NewUniform(0, 99)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.AnonymityDegree(u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizer measures a full mean-constrained Maximize solve.
+func BenchmarkOptimizer(b *testing.B) {
+	e, err := events.New(100, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := optimize.Maximize(optimize.Problem{
+			Engine: e, Lo: 0, Hi: 99, Mean: 10,
+		}, optimize.WithMaxIterations(150)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMonteCarlo measures the sampling estimator's throughput.
+func BenchmarkMonteCarlo(b *testing.B) {
+	strat, err := pathsel.UniformLength(0, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := montecarlo.EstimateH(montecarlo.Config{
+			N: 50, Compromised: []trace.NodeID{3, 11, 29}, Strategy: strat,
+			Trials: 10000, Seed: int64(i), Workers: 4,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(10000, "trials/op")
+}
+
+// BenchmarkTestbedThroughput measures raw goroutine-testbed message
+// throughput with 5-hop routes.
+func BenchmarkTestbedThroughput(b *testing.B) {
+	nw, err := simnet.New(simnet.Config{N: 64, Compromised: []trace.NodeID{1, 2}, Buffer: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw.Start()
+	defer nw.Close()
+	route := []trace.NodeID{5, 9, 13, 17, 21}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nw.SendRoute(0, route, nil); err != nil {
+			b.Fatal(err)
+		}
+		if i%1024 == 1023 {
+			if err := nw.WaitSettled(time.Minute); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := nw.WaitSettled(time.Minute); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkOnionBuildPeel measures building and fully peeling a 5-layer
+// onion.
+func BenchmarkOnionBuildPeel(b *testing.B) {
+	kr, err := onion.NewKeyRing([]byte("bench ring"), 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	route := []trace.NodeID{3, 7, 11, 19, 23}
+	payload := make([]byte, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob, err := onion.Build(kr, route, payload, rand.Reader)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, hop := range route {
+			_, blob, err = onion.Peel(kr, hop, blob)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkDegradation measures the repeated-communication experiment:
+// Bayesian accumulation until 90%-confidence identification, reporting the
+// mean number of messages the sender survives.
+func BenchmarkDegradation(b *testing.B) {
+	strat, err := pathsel.UniformLength(1, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rounds float64
+	for i := 0; i < b.N; i++ {
+		res, err := degrade.Run(degrade.Config{
+			N: 20, Compromised: []trace.NodeID{3, 11}, Strategy: strat,
+			Sender: 7, Confidence: 0.9, MaxRounds: 200, Trials: 20, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.MeanRounds
+	}
+	b.ReportMetric(rounds, "mean_rounds_to_id")
+}
+
+// BenchmarkCrowdsDegradation measures the predecessor-counting attack
+// across path reformations.
+func BenchmarkCrowdsDegradation(b *testing.B) {
+	var share float64
+	for i := 0; i < b.N; i++ {
+		res, err := degrade.CrowdsDegradation(30, 3, 0.75, 100, 200, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		share = res.IdentifiedShare
+	}
+	b.ReportMetric(share, "identified_share_100r")
+}
+
+// BenchmarkPoolMixLinkage measures the pool-mix departure-round entropy
+// simulation.
+func BenchmarkPoolMixLinkage(b *testing.B) {
+	var h float64
+	for i := 0; i < b.N; i++ {
+		res, err := mixbatch.SimulatePoolLinkage(8, 4, 100, 20, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		h = res.DepartureRoundEntropy
+	}
+	b.ReportMetric(h, "departure_entropy_bits")
+}
+
+// BenchmarkPosterior measures one adversary inference (classification +
+// Bayes + posterior construction).
+func BenchmarkPosterior(b *testing.B) {
+	engine, err := events.New(100, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := dist.NewUniform(0, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	compromised := []trace.NodeID{10, 20, 30}
+	analyst, err := adversary.NewAnalyst(engine, u, compromised)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := []trace.NodeID{4, 10, 55, 20, 30, 61, 77}
+	mt := montecarlo.Synthesize(1, 9, path, analyst.Compromised)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analyst.Posterior(mt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Command anonbench regenerates the figures of Guan et al. (ICDCS 2002)
+// §6 as TSV tables on stdout or into a directory.
+//
+// Usage:
+//
+//	anonbench -figure 3a            # one figure to stdout
+//	anonbench -all -out results/    # every figure into results/<name>.tsv
+//	anonbench -list                 # available figure names
+//
+// All figures use the paper's configuration: N = 100 nodes, C = 1
+// compromised node, receiver compromised.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"anonmix/internal/figures"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "anonbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("anonbench", flag.ContinueOnError)
+	var (
+		figure = fs.String("figure", "", "figure to regenerate (see -list)")
+		all    = fs.Bool("all", false, "regenerate every figure")
+		out    = fs.String("out", "", "directory for TSV files (stdout if empty)")
+		list   = fs.Bool("list", false, "list available figures")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, name := range figures.Names() {
+			fmt.Fprintln(stdout, name)
+		}
+		return nil
+	}
+
+	var figs []figures.Figure
+	switch {
+	case *all:
+		fmt.Fprintln(os.Stderr, "anonbench: regenerating all figures (N=100, C=1)...")
+		fs, err := figures.All()
+		if err != nil {
+			return err
+		}
+		figs = fs
+	case *figure != "":
+		f, err := figures.ByName(*figure)
+		if err != nil {
+			return err
+		}
+		figs = []figures.Figure{f}
+	default:
+		return fmt.Errorf("pass -figure <name>, -all, or -list")
+	}
+
+	for _, f := range figs {
+		if *out == "" {
+			fmt.Fprintf(stdout, "# Figure %s — %s\n", f.Name, f.Title)
+			if err := f.WriteTSV(stdout); err != nil {
+				return err
+			}
+			fmt.Fprintln(stdout)
+			continue
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(*out, "fig"+f.Name+".tsv")
+		file, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := f.WriteTSV(file); err != nil {
+			file.Close()
+			return err
+		}
+		if err := file.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "anonbench: wrote %s\n", path)
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{"3a", "3b", "4a", "5d", "6"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("missing %q in list output", name)
+		}
+	}
+}
+
+func TestRunSingleFigureToStdout(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-figure", "3b"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# Figure 3b") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "path length l\tF(l)") {
+		t.Errorf("missing TSV header:\n%s", out)
+	}
+	if !strings.Contains(out, "6.482416") {
+		t.Errorf("missing known value:\n%s", out)
+	}
+}
+
+func TestRunFigureToDirectory(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-figure", "3b", "-out", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig3b.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "6.482416") {
+		t.Errorf("file content:\n%s", data)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-figure", "nope"}, &sb); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run(nil, &sb); err == nil {
+		t.Error("no action accepted")
+	}
+	if err := run([]string{"-bogusflag"}, &sb); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunConstrained(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "60", "-c", "1", "-mean", "8"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"N=60, C=1",
+		"E[path length] = 8",
+		"Optimal distribution",
+		"Achieved H*(S)",
+		"Baselines at the same mean",
+		"F(8)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	// The optimization gain over the fixed baseline must be positive.
+	if !strings.Contains(out, "(Δ = +") {
+		t.Errorf("no positive gain reported:\n%s", out)
+	}
+}
+
+func TestRunUnconstrained(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "40", "-c", "1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "globally optimal") {
+		t.Errorf("missing unconstrained note:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "1"}, &sb); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if err := run([]string{"-n", "50", "-mean", "200"}, &sb); err == nil {
+		t.Error("infeasible mean accepted")
+	}
+	if err := run([]string{"-badflag"}, &sb); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,225 @@
+// Command anonsim runs the goroutine-based rerouting testbed end to end:
+// it builds an N-node network with C compromised nodes, sends messages
+// under a chosen path-selection strategy, lets the passive adversary
+// collect (time, predecessor, successor) tuples and infer sender
+// posteriors, and reports the empirical anonymity degree next to the exact
+// engine's H*(S).
+//
+// Usage:
+//
+//	anonsim -n 50 -c 3 -strategy uniform -a 0 -b 10 -messages 5000
+//	anonsim -n 100 -c 1 -strategy fixed -l 5
+//	anonsim -n 50 -c 2 -strategy crowds -pf 0.7   # predecessor analysis
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"anonmix/internal/adversary"
+	"anonmix/internal/crowds"
+	"anonmix/internal/events"
+	"anonmix/internal/pathsel"
+	"anonmix/internal/simnet"
+	"anonmix/internal/stats"
+	"anonmix/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "anonsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("anonsim", flag.ContinueOnError)
+	var (
+		n        = fs.Int("n", 50, "number of nodes")
+		c        = fs.Int("c", 2, "number of compromised nodes (0..c-1)")
+		strategy = fs.String("strategy", "uniform", "fixed | uniform | pipenet | onionrouting1 | crowds")
+		fixedL   = fs.Int("l", 5, "fixed strategy: path length")
+		a        = fs.Int("a", 0, "uniform strategy: lower bound")
+		b        = fs.Int("b", 10, "uniform strategy: upper bound")
+		pf       = fs.Float64("pf", 0.7, "crowds strategy: forwarding probability")
+		messages = fs.Int("messages", 5000, "messages to send")
+		seed     = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	compromised := make([]trace.NodeID, *c)
+	for i := range compromised {
+		compromised[i] = trace.NodeID(i)
+	}
+	if *strategy == "crowds" {
+		return runCrowds(w, *n, *c, *pf, *messages, *seed, compromised)
+	}
+
+	var strat pathsel.Strategy
+	var err error
+	switch *strategy {
+	case "fixed":
+		strat, err = pathsel.FixedLength(*fixedL)
+	case "uniform":
+		strat, err = pathsel.UniformLength(*a, *b)
+	case "pipenet":
+		strat = pathsel.PipeNet()
+	case "onionrouting1":
+		strat = pathsel.OnionRoutingI()
+	default:
+		err = fmt.Errorf("unknown strategy %q", *strategy)
+	}
+	if err != nil {
+		return err
+	}
+	return runSimple(w, *n, *messages, *seed, compromised, strat)
+}
+
+// runSimple drives the testbed under a simple-path strategy and compares
+// the adversary's empirical entropy against the exact engine.
+func runSimple(w io.Writer, n, messages int, seed int64, compromised []trace.NodeID, strat pathsel.Strategy) error {
+	engine, err := events.New(n, len(compromised))
+	if err != nil {
+		return err
+	}
+	sel, err := pathsel.NewSelector(n, strat)
+	if err != nil {
+		return err
+	}
+	analyst, err := adversary.NewAnalyst(engine, strat.Length, compromised)
+	if err != nil {
+		return err
+	}
+	nw, err := simnet.New(simnet.Config{N: n, Compromised: compromised, Seed: seed})
+	if err != nil {
+		return err
+	}
+	nw.Start()
+	defer nw.Close()
+
+	fmt.Fprintf(w, "Testbed: N=%d, C=%d, strategy %s, %d messages\n",
+		n, len(compromised), strat, messages)
+	start := time.Now()
+	rng := stats.NewRand(seed)
+	senders := make(map[trace.MessageID]trace.NodeID, messages)
+	for i := 0; i < messages; i++ {
+		sender := trace.NodeID(rng.Intn(n))
+		path, err := sel.SelectPath(rng, sender)
+		if err != nil {
+			return err
+		}
+		id, err := nw.SendRoute(sender, path, nil)
+		if err != nil {
+			return err
+		}
+		senders[id] = sender
+	}
+	if err := nw.WaitSettled(5 * time.Minute); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	var sum stats.Summary
+	var identified int
+	for id, mt := range trace.Collate(nw.Tuples()) {
+		sender := senders[id]
+		if analyst.Compromised(sender) {
+			sum.Add(0)
+			identified++
+			continue
+		}
+		post, err := analyst.Posterior(mt)
+		if err != nil {
+			return err
+		}
+		if post.H < 1e-9 {
+			identified++
+		}
+		sum.Add(post.H)
+	}
+	exact, err := engine.AnonymityDegree(strat.Length)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "Delivered %d messages in %v (%.0f msg/s)\n",
+		len(senders), elapsed.Round(time.Millisecond), float64(messages)/elapsed.Seconds())
+	fmt.Fprintf(w, "\nEmpirical anonymity degree = %.4f ± %.4f bits (95%% CI)\n", sum.Mean(), sum.CI95())
+	fmt.Fprintf(w, "Exact engine H*(S)         = %.4f bits\n", exact)
+	fmt.Fprintf(w, "Maximum log2(N)            = %.4f bits\n", math.Log2(float64(n)))
+	fmt.Fprintf(w, "Messages fully deanonymized: %d (%.1f%%)\n",
+		identified, 100*float64(identified)/float64(messages))
+	if d := math.Abs(sum.Mean() - exact); d <= 4*sum.StdErr()+1e-3 {
+		fmt.Fprintf(w, "Agreement: |empirical - exact| = %.5f (within 4σ) ✓\n", d)
+	} else {
+		fmt.Fprintf(w, "Agreement: |empirical - exact| = %.5f (OUTSIDE 4σ) ✗\n", d)
+	}
+	return nil
+}
+
+// runCrowds drives the jondo protocol and reports the Reiter–Rubin
+// predecessor statistics.
+func runCrowds(w io.Writer, n, c int, pf float64, messages int, seed int64, compromised []trace.NodeID) error {
+	fwd, err := crowds.NewForwarder(n, pf, seed)
+	if err != nil {
+		return err
+	}
+	nw, err := simnet.New(simnet.Config{N: n, Compromised: compromised, Forwarder: fwd, Buffer: 8192})
+	if err != nil {
+		return err
+	}
+	nw.Start()
+	defer nw.Close()
+
+	fmt.Fprintf(w, "Crowds testbed: N=%d, C=%d, pf=%.2f, %d messages from honest jondos\n",
+		n, c, pf, messages)
+	rng := stats.NewRand(seed)
+	senders := make(map[trace.MessageID]trace.NodeID, messages)
+	for i := 0; i < messages; i++ {
+		sender := trace.NodeID(c + rng.Intn(n-c))
+		id, err := nw.Inject(sender, fwd.FirstHop(sender), simnet.Packet{})
+		if err != nil {
+			return err
+		}
+		senders[id] = sender
+	}
+	if err := nw.WaitSettled(5 * time.Minute); err != nil {
+		return err
+	}
+
+	var exposed, hits int
+	for id, mt := range trace.Collate(nw.Tuples()) {
+		if len(mt.Reports) == 0 {
+			continue
+		}
+		exposed++
+		if mt.Reports[0].Pred == senders[id] {
+			hits++
+		}
+	}
+	theo, err := crowds.PredecessorProb(n, c, pf)
+	if err != nil {
+		return err
+	}
+	okPI, err := crowds.ProbableInnocence(n, c, pf)
+	if err != nil {
+		return err
+	}
+	hEvent, err := crowds.EventEntropy(n, c, pf)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Paths observed by a collaborator: %d of %d\n", exposed, messages)
+	if exposed > 0 {
+		fmt.Fprintf(w, "Empirical P(pred = initiator | observed) = %.4f\n", float64(hits)/float64(exposed))
+	}
+	fmt.Fprintf(w, "Reiter–Rubin closed form                 = %.4f\n", theo)
+	fmt.Fprintf(w, "Posterior entropy of that event          = %.4f bits\n", hEvent)
+	fmt.Fprintf(w, "Probable innocence: %v\n", okPI)
+	return nil
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunUniformStrategy(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-n", "20", "-c", "2", "-strategy", "uniform", "-a", "0", "-b", "6",
+		"-messages", "2000", "-seed", "3",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Testbed: N=20, C=2",
+		"Empirical anonymity degree",
+		"Exact engine H*(S)",
+		"within 4σ) ✓",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFixedAndPresets(t *testing.T) {
+	for _, strat := range []string{"fixed", "pipenet", "onionrouting1"} {
+		var sb strings.Builder
+		err := run([]string{
+			"-n", "15", "-c", "1", "-strategy", strat, "-l", "4",
+			"-messages", "500", "-seed", "1",
+		}, &sb)
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		if !strings.Contains(sb.String(), "Exact engine") {
+			t.Errorf("%s: missing comparison:\n%s", strat, sb.String())
+		}
+	}
+}
+
+func TestRunCrowds(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-n", "15", "-c", "2", "-strategy", "crowds", "-pf", "0.7",
+		"-messages", "2000", "-seed", "5",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Crowds testbed",
+		"Reiter–Rubin closed form",
+		"Probable innocence",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-strategy", "bogus"}, &sb); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if err := run([]string{"-n", "1"}, &sb); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if err := run([]string{"-zzz"}, &sb); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

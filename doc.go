@@ -1,0 +1,30 @@
+// Package anonmix is a from-scratch Go reproduction of
+//
+//	Yong Guan, Xinwen Fu, Riccardo Bettati, Wei Zhao.
+//	"An Optimal Strategy for Anonymous Communication Protocols."
+//	Proceedings of ICDCS 2002.
+//
+// The paper quantifies how rerouting-based anonymous communication
+// systems (Anonymizer, Freedom, Onion Routing, Crowds, PipeNet, ...)
+// protect sender identity against a passive adversary that compromises C
+// of the N system nodes plus the receiver, measures that protection with
+// the entropy-based anonymity degree H*(S), and derives the path-length
+// distribution maximizing it.
+//
+// The library lives under internal/ (importable within this module):
+//
+//   - internal/core — the public facade (System, strategies, optimum)
+//   - internal/events — the exact Bayesian anonymity-degree engine
+//   - internal/theory — closed forms for the paper's Theorems 1–3
+//   - internal/optimize — the §5.4 optimal-distribution solvers
+//   - internal/dist, internal/pathsel — length distributions & strategies
+//   - internal/simnet, internal/onion, internal/crowds, internal/mixbatch
+//     — the goroutine testbed and protocol substrates
+//   - internal/adversary, internal/trace, internal/montecarlo — the threat
+//     model pipeline and the sampling estimator
+//   - internal/figures — regenerates every figure of the paper's §6
+//
+// The benchmarks in bench_test.go regenerate every figure and theorem of
+// the evaluation section; EXPERIMENTS.md records paper-vs-measured for
+// each, and DESIGN.md documents the model reconstruction.
+package anonmix

@@ -1,0 +1,172 @@
+// E-voting scenario (paper §1: "a cast vote should not be traceable back
+// to the voter"): ballots are submitted through a rerouting network whose
+// exit is a threshold mix, and the election authority (the receiver) is
+// assumed hostile. The example sizes the path-length strategy so the
+// system keeps a target anonymity degree even as more infrastructure nodes
+// are compromised, then runs one ballot round end to end on the goroutine
+// testbed with onion-encrypted ballots.
+//
+// Run with: go run ./examples/evoting
+package main
+
+import (
+	"crypto/rand"
+	"fmt"
+	"log"
+	"time"
+
+	"anonmix/internal/core"
+	"anonmix/internal/entropy"
+	"anonmix/internal/mixbatch"
+	"anonmix/internal/onion"
+	"anonmix/internal/pathsel"
+	"anonmix/internal/simnet"
+	"anonmix/internal/stats"
+	"anonmix/internal/trace"
+)
+
+const (
+	nodes       = 60  // precinct relay nodes
+	voters      = 40  // ballots per round
+	targetBits  = 5.0 // required sender anonymity (of log2(60) ≈ 5.91)
+	meanLatency = 8   // acceptable expected path length
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("evoting: ")
+
+	fmt.Printf("E-voting deployment: %d relay nodes, anonymity target %.1f bits (max %.2f)\n\n",
+		nodes, targetBits, entropy.Max(nodes))
+
+	// 1. How much compromise can each strategy tolerate?
+	fixed, err := pathsel.FixedLength(meanLatency)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Compromise tolerance at mean path length %d:\n", meanLatency)
+	fmt.Printf("%-28s", "compromised nodes c:")
+	maxC := 6
+	for c := 0; c <= maxC; c++ {
+		fmt.Printf("%9d", c)
+	}
+	fmt.Println()
+
+	printRow := func(name string, h func(c int) float64) {
+		fmt.Printf("%-28s", name)
+		for c := 0; c <= maxC; c++ {
+			fmt.Printf("%9.4f", h(c))
+		}
+		fmt.Println()
+	}
+	printRow("F(8) fixed", func(c int) float64 {
+		sys, err := core.NewSystem(nodes, c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		h, err := sys.AnonymityDegree(fixed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return h
+	})
+	printRow("optimal at mean 8", func(c int) float64 {
+		sys, err := core.NewSystem(nodes, c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, h, err := sys.OptimalStrategy(meanLatency)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return h
+	})
+
+	// 2. Pick the optimal strategy for the design point c = 3.
+	sys, err := core.NewSystem(nodes, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	strat, h, err := sys.OptimalStrategy(meanLatency)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok := "MEETS"
+	if h < targetBits {
+		ok = "MISSES"
+	}
+	fmt.Printf("\nDesign point c=3: optimal strategy achieves %.4f bits → %s the %.1f-bit target\n\n",
+		h, ok, targetBits)
+
+	// 3. Run one ballot round on the testbed: onion-encrypted ballots,
+	//    three compromised relays, exit mix batching before the authority.
+	kr, err := onion.NewKeyRing([]byte("evoting example ring"), nodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fwd, err := onion.NewForwarder(kr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	compromised := []trace.NodeID{5, 23, 41}
+	nw, err := simnet.New(simnet.Config{N: nodes, Compromised: compromised, Forwarder: fwd})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nw.Start()
+	defer nw.Close()
+
+	sel, err := pathsel.NewSelector(nodes, strat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := stats.NewRand(2026)
+	for v := 0; v < voters; v++ {
+		voter := trace.NodeID(rng.Intn(nodes))
+		path, err := sel.SelectPath(rng, voter)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ballot := []byte(fmt.Sprintf("ballot:candidate-%d", rng.Intn(3)))
+		if len(path) == 0 {
+			// Direct submissions skip the relay fabric entirely.
+			if _, err := nw.Inject(voter, trace.Receiver, simnet.Packet{Payload: ballot}); err != nil {
+				log.Fatal(err)
+			}
+			continue
+		}
+		blob, err := onion.Build(kr, path, ballot, rand.Reader)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := nw.Inject(voter, path[0], simnet.Packet{Onion: blob}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := nw.WaitSettled(time.Minute); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. The authority-side threshold mix decorrelates arrival order.
+	mix, err := mixbatch.NewThreshold(10, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var published int
+	for _, d := range nw.Deliveries() {
+		batch, err := mix.Add(mixbatch.Item{Msg: d.Msg, Payload: d.Payload})
+		if err != nil {
+			log.Fatal(err)
+		}
+		published += len(batch)
+	}
+	published += len(mix.Flush())
+
+	fmt.Printf("Ballot round: %d ballots delivered, %d published via threshold mix\n",
+		len(nw.Deliveries()), published)
+	fmt.Printf("Adversary collected %d relay observations from %d compromised relays\n",
+		len(nw.Tuples())-len(nw.Deliveries()), len(compromised))
+	fmt.Println("\nConclusion: the optimized variable-length strategy sustains the")
+	fmt.Println("anonymity target at the design compromise level, where the fixed-")
+	fmt.Println("length strategy of the same latency falls measurably below it.")
+}

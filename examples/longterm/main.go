@@ -1,0 +1,90 @@
+// Long-term intersection attack (Wright et al., cited as [23] by the
+// paper): a whistleblower mails the same journalist repeatedly through the
+// rerouting network. Each message leaks a little; the adversary multiplies
+// the per-message posteriors from the exact engine and watches the
+// whistleblower's anonymity decay round by round. The example compares how
+// fast different path-selection strategies give the sender up, and shows
+// the Crowds predecessor-counting variant.
+//
+// Run with: go run ./examples/longterm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"anonmix/internal/degrade"
+	"anonmix/internal/pathsel"
+	"anonmix/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("longterm: ")
+
+	const (
+		n          = 30
+		confidence = 0.90
+		maxRounds  = 300
+		trials     = 30
+	)
+	compromised := []trace.NodeID{3, 17, 24}
+
+	fmt.Printf("Repeated communication, N=%d, C=%d, identify at %.0f%% posterior:\n\n",
+		n, len(compromised), 100*confidence)
+	fmt.Printf("%-14s %14s %14s %34s\n",
+		"STRATEGY", "identified", "mean rounds", "mean anonymity (bits) after round")
+	fmt.Printf("%-14s %14s %14s %10s %10s %12s\n", "", "", "", "1", "10", "50")
+
+	strategies := []struct {
+		name string
+		mk   func() (pathsel.Strategy, error)
+	}{
+		{"F(3) Freedom", func() (pathsel.Strategy, error) { return pathsel.Freedom(), nil }},
+		{"F(5) OR-I", func() (pathsel.Strategy, error) { return pathsel.OnionRoutingI(), nil }},
+		{"U(1,9)", func() (pathsel.Strategy, error) { return pathsel.UniformLength(1, 9) }},
+		{"U(1,19)", func() (pathsel.Strategy, error) { return pathsel.UniformLength(1, 19) }},
+	}
+	for _, s := range strategies {
+		strat, err := s.mk()
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := degrade.Run(degrade.Config{
+			N:           n,
+			Compromised: compromised,
+			Strategy:    strat,
+			Sender:      9,
+			Confidence:  confidence,
+			MaxRounds:   maxRounds,
+			Trials:      trials,
+			Seed:        77,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %13.0f%% %14.1f %10.3f %10.3f %12.3f\n",
+			s.name, 100*res.IdentifiedShare, res.MeanRounds,
+			res.MeanEntropyAfter[0], res.MeanEntropyAfter[9], res.MeanEntropyAfter[49])
+	}
+
+	// The Crowds variant: predecessor counting across path reformations.
+	fmt.Println("\nCrowds predecessor counting (N=30, C=3, pf=0.75):")
+	bound, err := degrade.CrowdsRoundsBound(n, len(compromised), 0.75, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  Hoeffding bound: %d observed rounds suffice for 90%% identification\n", bound)
+	for _, rounds := range []int{5, 25, 100, 400} {
+		res, err := degrade.CrowdsDegradation(n, len(compromised), 0.75, rounds, 300, 21)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %4d reformations: identified %5.1f%%  (collaborator saw %.1f of them)\n",
+			rounds, 100*res.IdentifiedShare, res.MeanObservedRounds)
+	}
+
+	fmt.Println("\nTakeaway: single-message anonymity degrees translate directly into")
+	fmt.Println("how many messages a sender can afford — strategies that look close")
+	fmt.Println("on one message separate by tens of messages in time-to-identification.")
+}

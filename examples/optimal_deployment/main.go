@@ -1,0 +1,96 @@
+// Optimal deployment: sweep the latency budget (expected path length) and
+// show, for each budget, how much anonymity the paper's optimal
+// distribution buys over the strategies real systems shipped with — the
+// engineering takeaway of §6.4 / Figure 6. Also demonstrates the
+// inference-strength ablation: how the fixed-length peak moves when the
+// adversary gets a position oracle.
+//
+// Run with: go run ./examples/optimal_deployment
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"anonmix/internal/core"
+	"anonmix/internal/dist"
+	"anonmix/internal/events"
+	"anonmix/internal/pathsel"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("optimal_deployment: ")
+
+	const n, c = 100, 1
+	sys, err := core.NewSystem(n, c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Designing a deployment for N=%d, C=%d (max anonymity %.4f bits)\n\n",
+		n, c, sys.MaxAnonymity())
+
+	fmt.Printf("%6s  %12s  %12s  %12s  %14s\n",
+		"E[l]", "F(L)", "U(2,2L-2)", "Optimal", "gain vs fixed")
+	for _, mean := range []int{3, 5, 8, 10, 15, 20, 30} {
+		fx, err := pathsel.FixedLength(mean)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hf, err := sys.AnonymityDegree(fx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		u, err := pathsel.UniformLength(2, 2*mean-2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hu, err := sys.AnonymityDegree(u)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, hOpt, err := sys.OptimalStrategy(float64(mean))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d  %12.6f  %12.6f  %12.6f  %+14.6f\n", mean, hf, hu, hOpt, hOpt-hf)
+	}
+
+	// The unconstrained optimum: what is achievable if latency is free?
+	_, hBest, err := sys.GloballyOptimalStrategy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nUnconstrained optimum: %.6f bits (%.2f%% of log2 N)\n",
+		hBest, 100*hBest/sys.MaxAnonymity())
+
+	// Ablation: the long-path-effect peak under stronger adversaries.
+	fmt.Println("\nInference-strength ablation (fixed-length peak location):")
+	for _, mode := range []events.InferenceMode{
+		events.InferenceStandard, events.InferenceHopCount, events.InferenceFullPosition,
+	} {
+		e, err := events.New(n, c, events.WithInference(mode))
+		if err != nil {
+			log.Fatal(err)
+		}
+		bestL, bestH := 0, -1.0
+		for l := 1; l <= n-1; l++ {
+			f, err := dist.NewFixed(l)
+			if err != nil {
+				log.Fatal(err)
+			}
+			h, err := e.AnonymityDegree(f)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if h > bestH {
+				bestH, bestL = h, l
+			}
+		}
+		fmt.Printf("  %-14s peak at l=%-3d with H* = %.6f bits\n", mode, bestL, bestH)
+	}
+	fmt.Println("\nStronger inference pulls the optimal path length down sharply —")
+	fmt.Println("the paper's qualitative long-path effect is robust, while the exact")
+	fmt.Println("peak location depends on the adversary's timing information")
+	fmt.Println("(DESIGN.md §2 discusses the reconstruction).")
+}

@@ -1,0 +1,83 @@
+// Systems survey: rank the anonymous communication systems surveyed in §2
+// of the paper — Anonymizer, LPWA, Freedom, PipeNet, Onion Routing I, the
+// Anonymous Remailer, Crowds, and Onion Routing II — by the anonymity
+// degree their path-selection strategies achieve under the paper's threat
+// model.
+//
+// Run with: go run ./examples/systems_survey
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"anonmix/internal/core"
+	"anonmix/internal/pathsel"
+	"anonmix/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("survey: ")
+
+	const (
+		n = 100
+		c = 2
+	)
+	sys, err := core.NewSystem(n, c)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	remailer, err := pathsel.Remailer(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	crowdsStrat, err := pathsel.Crowds(0.75, n-1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	or2, err := pathsel.OnionRoutingII(0.8, n-1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	strategies := []pathsel.Strategy{
+		pathsel.Anonymizer(),
+		pathsel.LPWA(),
+		pathsel.Freedom(),
+		pathsel.PipeNet(),
+		pathsel.OnionRoutingI(),
+		remailer,
+		crowdsStrat,
+		or2,
+	}
+
+	// Coin-flip systems have cyclic routes; they are estimated by
+	// Monte-Carlo over their length distribution (see DESIGN.md §5).
+	compromised := []trace.NodeID{17, 62}
+	rows, err := sys.CompareStrategies(strategies, compromised, 60000, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Path-selection strategies of the systems surveyed in §2\n")
+	fmt.Printf("System: N=%d, C=%d, receiver compromised; max anonymity %.4f bits\n\n",
+		n, c, sys.MaxAnonymity())
+	fmt.Printf("%-22s %-14s %9s %10s %8s\n", "SYSTEM", "LENGTHS", "E[l]", "H*(S)", "% of max")
+	for _, r := range rows {
+		mark := ""
+		if r.Estimated {
+			mark = fmt.Sprintf(" ±%.3f (MC)", r.CI95)
+		}
+		fmt.Printf("%-22s %-14s %9.2f %10.5f %7.2f%%%s\n",
+			r.Strategy.Name, r.Strategy.Length, r.MeanLength, r.H, 100*r.Normalized, mark)
+	}
+
+	fmt.Println("\nObservations (cf. paper §6 and conclusions):")
+	fmt.Println(" * Freedom's fixed 3-hop routes sit in the short-path-effect dip:")
+	fmt.Println("   even the 1-hop Anonymizer matches or beats them at C=1-2.")
+	fmt.Println(" * Longer expected routes (Onion Routing I/II, Crowds with high pf)")
+	fmt.Println("   rank higher — until the long-path effect would reverse the trend.")
+	fmt.Println(" * None of the surveyed systems uses the optimal distribution the")
+	fmt.Println("   paper derives; run ./examples/optimal_deployment to see the gap.")
+}

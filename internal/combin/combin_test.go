@@ -1,0 +1,208 @@
+package combin
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*math.Max(scale, 1)
+}
+
+func TestLogFactorialSmall(t *testing.T) {
+	want := []float64{1, 1, 2, 6, 24, 120, 720, 5040}
+	for n, w := range want {
+		got := math.Exp(LogFactorial(n))
+		if !almostEqual(got, w, 1e-12) {
+			t.Errorf("exp(LogFactorial(%d)) = %v, want %v", n, got, w)
+		}
+	}
+	if !math.IsInf(LogFactorial(-1), -1) {
+		t.Errorf("LogFactorial(-1) = %v, want -Inf", LogFactorial(-1))
+	}
+}
+
+func TestChooseMatchesBig(t *testing.T) {
+	for n := 0; n <= 120; n += 7 {
+		for k := 0; k <= n; k += 3 {
+			want := ChooseBig(n, k)
+			got := Choose(n, k)
+			wantF, _ := new(big.Float).SetInt(want).Float64()
+			if !almostEqual(got, wantF, 1e-10) {
+				t.Errorf("Choose(%d,%d) = %v, want %v", n, k, got, wantF)
+			}
+			gotLog := LogChoose(n, k)
+			if want.Sign() > 0 {
+				wantLog := logBig(want)
+				if !almostEqual(gotLog, wantLog, 1e-10) {
+					t.Errorf("LogChoose(%d,%d) = %v, want %v", n, k, gotLog, wantLog)
+				}
+			}
+		}
+	}
+}
+
+func TestChooseOutOfRange(t *testing.T) {
+	cases := []struct{ n, k int }{{5, 6}, {5, -1}, {-2, 1}, {-2, -3}}
+	for _, c := range cases {
+		if got := Choose(c.n, c.k); got != 0 {
+			t.Errorf("Choose(%d,%d) = %v, want 0", c.n, c.k, got)
+		}
+		if got := LogChoose(c.n, c.k); !math.IsInf(got, -1) {
+			t.Errorf("LogChoose(%d,%d) = %v, want -Inf", c.n, c.k, got)
+		}
+	}
+}
+
+func TestLogFallingFactorialMatchesBig(t *testing.T) {
+	for n := 0; n <= 150; n += 11 {
+		for k := 0; k <= n; k += 5 {
+			want := FallingFactorialBig(n, k)
+			got := LogFallingFactorial(n, k)
+			if want.Sign() == 0 {
+				if !math.IsInf(got, -1) {
+					t.Errorf("LogFallingFactorial(%d,%d) = %v, want -Inf", n, k, got)
+				}
+				continue
+			}
+			if !almostEqual(got, logBig(want), 1e-10) {
+				t.Errorf("LogFallingFactorial(%d,%d) = %v, want %v", n, k, got, logBig(want))
+			}
+		}
+	}
+	if got := LogFallingFactorial(3, 5); !math.IsInf(got, -1) {
+		t.Errorf("LogFallingFactorial(3,5) = %v, want -Inf", got)
+	}
+}
+
+// logBig returns ln of a positive big.Int accurately enough for test
+// comparisons.
+func logBig(x *big.Int) float64 {
+	f := new(big.Float).SetInt(x)
+	mant := new(big.Float)
+	exp := f.MantExp(mant)
+	m, _ := mant.Float64()
+	return math.Log(m) + float64(exp)*math.Ln2
+}
+
+func TestStarsAndBarsSmall(t *testing.T) {
+	cases := []struct {
+		slack, vars int
+		want        float64
+	}{
+		{0, 0, 1},
+		{1, 0, 0},
+		{0, 1, 1},
+		{5, 1, 1},
+		{5, 2, 6},    // C(6,1)
+		{3, 3, 10},   // C(5,2)
+		{10, 4, 286}, /* C(13,3) */
+		{-1, 2, 0},
+		{2, -1, 0},
+	}
+	for _, c := range cases {
+		got := LogStarsAndBars(c.slack, c.vars)
+		if c.want == 0 {
+			if !math.IsInf(got, -1) {
+				t.Errorf("LogStarsAndBars(%d,%d) = %v, want -Inf", c.slack, c.vars, got)
+			}
+			continue
+		}
+		if !almostEqual(math.Exp(got), c.want, 1e-10) {
+			t.Errorf("exp(LogStarsAndBars(%d,%d)) = %v, want %v", c.slack, c.vars, math.Exp(got), c.want)
+		}
+	}
+}
+
+// TestStarsAndBarsCountsCompositions verifies the stars-and-bars closed form
+// against explicit enumeration of compositions.
+func TestStarsAndBarsCountsCompositions(t *testing.T) {
+	for slack := 0; slack <= 8; slack++ {
+		for vars := 1; vars <= 4; vars++ {
+			var count int
+			var rec func(rem, left int)
+			rec = func(rem, left int) {
+				if left == 1 {
+					count++
+					return
+				}
+				for v := 0; v <= rem; v++ {
+					rec(rem-v, left-1)
+				}
+			}
+			rec(slack, vars)
+			got := math.Exp(LogStarsAndBars(slack, vars))
+			if !almostEqual(got, float64(count), 1e-10) {
+				t.Errorf("LogStarsAndBars(%d,%d): got %v compositions, enumerated %d", slack, vars, got, count)
+			}
+		}
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	if got := LogSumExp(nil); !math.IsInf(got, -1) {
+		t.Errorf("LogSumExp(nil) = %v, want -Inf", got)
+	}
+	got := LogSumExp([]float64{math.Log(1), math.Log(2), math.Log(3)})
+	if !almostEqual(math.Exp(got), 6, 1e-12) {
+		t.Errorf("exp(LogSumExp(ln1,ln2,ln3)) = %v, want 6", math.Exp(got))
+	}
+	inf := math.Inf(-1)
+	got = LogSumExp([]float64{inf, math.Log(5), inf})
+	if !almostEqual(math.Exp(got), 5, 1e-12) {
+		t.Errorf("LogSumExp with -Inf entries: exp = %v, want 5", math.Exp(got))
+	}
+}
+
+func TestLogAddCommutativeAndMatchesSum(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := float64(a)+1, float64(b)+1
+		la, lb := math.Log(x), math.Log(y)
+		s := LogAdd(la, lb)
+		return almostEqual(math.Exp(s), x+y, 1e-10) && almostEqual(s, LogAdd(lb, la), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogAddWithNegInf(t *testing.T) {
+	inf := math.Inf(-1)
+	if got := LogAdd(inf, math.Log(7)); !almostEqual(math.Exp(got), 7, 1e-12) {
+		t.Errorf("LogAdd(-Inf, ln7) = %v", got)
+	}
+	if got := LogAdd(math.Log(7), inf); !almostEqual(math.Exp(got), 7, 1e-12) {
+		t.Errorf("LogAdd(ln7, -Inf) = %v", got)
+	}
+	if got := LogAdd(inf, inf); !math.IsInf(got, -1) {
+		t.Errorf("LogAdd(-Inf,-Inf) = %v, want -Inf", got)
+	}
+}
+
+// TestPathWeightIdentity checks the engine's key identity: summing
+// W(l,k)·C(l,k) over k equals 1, i.e. position-set probabilities are a
+// partition of unity. This exercises the exact combinatorial quantities the
+// events engine relies on.
+func TestPathWeightIdentity(t *testing.T) {
+	for _, tc := range []struct{ n, c, l int }{
+		{10, 1, 5}, {10, 3, 7}, {50, 5, 30}, {100, 1, 99}, {100, 10, 60},
+	} {
+		var sum float64
+		for k := 0; k <= tc.c && k <= tc.l; k++ {
+			lw := LogFallingFactorial(tc.c, k) +
+				LogFallingFactorial(tc.n-1-tc.c, tc.l-k) -
+				LogFallingFactorial(tc.n-1, tc.l)
+			sum += math.Exp(lw) * Choose(tc.l, k)
+		}
+		if !almostEqual(sum, 1, 1e-9) {
+			t.Errorf("n=%d c=%d l=%d: Σ W(l,k)·C(l,k) = %v, want 1", tc.n, tc.c, tc.l, sum)
+		}
+	}
+}

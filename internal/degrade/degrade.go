@@ -1,0 +1,453 @@
+// Package degrade quantifies the *degradation* of sender anonymity under
+// repeated communication — the attack family of Wright, Adler, Levine and
+// Shields (NDSS 2002), cited as [23] by Guan et al. and flagged in their
+// threat-model discussion: when the same initiator talks to the same
+// receiver over many rounds, each round's rerouting path leaks a little,
+// and the adversary accumulates.
+//
+// Two accumulation attacks are implemented:
+//
+//   - Accumulator: exact Bayesian accumulation for simple-path strategies.
+//     Round posteriors from the exact engine are combined by likelihood
+//     multiplication (valid because the per-round prior is uniform and
+//     paths are drawn independently); the entropy of the running posterior
+//     is the sender's remaining anonymity after k messages.
+//
+//   - Crowds predecessor counting: across path reformations the initiator
+//     appears as the first collaborator's predecessor at rate
+//     P(H1|H1+) = 1 − pf(n−c−1)/n, while any other honest jondo appears at
+//     the strictly smaller rate (1 − P)/(n−c−1); counting identifies the
+//     initiator, and a Chernoff-style bound predicts how fast.
+package degrade
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"anonmix/internal/adversary"
+	"anonmix/internal/crowds"
+	"anonmix/internal/entropy"
+	"anonmix/internal/events"
+	"anonmix/internal/montecarlo"
+	"anonmix/internal/pathsel"
+	"anonmix/internal/stats"
+	"anonmix/internal/trace"
+)
+
+// Errors returned by the degradation analyses.
+var (
+	// ErrBadConfig reports an invalid configuration.
+	ErrBadConfig = errors.New("degrade: invalid configuration")
+	// ErrNoObservations reports a query on an accumulator that has seen
+	// nothing yet.
+	ErrNoObservations = errors.New("degrade: no observations accumulated")
+)
+
+// Accumulator combines per-message sender posteriors across rounds.
+// It is not safe for concurrent use.
+type Accumulator struct {
+	analyst *adversary.Analyst
+	logPost []float64
+	rounds  int
+}
+
+// NewAccumulator returns an accumulator over the analyst's system.
+func NewAccumulator(a *adversary.Analyst) (*Accumulator, error) {
+	if a == nil {
+		return nil, fmt.Errorf("%w: nil analyst", ErrBadConfig)
+	}
+	n := a.Engine().N()
+	acc := &Accumulator{analyst: a, logPost: make([]float64, n)}
+	return acc, nil
+}
+
+// Observe folds one message trace into the running posterior. Because the
+// per-round prior is uniform, multiplying round posteriors (adding logs)
+// yields the correct joint posterior up to normalization.
+func (acc *Accumulator) Observe(mt *trace.MessageTrace) error {
+	post, err := acc.analyst.Posterior(mt)
+	if err != nil {
+		return err
+	}
+	for i, p := range post.P {
+		if p <= 0 {
+			acc.logPost[i] = math.Inf(-1)
+			continue
+		}
+		acc.logPost[i] += math.Log(p)
+	}
+	acc.rounds++
+	return nil
+}
+
+// Rounds returns the number of observations folded in.
+func (acc *Accumulator) Rounds() int { return acc.rounds }
+
+// Posterior returns the normalized joint posterior over the N nodes.
+func (acc *Accumulator) Posterior() ([]float64, error) {
+	if acc.rounds == 0 {
+		return nil, ErrNoObservations
+	}
+	out := make([]float64, len(acc.logPost))
+	maxLog := math.Inf(-1)
+	for _, lp := range acc.logPost {
+		if lp > maxLog {
+			maxLog = lp
+		}
+	}
+	if math.IsInf(maxLog, -1) {
+		return nil, fmt.Errorf("degrade: joint posterior vanished (inconsistent observations)")
+	}
+	var sum float64
+	for i, lp := range acc.logPost {
+		out[i] = math.Exp(lp - maxLog)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out, nil
+}
+
+// Entropy returns the Shannon entropy (bits) of the joint posterior —
+// the sender's remaining anonymity after Rounds messages.
+func (acc *Accumulator) Entropy() (float64, error) {
+	p, err := acc.Posterior()
+	if err != nil {
+		return 0, err
+	}
+	return entropy.Bits(p), nil
+}
+
+// Top returns the argmax node of the joint posterior and its probability.
+func (acc *Accumulator) Top() (trace.NodeID, float64, error) {
+	p, err := acc.Posterior()
+	if err != nil {
+		return 0, 0, err
+	}
+	best, arg := -1.0, 0
+	for i, v := range p {
+		if v > best {
+			best, arg = v, i
+		}
+	}
+	return trace.NodeID(arg), best, nil
+}
+
+// Config parameterizes a repeated-communication experiment: one fixed
+// sender sends Rounds messages under the strategy; the adversary
+// accumulates; the experiment repeats Trials times with fresh paths.
+type Config struct {
+	// N is the system size.
+	N int
+	// Compromised lists the adversary's nodes.
+	Compromised []trace.NodeID
+	// Strategy draws each round's path (simple paths).
+	Strategy pathsel.Strategy
+	// Sender is the fixed initiator (must not be compromised).
+	Sender trace.NodeID
+	// Confidence is the posterior mass on the true sender at which the
+	// adversary declares identification (e.g. 0.95).
+	Confidence float64
+	// MaxRounds caps each trial.
+	MaxRounds int
+	// Trials is the number of independent repetitions.
+	Trials int
+	// Seed makes runs reproducible.
+	Seed int64
+	// Workers sets sampling parallelism (default 4).
+	Workers int
+}
+
+func (c Config) validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("%w: n = %d", ErrBadConfig, c.N)
+	}
+	if int(c.Sender) < 0 || int(c.Sender) >= c.N {
+		return fmt.Errorf("%w: sender %v", ErrBadConfig, c.Sender)
+	}
+	for _, id := range c.Compromised {
+		if id == c.Sender {
+			return fmt.Errorf("%w: sender %v is compromised (identified at round 0)", ErrBadConfig, id)
+		}
+	}
+	if c.Confidence <= 0 || c.Confidence >= 1 {
+		return fmt.Errorf("%w: confidence %v", ErrBadConfig, c.Confidence)
+	}
+	if c.MaxRounds < 1 || c.Trials < 1 {
+		return fmt.Errorf("%w: maxRounds %d, trials %d", ErrBadConfig, c.MaxRounds, c.Trials)
+	}
+	if c.Strategy.Kind != pathsel.Simple {
+		return fmt.Errorf("%w: Bayesian accumulation needs simple paths (use CrowdsDegradation for cyclic routes)", ErrBadConfig)
+	}
+	return nil
+}
+
+// Result summarizes a repeated-communication experiment.
+type Result struct {
+	// IdentifiedShare is the fraction of trials in which the adversary
+	// reached the confidence threshold within MaxRounds.
+	IdentifiedShare float64
+	// MeanRounds is the average identification round among identified
+	// trials.
+	MeanRounds float64
+	// MeanEntropyAfter holds the average remaining anonymity (bits) after
+	// each round, indexed round−1, averaged over all trials.
+	MeanEntropyAfter []float64
+	// Trials echoes the number of repetitions.
+	Trials int
+}
+
+// Run executes the repeated-communication experiment: per trial, the fixed
+// sender sends up to MaxRounds messages over fresh paths; the accumulated
+// posterior is tracked until the confidence threshold is reached.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	eng, err := newAnalystFactory(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+
+	type part struct {
+		identified  int
+		roundsSum   int
+		entropySums []float64
+		counts      []int
+		err         error
+	}
+	parts := make([]part, cfg.Workers)
+	per := cfg.Trials / cfg.Workers
+	extra := cfg.Trials % cfg.Workers
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		trials := per
+		if w < extra {
+			trials++
+		}
+		if trials == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w, trials int) {
+			defer wg.Done()
+			p := &parts[w]
+			p.entropySums = make([]float64, cfg.MaxRounds)
+			p.counts = make([]int, cfg.MaxRounds)
+			rng := stats.Fork(cfg.Seed, int64(w))
+			for t := 0; t < trials; t++ {
+				acc, sel, err := eng()
+				if err != nil {
+					p.err = err
+					return
+				}
+				identified := false
+				for r := 0; r < cfg.MaxRounds; r++ {
+					path, err := sel.SelectPath(rng, cfg.Sender)
+					if err != nil {
+						p.err = err
+						return
+					}
+					mt := montecarlo.Synthesize(trace.MessageID(r+1), cfg.Sender, path,
+						func(id trace.NodeID) bool { return compromisedIn(cfg.Compromised, id) })
+					if err := acc.Observe(mt); err != nil {
+						p.err = err
+						return
+					}
+					h, err := acc.Entropy()
+					if err != nil {
+						p.err = err
+						return
+					}
+					p.entropySums[r] += h
+					p.counts[r]++
+					if identified {
+						continue
+					}
+					top, mass, err := acc.Top()
+					if err != nil {
+						p.err = err
+						return
+					}
+					if top == cfg.Sender && mass >= cfg.Confidence {
+						identified = true
+						p.identified++
+						p.roundsSum += r + 1
+					}
+				}
+			}
+		}(w, trials)
+	}
+	wg.Wait()
+
+	res := Result{Trials: cfg.Trials, MeanEntropyAfter: make([]float64, cfg.MaxRounds)}
+	counts := make([]int, cfg.MaxRounds)
+	var identified, roundsSum int
+	for i := range parts {
+		if parts[i].err != nil {
+			return Result{}, parts[i].err
+		}
+		identified += parts[i].identified
+		roundsSum += parts[i].roundsSum
+		for r := range parts[i].entropySums {
+			res.MeanEntropyAfter[r] += parts[i].entropySums[r]
+			counts[r] += parts[i].counts[r]
+		}
+	}
+	for r := range res.MeanEntropyAfter {
+		if counts[r] > 0 {
+			res.MeanEntropyAfter[r] /= float64(counts[r])
+		}
+	}
+	res.IdentifiedShare = float64(identified) / float64(cfg.Trials)
+	if identified > 0 {
+		res.MeanRounds = float64(roundsSum) / float64(identified)
+	}
+	return res, nil
+}
+
+// newAnalystFactory pre-validates the configuration and returns a factory
+// producing a fresh accumulator and selector per trial.
+func newAnalystFactory(cfg Config) (func() (*Accumulator, *pathsel.Selector, error), error) {
+	// Validate once up front by constructing a throwaway pair.
+	mk := func() (*Accumulator, *pathsel.Selector, error) {
+		analyst, err := newAnalyst(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		acc, err := NewAccumulator(analyst)
+		if err != nil {
+			return nil, nil, err
+		}
+		sel, err := pathsel.NewSelector(cfg.N, cfg.Strategy)
+		if err != nil {
+			return nil, nil, err
+		}
+		return acc, sel, nil
+	}
+	if _, _, err := mk(); err != nil {
+		return nil, err
+	}
+	return mk, nil
+}
+
+// newAnalyst builds the adversary for a configuration.
+func newAnalyst(cfg Config) (*adversary.Analyst, error) {
+	engine, err := events.New(cfg.N, len(cfg.Compromised))
+	if err != nil {
+		return nil, err
+	}
+	return adversary.NewAnalyst(engine, cfg.Strategy.Length, cfg.Compromised)
+}
+
+// compromisedIn reports membership of id in the compromised list.
+func compromisedIn(list []trace.NodeID, id trace.NodeID) bool {
+	for _, c := range list {
+		if c == id {
+			return true
+		}
+	}
+	return false
+}
+
+// CrowdsResult summarizes the predecessor-counting attack on Crowds.
+type CrowdsResult struct {
+	// IdentifiedShare is the fraction of trials where the initiator ends
+	// with the strictly highest predecessor count.
+	IdentifiedShare float64
+	// MeanObservedRounds is the average number of rounds in which a
+	// collaborator was on the path at all.
+	MeanObservedRounds float64
+}
+
+// CrowdsDegradation simulates the predecessor-counting attack across path
+// reformations: each round a fresh Crowds path forms; if a collaborator is
+// on it, the first collaborator's predecessor gets one count; after rounds
+// reformations the adversary accuses the highest count.
+func CrowdsDegradation(n, c int, pf float64, rounds, trials int, seed int64) (CrowdsResult, error) {
+	if _, err := crowds.PredecessorProb(n, c, pf); err != nil {
+		return CrowdsResult{}, err
+	}
+	if rounds < 1 || trials < 1 {
+		return CrowdsResult{}, fmt.Errorf("%w: rounds %d, trials %d", ErrBadConfig, rounds, trials)
+	}
+	rng := stats.NewRand(seed)
+	var identified int
+	var observedSum int
+	for t := 0; t < trials; t++ {
+		initiator := c + rng.Intn(n-c)
+		counts := make(map[int]int)
+		observed := 0
+		for r := 0; r < rounds; r++ {
+			pred := initiator
+			cur := rng.Intn(n)
+			for {
+				if cur < c {
+					counts[pred]++
+					observed++
+					break
+				}
+				if rng.Float64() >= pf {
+					break
+				}
+				pred = cur
+				cur = rng.Intn(n)
+			}
+		}
+		observedSum += observed
+		best, bestCount, unique := -1, -1, false
+		for node, k := range counts {
+			switch {
+			case k > bestCount:
+				best, bestCount, unique = node, k, true
+			case k == bestCount:
+				unique = false
+			}
+		}
+		if unique && best == initiator {
+			identified++
+		}
+	}
+	return CrowdsResult{
+		IdentifiedShare:    float64(identified) / float64(trials),
+		MeanObservedRounds: float64(observedSum) / float64(trials),
+	}, nil
+}
+
+// CrowdsRoundsBound returns a Chernoff-style upper bound on the number of
+// *observed* rounds after which predecessor counting separates the
+// initiator from every other honest jondo with failure probability at most
+// delta. With per-observation initiator rate p1 = P(H1|H1+) and
+// per-other-jondo rate q = (1−p1)/(n−c−1), the counts separate once
+//
+//	R ≥ 2·ln((n−c−1)/delta) / (p1 − q)²
+//
+// by Hoeffding's inequality applied to the count difference of each
+// competing jondo, union-bounded over the n−c−1 competitors.
+func CrowdsRoundsBound(n, c int, pf, delta float64) (int, error) {
+	p1, err := crowds.PredecessorProb(n, c, pf)
+	if err != nil {
+		return 0, err
+	}
+	if delta <= 0 || delta >= 1 {
+		return 0, fmt.Errorf("%w: delta %v", ErrBadConfig, delta)
+	}
+	others := float64(n - c - 1)
+	if others < 1 {
+		return 1, nil
+	}
+	q := (1 - p1) / others
+	gap := p1 - q
+	if gap <= 0 {
+		return 0, fmt.Errorf("%w: no identification gap (p1 = %v, q = %v)", ErrBadConfig, p1, q)
+	}
+	r := 2 * math.Log(others/delta) / (gap * gap)
+	return int(math.Ceil(r)), nil
+}

@@ -1,0 +1,299 @@
+package degrade_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"anonmix/internal/adversary"
+	"anonmix/internal/degrade"
+	"anonmix/internal/dist"
+	"anonmix/internal/events"
+	"anonmix/internal/montecarlo"
+	"anonmix/internal/pathsel"
+	"anonmix/internal/stats"
+	"anonmix/internal/trace"
+)
+
+func analyst(t *testing.T, n int, compromised []trace.NodeID, d dist.Length) *adversary.Analyst {
+	t.Helper()
+	e, err := events.New(n, len(compromised))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := adversary.NewAnalyst(e, d, compromised)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAccumulatorValidation(t *testing.T) {
+	if _, err := degrade.NewAccumulator(nil); !errors.Is(err, degrade.ErrBadConfig) {
+		t.Errorf("nil analyst err = %v", err)
+	}
+	u, err := dist.NewUniform(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := degrade.NewAccumulator(analyst(t, 10, []trace.NodeID{0}, u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acc.Posterior(); !errors.Is(err, degrade.ErrNoObservations) {
+		t.Errorf("empty posterior err = %v", err)
+	}
+	if _, err := acc.Entropy(); !errors.Is(err, degrade.ErrNoObservations) {
+		t.Errorf("empty entropy err = %v", err)
+	}
+	if _, _, err := acc.Top(); !errors.Is(err, degrade.ErrNoObservations) {
+		t.Errorf("empty top err = %v", err)
+	}
+	if acc.Rounds() != 0 {
+		t.Errorf("rounds = %d", acc.Rounds())
+	}
+}
+
+// TestAccumulatorConcentratesOnSender: with repeated messages, the joint
+// posterior must concentrate on the true sender and its entropy must fall.
+func TestAccumulatorConcentratesOnSender(t *testing.T) {
+	const n = 12
+	compromised := []trace.NodeID{1, 5}
+	u, err := dist.NewUniform(1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := analyst(t, n, compromised, u)
+	acc, err := degrade.NewAccumulator(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat := pathsel.Strategy{Name: "u", Length: u, Kind: pathsel.Simple}
+	sel, err := pathsel.NewSelector(n, strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRand(3)
+	sender := trace.NodeID(8)
+	var lastH = math.Inf(1)
+	var sawDrop bool
+	for r := 0; r < 200; r++ {
+		path, err := sel.SelectPath(rng, sender)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mt := montecarlo.Synthesize(trace.MessageID(r+1), sender, path, a.Compromised)
+		if err := acc.Observe(mt); err != nil {
+			t.Fatal(err)
+		}
+		h, err := acc.Entropy()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h < lastH-1e-12 {
+			sawDrop = true
+		}
+		lastH = h
+		post, err := acc.Posterior()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if post[sender] <= 0 {
+			t.Fatalf("round %d: true sender excluded", r)
+		}
+	}
+	if !sawDrop {
+		t.Error("entropy never decreased over 200 rounds")
+	}
+	top, mass, err := acc.Top()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top != sender {
+		t.Errorf("after 200 rounds, top = %v (mass %v), want %v", top, mass, sender)
+	}
+	if mass < 0.9 {
+		t.Errorf("after 200 rounds, sender mass only %v", mass)
+	}
+	if acc.Rounds() != 200 {
+		t.Errorf("rounds = %d", acc.Rounds())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	u, err := pathsel.UniformLength(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowdsStrat, err := pathsel.Crowds(0.5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := degrade.Config{
+		N: 10, Compromised: []trace.NodeID{0}, Strategy: u, Sender: 5,
+		Confidence: 0.9, MaxRounds: 5, Trials: 2,
+	}
+	cases := []struct {
+		name string
+		mut  func(*degrade.Config)
+	}{
+		{"small n", func(c *degrade.Config) { c.N = 1 }},
+		{"bad sender", func(c *degrade.Config) { c.Sender = 10 }},
+		{"compromised sender", func(c *degrade.Config) { c.Sender = 0 }},
+		{"bad confidence", func(c *degrade.Config) { c.Confidence = 1 }},
+		{"no rounds", func(c *degrade.Config) { c.MaxRounds = 0 }},
+		{"no trials", func(c *degrade.Config) { c.Trials = 0 }},
+		{"cyclic strategy", func(c *degrade.Config) { c.Strategy = crowdsStrat }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mut(&cfg)
+		if _, err := degrade.Run(cfg); !errors.Is(err, degrade.ErrBadConfig) {
+			t.Errorf("%s: err = %v", tc.name, err)
+		}
+	}
+}
+
+// TestRunIdentifiesEventually: with enough rounds the adversary identifies
+// the sender in (almost) every trial, and the mean entropy decreases in
+// rounds.
+func TestRunIdentifiesEventually(t *testing.T) {
+	strat, err := pathsel.UniformLength(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := degrade.Run(degrade.Config{
+		N:           12,
+		Compromised: []trace.NodeID{2, 9},
+		Strategy:    strat,
+		Sender:      4,
+		Confidence:  0.90,
+		MaxRounds:   120,
+		Trials:      40,
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IdentifiedShare < 0.9 {
+		t.Errorf("identified share = %v, want ≥ 0.9", res.IdentifiedShare)
+	}
+	if res.MeanRounds <= 1 || res.MeanRounds > 120 {
+		t.Errorf("mean rounds = %v", res.MeanRounds)
+	}
+	if len(res.MeanEntropyAfter) != 120 {
+		t.Fatalf("entropy trajectory length %d", len(res.MeanEntropyAfter))
+	}
+	if !(res.MeanEntropyAfter[0] > res.MeanEntropyAfter[30]) ||
+		!(res.MeanEntropyAfter[30] > res.MeanEntropyAfter[119]) {
+		t.Errorf("mean entropy not decreasing: %v %v %v",
+			res.MeanEntropyAfter[0], res.MeanEntropyAfter[30], res.MeanEntropyAfter[119])
+	}
+	if res.Trials != 40 {
+		t.Errorf("trials = %d", res.Trials)
+	}
+}
+
+// TestRunMoreCompromisedFaster: more compromised nodes identify the sender
+// in fewer rounds on average.
+func TestRunMoreCompromisedFaster(t *testing.T) {
+	strat, err := pathsel.UniformLength(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(comp []trace.NodeID) float64 {
+		res, err := degrade.Run(degrade.Config{
+			N: 14, Compromised: comp, Strategy: strat, Sender: 6,
+			Confidence: 0.9, MaxRounds: 400, Trials: 30, Seed: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.IdentifiedShare < 0.95 {
+			t.Fatalf("comp %v: identified share %v", comp, res.IdentifiedShare)
+		}
+		return res.MeanRounds
+	}
+	one := run([]trace.NodeID{2})
+	three := run([]trace.NodeID{2, 9, 12})
+	if !(three < one) {
+		t.Errorf("3 compromised (%v rounds) should identify faster than 1 (%v rounds)", three, one)
+	}
+}
+
+func TestCrowdsDegradation(t *testing.T) {
+	if _, err := degrade.CrowdsDegradation(10, 1, 0.7, 0, 10, 1); !errors.Is(err, degrade.ErrBadConfig) {
+		t.Error("rounds=0 accepted")
+	}
+	if _, err := degrade.CrowdsDegradation(10, 1, 1.2, 10, 10, 1); err == nil {
+		t.Error("bad pf accepted")
+	}
+	// Few rounds: rarely identified. Many rounds: almost always.
+	few, err := degrade.CrowdsDegradation(20, 2, 0.75, 2, 400, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := degrade.CrowdsDegradation(20, 2, 0.75, 400, 400, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(many.IdentifiedShare > few.IdentifiedShare) {
+		t.Errorf("identification should improve with rounds: %v vs %v",
+			many.IdentifiedShare, few.IdentifiedShare)
+	}
+	if many.IdentifiedShare < 0.9 {
+		t.Errorf("400 rounds: identified share %v, want ≥ 0.9", many.IdentifiedShare)
+	}
+	if many.MeanObservedRounds <= few.MeanObservedRounds {
+		t.Errorf("observed rounds should grow: %v vs %v",
+			many.MeanObservedRounds, few.MeanObservedRounds)
+	}
+}
+
+// TestCrowdsRoundsBoundIsSufficient: running the simulation for the bound's
+// number of rounds identifies the initiator with at least the promised
+// probability.
+func TestCrowdsRoundsBoundIsSufficient(t *testing.T) {
+	const (
+		n, c  = 20, 2
+		pf    = 0.75
+		delta = 0.1
+	)
+	bound, err := degrade.CrowdsRoundsBound(n, c, pf, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound < 1 {
+		t.Fatalf("bound = %d", bound)
+	}
+	// The bound counts *observed* rounds; convert to total reformations
+	// using the observation rate P(H1+) ≈ (c/n)/(1−pf(n−c)/n).
+	r := pf * float64(n-c) / float64(n)
+	obsRate := (float64(c) / float64(n)) / (1 - r)
+	total := int(math.Ceil(float64(bound)/obsRate)) + 1
+	res, err := degrade.CrowdsDegradation(n, c, pf, total, 300, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IdentifiedShare < 1-delta-0.05 {
+		t.Errorf("bound %d observed rounds (%d total): identified %v, want ≥ %v",
+			bound, total, res.IdentifiedShare, 1-delta-0.05)
+	}
+}
+
+func TestCrowdsRoundsBoundValidation(t *testing.T) {
+	if _, err := degrade.CrowdsRoundsBound(20, 2, 0.75, 0); !errors.Is(err, degrade.ErrBadConfig) {
+		t.Error("delta=0 accepted")
+	}
+	if _, err := degrade.CrowdsRoundsBound(20, 2, 1.5, 0.1); err == nil {
+		t.Error("bad pf accepted")
+	}
+	// n−c−1 = 0: single honest jondo, trivially identified.
+	b, err := degrade.CrowdsRoundsBound(3, 2, 0.6, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != 1 {
+		t.Errorf("degenerate bound = %d, want 1", b)
+	}
+}

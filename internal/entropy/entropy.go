@@ -1,0 +1,116 @@
+// Package entropy provides Shannon-entropy utilities used by the
+// anonymity-degree metric of Guan et al. (ICDCS 2002), Formula (4):
+// the entropy of the posterior sender distribution measures how much
+// uncertainty the system preserves about the sender's identity.
+package entropy
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotDistribution reports a probability vector that is not a distribution
+// (negative mass or total not within tolerance of 1).
+var ErrNotDistribution = errors.New("entropy: probabilities do not form a distribution")
+
+// SumTolerance is the absolute tolerance used when validating that a
+// probability vector sums to one.
+const SumTolerance = 1e-9
+
+// Log2 returns the base-2 logarithm of x.
+func Log2(x float64) float64 { return math.Log2(x) }
+
+// Bits returns the Shannon entropy −Σ p·log2 p of the given probability
+// vector in bits. Zero entries contribute zero by the usual convention.
+// The vector is not validated; use Validate first when the input is
+// untrusted.
+func Bits(p []float64) float64 {
+	var h float64
+	for _, v := range p {
+		if v > 0 {
+			h -= v * math.Log2(v)
+		}
+	}
+	return h
+}
+
+// Validate checks that p is a probability distribution: every entry in
+// [0,1] and the total within SumTolerance of 1.
+func Validate(p []float64) error {
+	var sum float64
+	for _, v := range p {
+		if v < 0 || v > 1+SumTolerance || math.IsNaN(v) {
+			return ErrNotDistribution
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > SumTolerance {
+		return ErrNotDistribution
+	}
+	return nil
+}
+
+// Max returns the maximum achievable entropy over n outcomes, log2 n.
+// This is the paper's upper bound on the anonymity degree of an N-node
+// system. Max(0) and Max of negative values return 0.
+func Max(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return math.Log2(float64(n))
+}
+
+// SpikeAndSlab returns the entropy in bits of the distribution that places
+// mass alpha on one distinguished outcome and spreads the remaining 1−alpha
+// uniformly over rest other outcomes:
+//
+//	H = −α·log2 α − (1−α)·log2((1−α)/rest)
+//
+// This is the shape of every sender posterior produced by the event-class
+// engine: the predecessor of the first observed run carries mass α and the
+// unobserved, uncompromised nodes share the remainder. Boundary cases follow
+// the 0·log 0 = 0 convention: alpha == 1 or rest == 0 give the point-mass
+// entropy, alpha == 0 gives log2(rest).
+func SpikeAndSlab(alpha float64, rest int) float64 {
+	switch {
+	case rest <= 0 || alpha >= 1:
+		// Point mass, or residual mass with nowhere to go (degenerate input).
+		return 0
+	case alpha <= 0:
+		return math.Log2(float64(rest))
+	default:
+		q := 1 - alpha
+		return -alpha*math.Log2(alpha) - q*math.Log2(q/float64(rest))
+	}
+}
+
+// Normalized returns H/log2(n), the anonymity degree normalized to [0,1]
+// (sometimes called the degree of anonymity in later literature,
+// Diaz et al. 2002). n <= 1 yields 0.
+func Normalized(h float64, n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return h / math.Log2(float64(n))
+}
+
+// KL returns the Kullback–Leibler divergence D(p‖q) in bits, used by tests
+// to compare empirical posteriors from the simulation testbed against the
+// exact engine. It returns +Inf when p places mass where q does not.
+func KL(p, q []float64) float64 {
+	n := len(p)
+	if len(q) < n {
+		n = len(q)
+	}
+	var d float64
+	for i := 0; i < n; i++ {
+		if p[i] <= 0 {
+			continue
+		}
+		if q[i] <= 0 {
+			return math.Inf(1)
+		}
+		d += p[i] * math.Log2(p[i]/q[i])
+	}
+	return d
+}

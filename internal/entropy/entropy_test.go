@@ -1,0 +1,145 @@
+package entropy
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestBitsKnownValues(t *testing.T) {
+	cases := []struct {
+		name string
+		p    []float64
+		want float64
+	}{
+		{"point mass", []float64{1, 0, 0}, 0},
+		{"fair coin", []float64{0.5, 0.5}, 1},
+		{"uniform 4", []float64{0.25, 0.25, 0.25, 0.25}, 2},
+		{"uniform 8", []float64{.125, .125, .125, .125, .125, .125, .125, .125}, 3},
+		{"empty", nil, 0},
+	}
+	for _, c := range cases {
+		if got := Bits(c.p); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("%s: Bits = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate([]float64{0.3, 0.7}); err != nil {
+		t.Errorf("valid distribution rejected: %v", err)
+	}
+	for _, p := range [][]float64{
+		{0.5, 0.6},
+		{-0.1, 1.1},
+		{math.NaN(), 1},
+		{0.5},
+	} {
+		if err := Validate(p); !errors.Is(err, ErrNotDistribution) {
+			t.Errorf("Validate(%v) = %v, want ErrNotDistribution", p, err)
+		}
+	}
+}
+
+func TestMax(t *testing.T) {
+	if got := Max(100); !almostEqual(got, math.Log2(100), 1e-12) {
+		t.Errorf("Max(100) = %v", got)
+	}
+	for _, n := range []int{1, 0, -3} {
+		if got := Max(n); got != 0 {
+			t.Errorf("Max(%d) = %v, want 0", n, got)
+		}
+	}
+}
+
+func TestSpikeAndSlabMatchesBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		alpha := rng.Float64()
+		rest := 1 + rng.Intn(200)
+		p := make([]float64, rest+1)
+		p[0] = alpha
+		for j := 1; j <= rest; j++ {
+			p[j] = (1 - alpha) / float64(rest)
+		}
+		want := Bits(p)
+		got := SpikeAndSlab(alpha, rest)
+		if !almostEqual(got, want, 1e-10) {
+			t.Fatalf("SpikeAndSlab(%v,%d) = %v, Bits = %v", alpha, rest, got, want)
+		}
+	}
+}
+
+func TestSpikeAndSlabBoundaries(t *testing.T) {
+	if got := SpikeAndSlab(1, 50); got != 0 {
+		t.Errorf("alpha=1: got %v, want 0", got)
+	}
+	if got := SpikeAndSlab(0, 64); !almostEqual(got, 6, 1e-12) {
+		t.Errorf("alpha=0, rest=64: got %v, want 6", got)
+	}
+	if got := SpikeAndSlab(0.5, 0); got != 0 {
+		t.Errorf("rest=0: got %v, want 0", got)
+	}
+	if got := SpikeAndSlab(0.25, -1); got != 0 {
+		t.Errorf("rest=-1: got %v, want 0", got)
+	}
+}
+
+// TestSpikeAndSlabBoundedByMax: the posterior entropy can never exceed
+// log2(rest+1), the uniform entropy over all candidates.
+func TestSpikeAndSlabBoundedByMax(t *testing.T) {
+	f := func(a uint16, r uint8) bool {
+		alpha := float64(a) / math.MaxUint16
+		rest := int(r)
+		h := SpikeAndSlab(alpha, rest)
+		return h >= 0 && h <= Max(rest+1)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSpikeAndSlabMaximizedAtUniform: for fixed rest, entropy is maximal at
+// alpha = 1/(rest+1), where the spike equals the slab weights.
+func TestSpikeAndSlabMaximizedAtUniform(t *testing.T) {
+	for _, rest := range []int{1, 3, 10, 99} {
+		star := 1 / float64(rest+1)
+		hStar := SpikeAndSlab(star, rest)
+		if !almostEqual(hStar, Max(rest+1), 1e-10) {
+			t.Errorf("rest=%d: H(1/(rest+1)) = %v, want %v", rest, hStar, Max(rest+1))
+		}
+		for _, alpha := range []float64{star / 2, star * 1.5, 0.9} {
+			if h := SpikeAndSlab(alpha, rest); h > hStar+1e-12 {
+				t.Errorf("rest=%d: H(%v) = %v exceeds maximum %v", rest, alpha, h, hStar)
+			}
+		}
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	if got := Normalized(3, 8); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("Normalized(3,8) = %v, want 1", got)
+	}
+	if got := Normalized(1, 1); got != 0 {
+		t.Errorf("Normalized(·,1) = %v, want 0", got)
+	}
+}
+
+func TestKL(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	q := []float64{0.25, 0.75}
+	want := 0.5*math.Log2(2) + 0.5*math.Log2(0.5/0.75)
+	if got := KL(p, q); !almostEqual(got, want, 1e-12) {
+		t.Errorf("KL = %v, want %v", got, want)
+	}
+	if got := KL(p, p); !almostEqual(got, 0, 1e-12) {
+		t.Errorf("KL(p,p) = %v, want 0", got)
+	}
+	if got := KL([]float64{1, 0}, []float64{0, 1}); !math.IsInf(got, 1) {
+		t.Errorf("KL with unsupported mass = %v, want +Inf", got)
+	}
+}

@@ -1,0 +1,170 @@
+package figures
+
+// Ablation figures beyond the paper's §6: how the anonymity degree responds
+// to the number of compromised nodes, the system size, the adversary's
+// inference strength, and the Crowds forwarding probability. These back
+// the BenchmarkAblation* targets and the extended identifiers of
+// cmd/anonbench.
+
+import (
+	"fmt"
+
+	"anonmix/internal/dist"
+	"anonmix/internal/events"
+	"anonmix/internal/theory"
+)
+
+// AblationCSweep plots H*(S) versus fixed path length for several
+// compromised-node counts (the paper fixes C = 1; this shows the threat
+// scaling of §4).
+func AblationCSweep() (Figure, error) {
+	fig := Figure{
+		Name:   "ablation-c",
+		Title:  "Anonymity degree vs. path length for growing compromise",
+		XLabel: "path length l",
+	}
+	for _, c := range []int{1, 2, 4, 8} {
+		e, err := events.New(PaperN, c)
+		if err != nil {
+			return Figure{}, err
+		}
+		s := Series{Label: fmt.Sprintf("C=%d", c)}
+		for l := 1; l <= PaperN-1; l += 2 {
+			f, err := dist.NewFixed(l)
+			if err != nil {
+				return Figure{}, err
+			}
+			h, err := e.AnonymityDegree(f)
+			if err != nil {
+				return Figure{}, err
+			}
+			s.X = append(s.X, float64(l))
+			s.Y = append(s.Y, h)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// AblationNSweep plots the location and height of the fixed-length peak as
+// the system grows, normalizing H* by log2(N).
+func AblationNSweep() (Figure, error) {
+	fig := Figure{
+		Name:   "ablation-n",
+		Title:  "Fixed-length peak vs. system size (C = 1)",
+		XLabel: "N",
+	}
+	peakL := Series{Label: "peak location l*"}
+	peakFrac := Series{Label: "peak H*/log2(N)"}
+	for _, n := range []int{20, 40, 60, 80, 100, 150, 200, 300} {
+		e, err := events.New(n, 1)
+		if err != nil {
+			return Figure{}, err
+		}
+		bestL, bestH := 0, -1.0
+		for l := 1; l <= n-1; l++ {
+			f, err := dist.NewFixed(l)
+			if err != nil {
+				return Figure{}, err
+			}
+			h, err := e.AnonymityDegree(f)
+			if err != nil {
+				return Figure{}, err
+			}
+			if h > bestH {
+				bestH, bestL = h, l
+			}
+		}
+		peakL.X = append(peakL.X, float64(n))
+		peakL.Y = append(peakL.Y, float64(bestL))
+		peakFrac.X = append(peakFrac.X, float64(n))
+		peakFrac.Y = append(peakFrac.Y, bestH/e.MaxAnonymity())
+	}
+	fig.Series = []Series{peakL, peakFrac}
+	return fig, nil
+}
+
+// AblationInference plots fixed F(m) and variable U(1, 2m−1) strategies
+// versus the mean path length m under the three adversary inference modes
+// (DESIGN.md §2's inference axis). Under the standard passive adversary
+// the two strategies are close; under hop-count timing the fixed strategy
+// collapses to the full-position oracle while the variable strategy keeps
+// its sender-side uncertainty — the strongest form of the paper's
+// "variable beats fixed" conclusion.
+func AblationInference() (Figure, error) {
+	fig := Figure{
+		Name:   "ablation-inference",
+		Title:  "Adversary inference strength: fixed vs variable lengths (C = 1)",
+		XLabel: "mean path length m",
+	}
+	modes := []struct {
+		label string
+		mode  events.InferenceMode
+	}{
+		{"standard", events.InferenceStandard},
+		{"hop-count", events.InferenceHopCount},
+		{"full-position", events.InferenceFullPosition},
+	}
+	for _, m := range modes {
+		e, err := events.New(PaperN, PaperC, events.WithInference(m.mode))
+		if err != nil {
+			return Figure{}, err
+		}
+		fixed := Series{Label: "F(m) " + m.label}
+		vari := Series{Label: "U(1,2m-1) " + m.label}
+		for mean := 1; mean <= 49; mean += 2 {
+			f, err := dist.NewFixed(mean)
+			if err != nil {
+				return Figure{}, err
+			}
+			hf, err := e.AnonymityDegree(f)
+			if err != nil {
+				return Figure{}, err
+			}
+			fixed.X = append(fixed.X, float64(mean))
+			fixed.Y = append(fixed.Y, hf)
+
+			u, err := dist.NewUniform(1, 2*mean-1)
+			if err != nil {
+				return Figure{}, err
+			}
+			hu, err := e.AnonymityDegree(u)
+			if err != nil {
+				return Figure{}, err
+			}
+			vari.X = append(vari.X, float64(mean))
+			vari.Y = append(vari.Y, hu)
+		}
+		fig.Series = append(fig.Series, fixed, vari)
+	}
+	return fig, nil
+}
+
+// AblationCrowdsPf plots Theorem 2 (geometric lengths) against the
+// forwarding probability, in both the truncated-summation and loop-free
+// closed forms.
+func AblationCrowdsPf() (Figure, error) {
+	fig := Figure{
+		Name:   "ablation-crowds",
+		Title:  "Coin-flip strategies: anonymity vs. forwarding probability",
+		XLabel: "pf",
+	}
+	sum := Series{Label: "Geom (truncated, exact)"}
+	closed := Series{Label: "Geom (closed form)"}
+	for pf := 0.0; pf <= 0.951; pf += 0.05 {
+		hs, err := theory.GeometricC1(PaperN, pf, 1, PaperN-1)
+		if err != nil {
+			return Figure{}, err
+		}
+		hc, err := theory.GeometricClosedFormC1(PaperN, pf)
+		if err != nil {
+			return Figure{}, err
+		}
+		sum.X = append(sum.X, pf)
+		sum.Y = append(sum.Y, hs)
+		closed.X = append(closed.X, pf)
+		closed.Y = append(closed.Y, hc)
+	}
+	fig.Series = []Series{sum, closed}
+	return fig, nil
+}

@@ -1,0 +1,421 @@
+// Package figures regenerates every figure of the evaluation section (§6)
+// of Guan et al. (ICDCS 2002). Each generator returns labeled data series
+// (and can render them as TSV) with the paper's exact parameters:
+// N = 100 nodes, C = 1 compromised node. The benchmark harness in the
+// repository root and the anonbench command both drive these generators;
+// EXPERIMENTS.md records the paper-vs-measured comparison for each.
+package figures
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"anonmix/internal/dist"
+	"anonmix/internal/events"
+	"anonmix/internal/optimize"
+)
+
+// Errors returned by generators.
+var (
+	// ErrUnknownFigure reports an unrecognized figure name.
+	ErrUnknownFigure = errors.New("figures: unknown figure")
+)
+
+// PaperN and PaperC are the system parameters used throughout §6.
+const (
+	PaperN = 100
+	PaperC = 1
+)
+
+// Series is one labeled curve: Y[i] = H*(S) at X[i].
+type Series struct {
+	// Label is the curve's legend entry, in the paper's notation.
+	Label string
+	// X holds the abscissa values (path length or L parameter).
+	X []float64
+	// Y holds the anonymity degrees.
+	Y []float64
+}
+
+// Figure is a regenerated figure: a set of curves plus axis metadata.
+type Figure struct {
+	// Name is the paper's figure identifier, e.g. "3a".
+	Name string
+	// Title describes the experiment.
+	Title string
+	// XLabel names the abscissa.
+	XLabel string
+	// Series holds the curves.
+	Series []Series
+}
+
+// WriteTSV renders the figure as a tab-separated table with one X column
+// and one column per series (empty cells where a series has no sample).
+func (f Figure) WriteTSV(w io.Writer) error {
+	cols := make([]map[float64]float64, len(f.Series))
+	xsSet := make(map[float64]bool)
+	for i, s := range f.Series {
+		cols[i] = make(map[float64]float64, len(s.X))
+		for j, x := range s.X {
+			cols[i][x] = s.Y[j]
+			xsSet[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	var b strings.Builder
+	b.WriteString(f.XLabel)
+	for _, s := range f.Series {
+		b.WriteByte('\t')
+		b.WriteString(s.Label)
+	}
+	b.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%g", x)
+		for i := range f.Series {
+			b.WriteByte('\t')
+			if y, ok := cols[i][x]; ok {
+				fmt.Fprintf(&b, "%.6f", y)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Peak returns the (x, y) of the maximum of the named series.
+func (f Figure) Peak(label string) (x, y float64, err error) {
+	for _, s := range f.Series {
+		if s.Label != label {
+			continue
+		}
+		best := math.Inf(-1)
+		var arg float64
+		for i, v := range s.Y {
+			if v > best {
+				best, arg = v, s.X[i]
+			}
+		}
+		return arg, best, nil
+	}
+	return 0, 0, fmt.Errorf("%w: series %q", ErrUnknownFigure, label)
+}
+
+// engine builds the paper-configuration engine.
+func engine() (*events.Engine, error) { return events.New(PaperN, PaperC) }
+
+// Fig3a regenerates Figure 3(a): H*(S) versus fixed path length l for
+// l = 1..N−1 (the paper plots to 100; simple paths cap at N−1 = 99).
+func Fig3a() (Figure, error) {
+	e, err := engine()
+	if err != nil {
+		return Figure{}, err
+	}
+	s := Series{Label: "F(l)"}
+	for l := 1; l <= PaperN-1; l++ {
+		f, err := dist.NewFixed(l)
+		if err != nil {
+			return Figure{}, err
+		}
+		h, err := e.AnonymityDegree(f)
+		if err != nil {
+			return Figure{}, err
+		}
+		s.X = append(s.X, float64(l))
+		s.Y = append(s.Y, h)
+	}
+	return Figure{
+		Name:   "3a",
+		Title:  "Anonymity degree vs. fixed path length (long path effect)",
+		XLabel: "path length l",
+		Series: []Series{s},
+	}, nil
+}
+
+// Fig3b regenerates Figure 3(b): the short-path zoom, l = 0..4.
+func Fig3b() (Figure, error) {
+	e, err := engine()
+	if err != nil {
+		return Figure{}, err
+	}
+	s := Series{Label: "F(l)"}
+	for l := 0; l <= 4; l++ {
+		f, err := dist.NewFixed(l)
+		if err != nil {
+			return Figure{}, err
+		}
+		h, err := e.AnonymityDegree(f)
+		if err != nil {
+			return Figure{}, err
+		}
+		s.X = append(s.X, float64(l))
+		s.Y = append(s.Y, h)
+	}
+	return Figure{
+		Name:   "3b",
+		Title:  "Anonymity degree vs. short fixed path lengths (short path effect)",
+		XLabel: "path length l",
+		Series: []Series{s},
+	}, nil
+}
+
+// uniformFamily builds one H* vs L curve for U(a, a+L), L = 0..maxL.
+func uniformFamily(e *events.Engine, a, maxL, step int) (Series, error) {
+	s := Series{Label: fmt.Sprintf("U(%d,%d+L)", a, a)}
+	for l := 0; l <= maxL; l += step {
+		b := a + l
+		if b > PaperN-1 {
+			break
+		}
+		u, err := dist.NewUniform(a, b)
+		if err != nil {
+			return Series{}, err
+		}
+		h, err := e.AnonymityDegree(u)
+		if err != nil {
+			return Series{}, err
+		}
+		s.X = append(s.X, float64(l))
+		s.Y = append(s.Y, h)
+	}
+	return s, nil
+}
+
+// fig4 regenerates one panel of Figure 4: anonymity degree versus the
+// spread L of U(a, a+L) for several lower bounds a (same variance axis,
+// different expectations).
+func fig4(name string, lowers []int, maxL int) (Figure, error) {
+	e, err := engine()
+	if err != nil {
+		return Figure{}, err
+	}
+	fig := Figure{
+		Name:   name,
+		Title:  "Anonymity degree vs. expectation of path length (same variance)",
+		XLabel: "L",
+	}
+	for _, a := range lowers {
+		s, err := uniformFamily(e, a, maxL, 2)
+		if err != nil {
+			return Figure{}, err
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig4a regenerates Figure 4(a): small lower bounds a ∈ {4, 6, 10}.
+func Fig4a() (Figure, error) { return fig4("4a", []int{4, 6, 10}, 89) }
+
+// Fig4b regenerates Figure 4(b): intermediate lower bounds a ∈ {25, 40}.
+func Fig4b() (Figure, error) { return fig4("4b", []int{25, 40}, 59) }
+
+// Fig4c regenerates Figure 4(c): large lower bounds a ∈ {51, 60, 70}
+// (the long-path-effect regime where more spread hurts).
+func Fig4c() (Figure, error) { return fig4("4c", []int{51, 60, 70}, 48) }
+
+// Fig4d regenerates Figure 4(d): the short-path-effect regime
+// a ∈ {0, 1, 6}.
+func Fig4d() (Figure, error) { return fig4("4d", []int{0, 1, 6}, 93) }
+
+// fig5 regenerates one panel of Figure 5: fixed F(L) against uniforms
+// U(a, 2L−a) sharing the same mean L (same expectation, varying variance).
+func fig5(name string, lowers []int, maxL int) (Figure, error) {
+	e, err := engine()
+	if err != nil {
+		return Figure{}, err
+	}
+	fig := Figure{
+		Name:   name,
+		Title:  "Anonymity degree vs. variance of path length (same expectation)",
+		XLabel: "L",
+	}
+	fs := Series{Label: "F(L)"}
+	for l := 1; l <= maxL; l++ {
+		f, err := dist.NewFixed(l)
+		if err != nil {
+			return Figure{}, err
+		}
+		h, err := e.AnonymityDegree(f)
+		if err != nil {
+			return Figure{}, err
+		}
+		fs.X = append(fs.X, float64(l))
+		fs.Y = append(fs.Y, h)
+	}
+	fig.Series = append(fig.Series, fs)
+	for _, a := range lowers {
+		s := Series{Label: fmt.Sprintf("U(%d,2L-%d)", a, a)}
+		for l := a; l <= maxL; l++ {
+			b := 2*l - a
+			if b > PaperN-1 {
+				break
+			}
+			u, err := dist.NewUniform(a, b)
+			if err != nil {
+				return Figure{}, err
+			}
+			h, err := e.AnonymityDegree(u)
+			if err != nil {
+				return Figure{}, err
+			}
+			s.X = append(s.X, float64(l))
+			s.Y = append(s.Y, h)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig5a regenerates Figure 5(a): a ∈ {4, 6, 10} (curves overlay F(L) —
+// Theorem 3's mean-only dependence).
+func Fig5a() (Figure, error) { return fig5("5a", []int{4, 6, 10}, 50) }
+
+// Fig5b regenerates Figure 5(b): a ∈ {25, 40}.
+func Fig5b() (Figure, error) { return fig5("5b", []int{25, 40}, 70) }
+
+// Fig5c regenerates Figure 5(c): a ∈ {51, 70}.
+func Fig5c() (Figure, error) { return fig5("5c", []int{51, 70}, 85) }
+
+// Fig5d regenerates Figure 5(d): a ∈ {1, 2, 6} — the regime of
+// inequality (18) where variance helps and variable-length beats fixed.
+func Fig5d() (Figure, error) { return fig5("5d", []int{1, 2, 6}, 50) }
+
+// Fig6 regenerates Figure 6: for each target mean L, the fixed strategy
+// F(L), the uniform U(2, 2L−2), the best mean-constrained uniform
+// (Formula 19), and the general optimal distribution from the simplex
+// solver (Formula 15).
+func Fig6(maxL int) (Figure, error) {
+	e, err := engine()
+	if err != nil {
+		return Figure{}, err
+	}
+	if maxL <= 2 || maxL > (PaperN-1)/2 {
+		return Figure{}, fmt.Errorf("figures: Fig6 maxL %d outside (2, %d]", maxL, (PaperN-1)/2)
+	}
+	fig := Figure{
+		Name:   "6",
+		Title:  "Anonymity degree of the optimal path length distribution",
+		XLabel: "L",
+	}
+	fixed := Series{Label: "F(L)"}
+	u2 := Series{Label: "U(2,2L-2)"}
+	bestU := Series{Label: "BestUniform(L)"}
+	opt := Series{Label: "Optimization"}
+	for l := 2; l <= maxL; l++ {
+		f, err := dist.NewFixed(l)
+		if err != nil {
+			return Figure{}, err
+		}
+		hf, err := e.AnonymityDegree(f)
+		if err != nil {
+			return Figure{}, err
+		}
+		fixed.X = append(fixed.X, float64(l))
+		fixed.Y = append(fixed.Y, hf)
+
+		u, err := dist.NewUniform(2, 2*l-2)
+		if err != nil {
+			return Figure{}, err
+		}
+		hu, err := e.AnonymityDegree(u)
+		if err != nil {
+			return Figure{}, err
+		}
+		u2.X = append(u2.X, float64(l))
+		u2.Y = append(u2.Y, hu)
+
+		_, hb, err := optimize.BestUniform(e, l, 0, PaperN-1)
+		if err != nil {
+			return Figure{}, err
+		}
+		bestU.X = append(bestU.X, float64(l))
+		bestU.Y = append(bestU.Y, hb)
+
+		res, err := optimize.Maximize(optimize.Problem{
+			Engine: e, Lo: 0, Hi: PaperN - 1, Mean: float64(l),
+		}, optimize.WithMaxIterations(200), optimize.WithRestarts(3))
+		if err != nil {
+			return Figure{}, err
+		}
+		opt.X = append(opt.X, float64(l))
+		opt.Y = append(opt.Y, res.H)
+	}
+	fig.Series = []Series{fixed, u2, bestU, opt}
+	return fig, nil
+}
+
+// All regenerates every figure (Fig6 with the standard range).
+func All() ([]Figure, error) {
+	gens := []func() (Figure, error){
+		Fig3a, Fig3b, Fig4a, Fig4b, Fig4c, Fig4d,
+		Fig5a, Fig5b, Fig5c, Fig5d,
+		func() (Figure, error) { return Fig6(25) },
+	}
+	out := make([]Figure, 0, len(gens))
+	for _, g := range gens {
+		f, err := g()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// ByName regenerates one figure by its paper identifier
+// ("3a", "3b", "4a".."4d", "5a".."5d", "6").
+func ByName(name string) (Figure, error) {
+	switch name {
+	case "3a":
+		return Fig3a()
+	case "3b":
+		return Fig3b()
+	case "4a":
+		return Fig4a()
+	case "4b":
+		return Fig4b()
+	case "4c":
+		return Fig4c()
+	case "4d":
+		return Fig4d()
+	case "5a":
+		return Fig5a()
+	case "5b":
+		return Fig5b()
+	case "5c":
+		return Fig5c()
+	case "5d":
+		return Fig5d()
+	case "6":
+		return Fig6(25)
+	case "ablation-c":
+		return AblationCSweep()
+	case "ablation-n":
+		return AblationNSweep()
+	case "ablation-inference":
+		return AblationInference()
+	case "ablation-crowds":
+		return AblationCrowdsPf()
+	default:
+		return Figure{}, fmt.Errorf("%w: %q", ErrUnknownFigure, name)
+	}
+}
+
+// Names lists the available figure identifiers: the paper's figures in
+// paper order, then this repository's ablation extensions.
+func Names() []string {
+	return []string{
+		"3a", "3b", "4a", "4b", "4c", "4d", "5a", "5b", "5c", "5d", "6",
+		"ablation-c", "ablation-n", "ablation-inference", "ablation-crowds",
+	}
+}

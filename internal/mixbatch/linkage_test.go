@@ -1,0 +1,95 @@
+package mixbatch
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestThresholdLinkageEntropy(t *testing.T) {
+	if _, err := ThresholdLinkageEntropy(0); !errors.Is(err, ErrBadParam) {
+		t.Error("batch=0 accepted")
+	}
+	for _, c := range []struct {
+		batch int
+		want  float64
+	}{{1, 0}, {2, 1}, {8, 3}, {64, 6}} {
+		got, err := ThresholdLinkageEntropy(c.batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("batch %d: %v, want %v", c.batch, got, c.want)
+		}
+	}
+}
+
+func TestSimulatePoolLinkageValidation(t *testing.T) {
+	if _, err := SimulatePoolLinkage(4, 1, 0, 10, 1); !errors.Is(err, ErrBadParam) {
+		t.Error("rounds=0 accepted")
+	}
+	if _, err := SimulatePoolLinkage(4, 4, 10, 10, 1); !errors.Is(err, ErrBadParam) {
+		t.Error("pool=threshold accepted")
+	}
+	if _, err := SimulatePoolLinkage(0, 0, 10, 10, 1); !errors.Is(err, ErrBadParam) {
+		t.Error("threshold=0 accepted")
+	}
+}
+
+// TestPoolZeroIsThreshold: without retention every message departs in its
+// arrival round — zero departure-round entropy and delay.
+func TestPoolZeroIsThreshold(t *testing.T) {
+	res, err := SimulatePoolLinkage(5, 0, 50, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DepartureRoundEntropy != 0 {
+		t.Errorf("entropy = %v, want 0", res.DepartureRoundEntropy)
+	}
+	if res.MeanDelayRounds != 0 || res.MaxObservedDelay != 0 {
+		t.Errorf("delay = %v / %d, want 0", res.MeanDelayRounds, res.MaxObservedDelay)
+	}
+}
+
+// TestPoolRetentionAddsUnlinkability: a retained pool spreads departures
+// over rounds, and a deeper pool spreads them further.
+func TestPoolRetentionAddsUnlinkability(t *testing.T) {
+	shallow, err := SimulatePoolLinkage(6, 1, 80, 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := SimulatePoolLinkage(6, 4, 80, 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(shallow.DepartureRoundEntropy > 0) {
+		t.Errorf("shallow pool entropy = %v, want > 0", shallow.DepartureRoundEntropy)
+	}
+	if !(deep.DepartureRoundEntropy > shallow.DepartureRoundEntropy) {
+		t.Errorf("deeper pool should spread more: %v vs %v",
+			deep.DepartureRoundEntropy, shallow.DepartureRoundEntropy)
+	}
+	if !(deep.MeanDelayRounds > shallow.MeanDelayRounds) {
+		t.Errorf("deeper pool should delay more: %v vs %v",
+			deep.MeanDelayRounds, shallow.MeanDelayRounds)
+	}
+	if deep.MaxObservedDelay <= shallow.MaxObservedDelay {
+		t.Errorf("deeper pool max delay %d vs shallow %d",
+			deep.MaxObservedDelay, shallow.MaxObservedDelay)
+	}
+}
+
+// TestPoolLinkageDeterministic: same seed, same result.
+func TestPoolLinkageDeterministic(t *testing.T) {
+	a, err := SimulatePoolLinkage(5, 2, 40, 10, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulatePoolLinkage(5, 2, 40, 10, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("non-deterministic: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,155 @@
+// Package mixbatch implements the store-and-forward batching behavior of a
+// Chaum mix as described in §2 of Guan et al.: a mix "accepts a number of
+// fixed-length messages from different sources, discards repeats, performs
+// a cryptographic transformation, and outputs the messages in an order not
+// predictable from the order of inputs".
+//
+// Two flushing disciplines are provided: the threshold mix (flush all when
+// B messages have accumulated) and the pool mix (flush all but a retained
+// random pool). Both shuffle uniformly with a seeded generator.
+package mixbatch
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"anonmix/internal/stats"
+	"anonmix/internal/trace"
+)
+
+// Errors returned by mixes.
+var (
+	// ErrBadParam reports an invalid mix parameter.
+	ErrBadParam = errors.New("mixbatch: invalid parameter")
+	// ErrDuplicate reports a replayed message, which a Chaum mix discards
+	// to defeat replay attacks.
+	ErrDuplicate = errors.New("mixbatch: duplicate message discarded")
+)
+
+// Item is one message held by a mix.
+type Item struct {
+	// Msg identifies the message (used for duplicate discard).
+	Msg trace.MessageID
+	// Next is the onward destination once flushed.
+	Next trace.NodeID
+	// Payload is the (fixed-length, already re-encrypted) body.
+	Payload []byte
+}
+
+// Threshold is a threshold mix: it buffers items and flushes the whole
+// batch, uniformly shuffled, as soon as the threshold is reached.
+// Not safe for concurrent use; wrap with a mutex or confine to one
+// goroutine (the testbed confines each node to its own goroutine).
+type Threshold struct {
+	threshold int
+	rng       *rand.Rand
+	buf       []Item
+	seen      map[trace.MessageID]bool
+}
+
+// NewThreshold returns a threshold mix flushing every b ≥ 1 messages.
+func NewThreshold(b int, seed int64) (*Threshold, error) {
+	if b < 1 {
+		return nil, fmt.Errorf("%w: threshold %d", ErrBadParam, b)
+	}
+	return &Threshold{
+		threshold: b,
+		rng:       stats.NewRand(seed),
+		seen:      make(map[trace.MessageID]bool),
+	}, nil
+}
+
+// Add accepts a message. When the threshold is reached it returns the
+// shuffled batch (and retains nothing); otherwise it returns nil.
+// Replayed message IDs are rejected with ErrDuplicate.
+func (m *Threshold) Add(it Item) ([]Item, error) {
+	if m.seen[it.Msg] {
+		return nil, fmt.Errorf("%w: %d", ErrDuplicate, it.Msg)
+	}
+	m.seen[it.Msg] = true
+	m.buf = append(m.buf, it)
+	if len(m.buf) < m.threshold {
+		return nil, nil
+	}
+	return m.flush(len(m.buf)), nil
+}
+
+// Pending returns the number of buffered messages.
+func (m *Threshold) Pending() int { return len(m.buf) }
+
+// Flush forces out everything currently buffered, shuffled.
+func (m *Threshold) Flush() []Item {
+	return m.flush(len(m.buf))
+}
+
+// flush removes and returns n items, uniformly shuffled.
+func (m *Threshold) flush(n int) []Item {
+	if n == 0 {
+		return nil
+	}
+	m.rng.Shuffle(len(m.buf), func(i, j int) {
+		m.buf[i], m.buf[j] = m.buf[j], m.buf[i]
+	})
+	out := append([]Item(nil), m.buf[:n]...)
+	m.buf = m.buf[:copy(m.buf, m.buf[n:])]
+	return out
+}
+
+// Pool is a pool mix: on every flush trigger it keeps a uniformly random
+// retained pool of the configured size and emits the rest, shuffled.
+// Retention decorrelates arrival and departure batches across rounds.
+type Pool struct {
+	threshold int
+	pool      int
+	rng       *rand.Rand
+	buf       []Item
+	seen      map[trace.MessageID]bool
+}
+
+// NewPool returns a pool mix that triggers when threshold messages are
+// buffered and always retains pool of them (pool < threshold).
+func NewPool(threshold, pool int, seed int64) (*Pool, error) {
+	if threshold < 1 || pool < 0 || pool >= threshold {
+		return nil, fmt.Errorf("%w: threshold %d, pool %d", ErrBadParam, threshold, pool)
+	}
+	return &Pool{
+		threshold: threshold,
+		pool:      pool,
+		rng:       stats.NewRand(seed),
+		seen:      make(map[trace.MessageID]bool),
+	}, nil
+}
+
+// Add accepts a message; when the buffer reaches the threshold it emits
+// the batch minus a random retained pool.
+func (m *Pool) Add(it Item) ([]Item, error) {
+	if m.seen[it.Msg] {
+		return nil, fmt.Errorf("%w: %d", ErrDuplicate, it.Msg)
+	}
+	m.seen[it.Msg] = true
+	m.buf = append(m.buf, it)
+	if len(m.buf) < m.threshold {
+		return nil, nil
+	}
+	// Shuffle, keep the first `pool` items, emit the rest.
+	m.rng.Shuffle(len(m.buf), func(i, j int) {
+		m.buf[i], m.buf[j] = m.buf[j], m.buf[i]
+	})
+	out := append([]Item(nil), m.buf[m.pool:]...)
+	m.buf = m.buf[:m.pool]
+	return out, nil
+}
+
+// Pending returns the number of buffered messages (including the pool).
+func (m *Pool) Pending() int { return len(m.buf) }
+
+// Drain empties the mix completely (end of session), shuffled.
+func (m *Pool) Drain() []Item {
+	m.rng.Shuffle(len(m.buf), func(i, j int) {
+		m.buf[i], m.buf[j] = m.buf[j], m.buf[i]
+	})
+	out := append([]Item(nil), m.buf...)
+	m.buf = m.buf[:0]
+	return out
+}

@@ -1,0 +1,217 @@
+package mixbatch
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"anonmix/internal/trace"
+)
+
+func item(id int) Item {
+	return Item{Msg: trace.MessageID(id), Next: trace.NodeID(id % 5)}
+}
+
+func TestThresholdValidation(t *testing.T) {
+	if _, err := NewThreshold(0, 1); !errors.Is(err, ErrBadParam) {
+		t.Errorf("b=0 err = %v", err)
+	}
+}
+
+func TestThresholdFlushSemantics(t *testing.T) {
+	m, err := NewThreshold(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		out, err := m.Add(item(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != nil {
+			t.Fatalf("flushed early at %d", i)
+		}
+	}
+	if m.Pending() != 2 {
+		t.Errorf("pending = %d", m.Pending())
+	}
+	out, err := m.Add(item(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("batch size = %d", len(out))
+	}
+	if m.Pending() != 0 {
+		t.Errorf("pending after flush = %d", m.Pending())
+	}
+	// All three messages present exactly once.
+	seen := map[trace.MessageID]bool{}
+	for _, it := range out {
+		if seen[it.Msg] {
+			t.Errorf("duplicate %d in batch", it.Msg)
+		}
+		seen[it.Msg] = true
+	}
+	for i := 1; i <= 3; i++ {
+		if !seen[trace.MessageID(i)] {
+			t.Errorf("message %d missing from batch", i)
+		}
+	}
+}
+
+func TestThresholdDuplicateDiscard(t *testing.T) {
+	m, err := NewThreshold(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Add(item(7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Add(item(7)); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("replay err = %v", err)
+	}
+	if m.Pending() != 1 {
+		t.Errorf("pending = %d after replay", m.Pending())
+	}
+	// Replay detection persists across flushes (Chaum: discard repeats).
+	m2, err := NewThreshold(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Add(item(9)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Add(item(9)); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("post-flush replay err = %v", err)
+	}
+}
+
+func TestThresholdForceFlush(t *testing.T) {
+	m, err := NewThreshold(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := m.Add(item(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := m.Flush()
+	if len(out) != 4 || m.Pending() != 0 {
+		t.Errorf("force flush: %d items, %d pending", len(out), m.Pending())
+	}
+	if m.Flush() != nil {
+		t.Error("flush of empty mix should be nil")
+	}
+}
+
+// TestThresholdShuffleUniform: over many batches, each message should land
+// in each output slot with roughly equal frequency (the mix's whole point:
+// output order unpredictable from input order).
+func TestThresholdShuffleUniform(t *testing.T) {
+	const batch = 4
+	const rounds = 20000
+	counts := [batch][batch]int{} // counts[inputPos][outputPos]
+	m, err := NewThreshold(batch, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := 0
+	for r := 0; r < rounds; r++ {
+		var out []Item
+		base := next
+		for i := 0; i < batch; i++ {
+			var err error
+			out, err = m.Add(item(next))
+			if err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+		for pos, it := range out {
+			counts[int(it.Msg)-base][pos]++
+		}
+	}
+	want := float64(rounds) / batch
+	for in := 0; in < batch; in++ {
+		for outPos := 0; outPos < batch; outPos++ {
+			got := float64(counts[in][outPos])
+			if math.Abs(got-want) > 6*math.Sqrt(want) {
+				t.Errorf("input %d → slot %d: %v times, want ≈%v", in, outPos, got, want)
+			}
+		}
+	}
+}
+
+func TestPoolValidation(t *testing.T) {
+	for _, c := range []struct{ th, pool int }{{0, 0}, {3, 3}, {3, 4}, {2, -1}} {
+		if _, err := NewPool(c.th, c.pool, 1); !errors.Is(err, ErrBadParam) {
+			t.Errorf("threshold=%d pool=%d err = %v", c.th, c.pool, err)
+		}
+	}
+}
+
+func TestPoolRetains(t *testing.T) {
+	m, err := NewPool(4, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Item
+	for i := 0; i < 4; i++ {
+		out, err = m.Add(item(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(out) != 3 {
+		t.Fatalf("pool mix emitted %d, want 3", len(out))
+	}
+	if m.Pending() != 1 {
+		t.Errorf("pool retains %d, want 1", m.Pending())
+	}
+	if _, err := m.Add(item(1)); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("pool replay err = %v", err)
+	}
+	drained := m.Drain()
+	if len(drained) != 1 || m.Pending() != 0 {
+		t.Errorf("drain: %d items, %d pending", len(drained), m.Pending())
+	}
+}
+
+// TestPoolEventuallyEmitsEverything: with retention, a message may linger,
+// but over many rounds every message must eventually leave.
+func TestPoolEventuallyEmitsEverything(t *testing.T) {
+	m, err := NewPool(3, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitted := map[trace.MessageID]bool{}
+	id := 0
+	for r := 0; r < 300; r++ {
+		for {
+			out, err := m.Add(item(id))
+			id++
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out != nil {
+				for _, it := range out {
+					if emitted[it.Msg] {
+						t.Fatalf("message %d emitted twice", it.Msg)
+					}
+					emitted[it.Msg] = true
+				}
+				break
+			}
+		}
+	}
+	for _, it := range m.Drain() {
+		emitted[it.Msg] = true
+	}
+	for i := 0; i < id; i++ {
+		if !emitted[trace.MessageID(i)] {
+			t.Errorf("message %d never emitted", i)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package onion_test
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"testing"
+
+	"anonmix/internal/onion"
+	"anonmix/internal/trace"
+)
+
+func TestBuildPaddedRoundTrip(t *testing.T) {
+	kr := ring(t, 8)
+	const cell = 256
+	payloads := [][]byte{
+		nil,
+		[]byte("x"),
+		[]byte("a moderately sized message body"),
+		bytes.Repeat([]byte{0xAB}, cell), // exactly cell bytes
+	}
+	route := []trace.NodeID{1, 4, 6}
+	for _, payload := range payloads {
+		blob, err := onion.BuildPadded(kr, route, payload, cell, rand.Reader)
+		if err != nil {
+			t.Fatalf("payload %d bytes: %v", len(payload), err)
+		}
+		if want := onion.PaddedSize(len(route), cell); len(blob) != want {
+			t.Errorf("payload %d bytes: onion size %d, want %d", len(payload), len(blob), want)
+		}
+		for i, hop := range route {
+			next, inner, err := onion.Peel(kr, hop, blob)
+			if err != nil {
+				t.Fatalf("hop %d: %v", i, err)
+			}
+			wantNext := trace.Receiver
+			if i+1 < len(route) {
+				wantNext = route[i+1]
+			}
+			if next != wantNext {
+				t.Fatalf("hop %d: next %v, want %v", i, next, wantNext)
+			}
+			blob = inner
+		}
+		if !bytes.Equal(blob, payload) && !(len(blob) == 0 && len(payload) == 0) {
+			t.Errorf("payload %d bytes corrupted: got %d bytes back", len(payload), len(blob))
+		}
+	}
+}
+
+// TestBuildPaddedUniformSize: onions over equal-length routes are
+// byte-identical in size regardless of payload length.
+func TestBuildPaddedUniformSize(t *testing.T) {
+	kr := ring(t, 8)
+	const cell = 512
+	route := []trace.NodeID{2, 5}
+	small, err := onion.BuildPadded(kr, route, []byte("s"), cell, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := onion.BuildPadded(kr, route, bytes.Repeat([]byte{1}, 400), cell, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small) != len(big) {
+		t.Errorf("size leak: %d vs %d bytes", len(small), len(big))
+	}
+}
+
+func TestBuildPaddedValidation(t *testing.T) {
+	kr := ring(t, 4)
+	if _, err := onion.BuildPadded(kr, []trace.NodeID{1}, bytes.Repeat([]byte{1}, 10), 5, rand.Reader); !errors.Is(err, onion.ErrBadRoute) {
+		t.Error("oversized payload accepted")
+	}
+	// Direct padded send requires payload == cell (no layer to carry the
+	// true length).
+	if _, err := onion.BuildPadded(kr, nil, []byte("short"), 64, rand.Reader); !errors.Is(err, onion.ErrBadRoute) {
+		t.Error("short direct padded send accepted")
+	}
+	full := bytes.Repeat([]byte{7}, 64)
+	blob, err := onion.BuildPadded(kr, nil, full, 64, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, full) {
+		t.Error("direct padded send should pass through")
+	}
+}
+
+func TestPaddedSize(t *testing.T) {
+	// Each layer adds IV (16) + HMAC (32) + header (8) = 56 bytes.
+	if got := onion.PaddedSize(0, 100); got != 100 {
+		t.Errorf("0 hops: %d", got)
+	}
+	if got := onion.PaddedSize(3, 100); got != 100+3*56 {
+		t.Errorf("3 hops: %d, want %d", got, 100+3*56)
+	}
+}
+
+// FuzzBuildPeel exercises the codec with arbitrary payloads and route
+// shapes.
+func FuzzBuildPeel(f *testing.F) {
+	f.Add([]byte("seed"), uint8(3))
+	f.Add([]byte{}, uint8(0))
+	f.Add(bytes.Repeat([]byte{0xFF}, 1024), uint8(7))
+	kr, err := onion.NewKeyRing([]byte("fuzz ring"), 8)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, payload []byte, routeLen uint8) {
+		l := int(routeLen) % 8
+		route := make([]trace.NodeID, l)
+		for i := range route {
+			route[i] = trace.NodeID((i * 3) % 8)
+		}
+		blob, err := onion.Build(kr, route, payload, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, hop := range route {
+			next, inner, err := onion.Peel(kr, hop, blob)
+			if err != nil {
+				t.Fatalf("hop %d: %v", i, err)
+			}
+			if i == len(route)-1 {
+				if next != trace.Receiver {
+					t.Fatalf("exit next = %v", next)
+				}
+			} else if next != route[i+1] {
+				t.Fatalf("hop %d: next %v, want %v", i, next, route[i+1])
+			}
+			blob = inner
+		}
+		if !bytes.Equal(blob, payload) && !(len(blob) == 0 && len(payload) == 0) {
+			t.Fatalf("payload mismatch: %d vs %d bytes", len(blob), len(payload))
+		}
+	})
+}

@@ -1,0 +1,596 @@
+// Package optimize solves the path-length-distribution design problem of
+// Guan et al. (ICDCS 2002) §5.4: choose the probability mass function of the
+// rerouting path length to maximize the anonymity degree H*(S), subject to
+// the simplex constraints of Formulas (16)–(17) and, optionally, a target
+// expected path length (the per-mean optimization of §6.4 / Figure 6).
+//
+// Three solvers are provided:
+//
+//   - Maximize: projected gradient ascent over the full simplex (with an
+//     optional mean-equality constraint), multi-restart, the general solver
+//     for Formula (15).
+//   - BestUniform: exhaustive search within the uniform family U(a, 2m−a)
+//     at a fixed mean m — the parametric optimization of §6.4, Formula (19).
+//   - BestTwoPoint: exhaustive search over two-atom distributions at a fixed
+//     mean, used to cross-check the general solver (extreme points of the
+//     mean-constrained simplex have two-atom support).
+package optimize
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"anonmix/internal/dist"
+	"anonmix/internal/events"
+)
+
+// Errors returned by the solvers.
+var (
+	// ErrBadProblem reports an inconsistent problem definition.
+	ErrBadProblem = errors.New("optimize: invalid problem")
+	// ErrInfeasible reports constraints that no distribution satisfies.
+	ErrInfeasible = errors.New("optimize: constraints are infeasible")
+)
+
+// Problem describes a path-length-distribution design problem.
+type Problem struct {
+	// Engine computes the objective H*(S).
+	Engine *events.Engine
+	// Lo and Hi bound the support of the designed distribution
+	// (0 ≤ Lo ≤ Hi ≤ N−1).
+	Lo, Hi int
+	// Mean, when not NaN, constrains the expected path length to this
+	// value (the §6.4 per-mean problem). NaN leaves the mean free.
+	Mean float64
+}
+
+// UnconstrainedMean is the Mean value that leaves the expectation free.
+func UnconstrainedMean() float64 { return math.NaN() }
+
+// meanConstrained reports whether the problem pins the expectation.
+func (p Problem) meanConstrained() bool { return !math.IsNaN(p.Mean) }
+
+func (p Problem) validate() error {
+	if p.Engine == nil {
+		return fmt.Errorf("%w: nil engine", ErrBadProblem)
+	}
+	if p.Lo < 0 || p.Hi < p.Lo || p.Hi > p.Engine.N()-1 {
+		return fmt.Errorf("%w: support [%d,%d] with N=%d", ErrBadProblem, p.Lo, p.Hi, p.Engine.N())
+	}
+	if p.meanConstrained() && (p.Mean < float64(p.Lo) || p.Mean > float64(p.Hi)) {
+		return fmt.Errorf("%w: mean %v outside support [%d,%d]", ErrInfeasible, p.Mean, p.Lo, p.Hi)
+	}
+	return nil
+}
+
+// Result is the outcome of a Maximize run.
+type Result struct {
+	// Dist is the optimized mass function.
+	Dist dist.PMF
+	// H is the anonymity degree achieved by Dist.
+	H float64
+	// Iterations counts gradient steps summed over restarts.
+	Iterations int
+	// Converged reports whether the best restart terminated by the
+	// improvement tolerance rather than the iteration cap.
+	Converged bool
+}
+
+// config holds solver tuning knobs.
+type config struct {
+	maxIters  int
+	restarts  int
+	tol       float64
+	initialLR float64
+}
+
+// Option tunes the Maximize solver.
+type Option func(*config)
+
+// WithMaxIterations caps gradient steps per restart (default 400).
+func WithMaxIterations(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.maxIters = n
+		}
+	}
+}
+
+// WithRestarts sets the number of distinct starting points (default 4).
+func WithRestarts(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.restarts = n
+		}
+	}
+}
+
+// WithTolerance sets the objective-improvement stopping tolerance
+// (default 1e-12 bits).
+func WithTolerance(tol float64) Option {
+	return func(c *config) {
+		if tol > 0 {
+			c.tol = tol
+		}
+	}
+}
+
+// Maximize solves Formula (15): it returns a distribution on [Lo, Hi]
+// (optionally with the given mean) that maximizes the anonymity degree.
+// The solver is projected gradient ascent with backtracking line search and
+// multiple deterministic restarts; the returned Result.H is the best value
+// found. The objective is smooth but not concave in general, so the result
+// is a high-quality local optimum; tests cross-check it against exhaustive
+// parametric searches.
+func Maximize(p Problem, opts ...Option) (Result, error) {
+	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+	cfg := config{maxIters: 400, restarts: 4, tol: 1e-12, initialLR: 0.5}
+	for _, o := range opts {
+		o(&cfg)
+	}
+
+	ev, err := newEvaluator(p)
+	if err != nil {
+		return Result{}, err
+	}
+	n := p.Hi - p.Lo + 1
+	starts := p.startingPoints(cfg.restarts)
+
+	best := Result{H: math.Inf(-1)}
+	for _, start := range starts {
+		res := p.ascend(ev, start, cfg)
+		if res.H > best.H {
+			conv := res.Converged
+			iters := best.Iterations + res.Iterations
+			best = res
+			best.Converged = conv
+			best.Iterations = iters
+		} else {
+			best.Iterations += res.Iterations
+		}
+	}
+	if math.IsInf(best.H, -1) {
+		return Result{}, fmt.Errorf("%w: no feasible start found", ErrInfeasible)
+	}
+	// Trim floating dust so the result passes strict validation downstream.
+	mass := make([]float64, n)
+	copy(mass, best.Dist.Mass)
+	cleanNormalize(mass)
+	pd, err := dist.NewPMF(p.Lo, mass)
+	if err != nil {
+		return Result{}, fmt.Errorf("optimize: result failed validation: %w", err)
+	}
+	best.Dist = pd
+	return best, nil
+}
+
+// startingPoints returns deterministic feasible starts: uniform over the
+// support, concentrated near the mean, and spread two-point-like shapes.
+func (p Problem) startingPoints(k int) [][]float64 {
+	n := p.Hi - p.Lo + 1
+	mk := func(fill func(v []float64)) []float64 {
+		v := make([]float64, n)
+		fill(v)
+		p.project(v)
+		return v
+	}
+	starts := [][]float64{
+		mk(func(v []float64) {
+			for i := range v {
+				v[i] = 1 / float64(n)
+			}
+		}),
+	}
+	if p.meanConstrained() {
+		starts = append(starts,
+			mk(func(v []float64) { // point mass near the mean
+				i := int(math.Round(p.Mean)) - p.Lo
+				if i < 0 {
+					i = 0
+				}
+				if i >= n {
+					i = n - 1
+				}
+				v[i] = 1
+			}),
+			mk(func(v []float64) { // mass at the extremes
+				v[0] = 0.5
+				v[n-1] = 0.5
+			}),
+			mk(func(v []float64) { // geometric-ish decay
+				for i := range v {
+					v[i] = math.Pow(0.8, float64(i))
+				}
+			}),
+		)
+	} else {
+		starts = append(starts,
+			mk(func(v []float64) { v[n-1] = 1 }),
+			mk(func(v []float64) { v[n/2] = 1 }),
+			mk(func(v []float64) {
+				for i := range v {
+					v[i] = float64(i + 1)
+				}
+			}),
+		)
+	}
+	if len(starts) > k {
+		starts = starts[:k]
+	}
+	return starts
+}
+
+// ascend runs projected gradient ascent from one start.
+func (p Problem) ascend(ev *evaluator, start []float64, cfg config) Result {
+	n := len(start)
+	cur := make([]float64, n)
+	copy(cur, start)
+	grad := make([]float64, n)
+	curH := ev.valueGrad(cur, grad)
+
+	cand := make([]float64, n)
+	var iters int
+	converged := false
+	lr := cfg.initialLR
+	for iters = 0; iters < cfg.maxIters; iters++ {
+		improved := false
+		for ; lr > 1e-14; lr /= 2 {
+			for i := range cand {
+				cand[i] = cur[i] + lr*grad[i]
+			}
+			p.project(cand)
+			if h := ev.value(cand); h > curH+cfg.tol {
+				copy(cur, cand)
+				curH = ev.valueGrad(cur, grad)
+				improved = true
+				lr *= 4 // allow the step to grow back
+				if lr > 8 {
+					lr = 8
+				}
+				break
+			}
+		}
+		if !improved {
+			converged = true
+			break
+		}
+	}
+	res := Result{H: curH, Iterations: iters, Converged: converged}
+	res.Dist = dist.PMF{Lo: p.Lo, Mass: append([]float64(nil), cur...)}
+	return res
+}
+
+// evaluator computes the objective and its exact gradient from the engine's
+// per-class weight vectors: H*(p) = frac · Σ_σ P_σ(p)·f(α_σ) with
+// P_σ, P0_σ linear in p and α_σ = P0_σ/P_σ, so
+//
+//	∂H*/∂p_l = frac · Σ_σ [ f(α_σ)·W_σ(l) + f'(α_σ)·(W0_σ(l) − α_σ·W_σ(l)) ].
+type evaluator struct {
+	weights []events.ClassWeights
+	frac    float64 // (N−C)/N, the uncompromised-sender branch weight
+}
+
+func newEvaluator(p Problem) (*evaluator, error) {
+	w, err := p.Engine.Weights(p.Lo, p.Hi)
+	if err != nil {
+		return nil, err
+	}
+	n := p.Engine.N()
+	return &evaluator{weights: w, frac: float64(n-p.Engine.C()) / float64(n)}, nil
+}
+
+// clampAlpha keeps posterior spikes strictly inside (0,1) so the entropy
+// derivative stays finite.
+func clampAlpha(a float64) float64 {
+	const eps = 1e-12
+	if a < eps {
+		return eps
+	}
+	if a > 1-eps {
+		return 1 - eps
+	}
+	return a
+}
+
+// fAndDeriv returns the per-class entropy f(α) and its derivative f'(α).
+func fAndDeriv(cw events.ClassWeights, alpha float64) (f, fp float64) {
+	switch {
+	case cw.UniformOverAll:
+		return math.Log2(float64(cw.Rest)), 0
+	case cw.Rest <= 0:
+		return 0, 0
+	case cw.FullPosition:
+		lg := math.Log2(float64(cw.Rest))
+		return (1 - alpha) * lg, -lg
+	default:
+		a := clampAlpha(alpha)
+		q := 1 - a
+		f = -a*math.Log2(a) - q*math.Log2(q/float64(cw.Rest))
+		fp = math.Log2(q / (float64(cw.Rest) * a))
+		return f, fp
+	}
+}
+
+// value returns H*(p) for a feasible mass vector.
+func (ev *evaluator) value(mass []float64) float64 {
+	var h float64
+	for _, cw := range ev.weights {
+		var sp, sp0 float64
+		for i, w := range cw.W {
+			if m := mass[i]; m != 0 {
+				sp += w * m
+				sp0 += cw.W0[i] * m
+			}
+		}
+		if sp <= 0 {
+			continue
+		}
+		f, _ := fAndDeriv(cw, sp0/sp)
+		h += sp * f
+	}
+	return ev.frac * h
+}
+
+// valueGrad returns H*(p) and fills grad with its exact gradient.
+func (ev *evaluator) valueGrad(mass, grad []float64) float64 {
+	for i := range grad {
+		grad[i] = 0
+	}
+	var h float64
+	for _, cw := range ev.weights {
+		var sp, sp0 float64
+		for i, w := range cw.W {
+			if m := mass[i]; m != 0 {
+				sp += w * m
+				sp0 += cw.W0[i] * m
+			}
+		}
+		if sp <= 0 {
+			// Directional derivative into an unreached class: each unit of
+			// mass at l contributes W(l)·f(W0(l)/W(l)).
+			for i, w := range cw.W {
+				if w > 0 {
+					f, _ := fAndDeriv(cw, cw.W0[i]/w)
+					grad[i] += ev.frac * w * f
+				}
+			}
+			continue
+		}
+		alpha := sp0 / sp
+		f, fp := fAndDeriv(cw, alpha)
+		h += sp * f
+		for i, w := range cw.W {
+			grad[i] += ev.frac * (f*w + fp*(cw.W0[i]-alpha*w))
+		}
+	}
+	return ev.frac * h
+}
+
+// project performs the Euclidean projection of v onto the feasible set
+// {p ≥ 0, Σp = 1} intersected with the mean hyperplane when constrained.
+// The KKT form is p_i = max(0, v_i − λ − μ·l_i); λ is found by bisection
+// for each μ, and μ by an outer bisection on the mean residual.
+func (p Problem) project(v []float64) {
+	if !p.meanConstrained() {
+		projectSimplex(v)
+		return
+	}
+	n := len(v)
+	lengths := make([]float64, n)
+	for i := range lengths {
+		lengths[i] = float64(p.Lo + i)
+	}
+	// For fixed μ, the λ sub-problem is exactly the simplex projection of
+	// v − μ·lengths; the mean of that projection is nonincreasing in μ, so
+	// one bisection on μ solves the full KKT system.
+	work := make([]float64, n)
+	eval := func(mu float64) float64 {
+		for i := range work {
+			work[i] = v[i] - mu*lengths[i]
+		}
+		projectSimplex(work)
+		var mean float64
+		for i := range work {
+			mean += work[i] * lengths[i]
+		}
+		return mean
+	}
+	muLo, muHi := -1e5, 1e5
+	for iter := 0; iter < 90; iter++ {
+		mu := (muLo + muHi) / 2
+		if eval(mu) > p.Mean {
+			muLo = mu
+		} else {
+			muHi = mu
+		}
+	}
+	eval((muLo + muHi) / 2)
+	copy(v, work)
+	cleanNormalize(v)
+	nudgeMean(v, lengths, p.Mean)
+}
+
+// projectSimplex is the standard O(n log n) Euclidean projection onto the
+// probability simplex (Held, Wolfe, Crowder 1974).
+func projectSimplex(v []float64) {
+	n := len(v)
+	sorted := append([]float64(nil), v...)
+	// Insertion sort descending (n is small).
+	for i := 1; i < n; i++ {
+		x := sorted[i]
+		j := i - 1
+		for j >= 0 && sorted[j] < x {
+			sorted[j+1] = sorted[j]
+			j--
+		}
+		sorted[j+1] = x
+	}
+	var cum, theta float64
+	for i := 0; i < n; i++ {
+		cum += sorted[i]
+		t := (cum - 1) / float64(i+1)
+		if i == n-1 || sorted[i+1] <= t {
+			theta = t
+			// Only valid at the first index where the condition holds.
+			if i == n-1 || sorted[i]-t >= 0 {
+				break
+			}
+		}
+	}
+	for i := range v {
+		v[i] -= theta
+		if v[i] < 0 {
+			v[i] = 0
+		}
+	}
+	cleanNormalize(v)
+}
+
+// cleanNormalize clamps negatives/dust to zero and rescales to sum 1.
+func cleanNormalize(v []float64) {
+	var sum float64
+	for i := range v {
+		if v[i] < 1e-15 || math.IsNaN(v[i]) {
+			v[i] = 0
+		}
+		sum += v[i]
+	}
+	if sum <= 0 {
+		// Degenerate input: fall back to uniform.
+		for i := range v {
+			v[i] = 1 / float64(len(v))
+		}
+		return
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+}
+
+// nudgeMean applies a final first-order correction so the projected vector
+// meets the mean constraint to high precision despite bisection residue.
+// It shifts mass between the two support atoms bracketing the residual.
+func nudgeMean(v, lengths []float64, target float64) {
+	var mean float64
+	for i := range v {
+		mean += v[i] * lengths[i]
+	}
+	resid := target - mean
+	if math.Abs(resid) < 1e-12 {
+		return
+	}
+	// Move mass between the extreme atoms with nonzero headroom.
+	lo, hi := -1, -1
+	for i := range v {
+		if v[i] > 1e-9 {
+			if lo == -1 {
+				lo = i
+			}
+			hi = i
+		}
+	}
+	if lo == -1 || lo == hi {
+		return
+	}
+	span := lengths[hi] - lengths[lo]
+	if span == 0 {
+		return
+	}
+	delta := resid / span
+	if delta > v[lo] {
+		delta = v[lo]
+	}
+	if -delta > v[hi] {
+		delta = -v[hi]
+	}
+	v[lo] -= delta
+	v[hi] += delta
+}
+
+// BestUniform performs the §6.4 parametric optimization (Formula 19): among
+// uniform distributions U(a, 2·mean−a) with the given integer mean and
+// support within [lo, hi], it returns the one maximizing H*(S).
+func BestUniform(e *events.Engine, mean, lo, hi int) (dist.Uniform, float64, error) {
+	if e == nil {
+		return dist.Uniform{}, 0, fmt.Errorf("%w: nil engine", ErrBadProblem)
+	}
+	if lo < 0 || hi > e.N()-1 || mean < lo || mean > hi {
+		return dist.Uniform{}, 0, fmt.Errorf("%w: mean %d, support [%d,%d], N=%d",
+			ErrBadProblem, mean, lo, hi, e.N())
+	}
+	bestH := math.Inf(-1)
+	var bestU dist.Uniform
+	for a := lo; a <= mean; a++ {
+		b := 2*mean - a
+		if b > hi {
+			continue
+		}
+		u, err := dist.NewUniform(a, b)
+		if err != nil {
+			return dist.Uniform{}, 0, err
+		}
+		h, err := e.AnonymityDegree(u)
+		if err != nil {
+			return dist.Uniform{}, 0, err
+		}
+		if h > bestH {
+			bestH, bestU = h, u
+		}
+	}
+	if math.IsInf(bestH, -1) {
+		return dist.Uniform{}, 0, fmt.Errorf("%w: no uniform with mean %d fits in [%d,%d]",
+			ErrInfeasible, mean, lo, hi)
+	}
+	return bestU, bestH, nil
+}
+
+// BestTwoPoint searches all two-atom distributions {l1: p, l2: 1−p} with
+// the given mean and support within [lo, hi], returning the maximizer. The
+// extreme points of the mean-constrained simplex are two-atom
+// distributions, so this provides a strong independent check on Maximize.
+func BestTwoPoint(e *events.Engine, mean float64, lo, hi int) (dist.TwoPoint, float64, error) {
+	if e == nil {
+		return dist.TwoPoint{}, 0, fmt.Errorf("%w: nil engine", ErrBadProblem)
+	}
+	if lo < 0 || hi > e.N()-1 || mean < float64(lo) || mean > float64(hi) {
+		return dist.TwoPoint{}, 0, fmt.Errorf("%w: mean %v, support [%d,%d], N=%d",
+			ErrBadProblem, mean, lo, hi, e.N())
+	}
+	bestH := math.Inf(-1)
+	var bestT dist.TwoPoint
+	for l1 := lo; float64(l1) <= mean; l1++ {
+		for l2 := int(math.Ceil(mean)); l2 <= hi; l2++ {
+			var p1 float64
+			if l1 == l2 {
+				if float64(l1) != mean {
+					continue
+				}
+				p1 = 1
+			} else {
+				p1 = (float64(l2) - mean) / float64(l2-l1)
+			}
+			if p1 < 0 || p1 > 1 {
+				continue
+			}
+			tp, err := dist.NewTwoPoint(l1, l2, p1)
+			if err != nil {
+				return dist.TwoPoint{}, 0, err
+			}
+			h, err := e.AnonymityDegree(tp)
+			if err != nil {
+				return dist.TwoPoint{}, 0, err
+			}
+			if h > bestH {
+				bestH, bestT = h, tp
+			}
+		}
+	}
+	if math.IsInf(bestH, -1) {
+		return dist.TwoPoint{}, 0, fmt.Errorf("%w: no two-point with mean %v in [%d,%d]",
+			ErrInfeasible, mean, lo, hi)
+	}
+	return bestT, bestH, nil
+}

@@ -1,0 +1,332 @@
+package optimize
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"anonmix/internal/dist"
+	"anonmix/internal/events"
+)
+
+func engine(t *testing.T, n, c int) *events.Engine {
+	t.Helper()
+	e, err := events.New(n, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestProblemValidation(t *testing.T) {
+	e := engine(t, 50, 1)
+	cases := []struct {
+		name string
+		p    Problem
+		want error
+	}{
+		{"nil engine", Problem{Lo: 0, Hi: 10, Mean: UnconstrainedMean()}, ErrBadProblem},
+		{"bad support", Problem{Engine: e, Lo: 5, Hi: 3, Mean: UnconstrainedMean()}, ErrBadProblem},
+		{"support past N-1", Problem{Engine: e, Lo: 0, Hi: 50, Mean: UnconstrainedMean()}, ErrBadProblem},
+		{"mean outside", Problem{Engine: e, Lo: 2, Hi: 10, Mean: 20}, ErrInfeasible},
+	}
+	for _, c := range cases {
+		if _, err := Maximize(c.p); !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+// TestMaximizeBeatsParametricFamilies: the general solver must do at least
+// as well as every member of the parametric families at the same mean.
+func TestMaximizeBeatsParametricFamilies(t *testing.T) {
+	e := engine(t, 60, 1)
+	for _, mean := range []int{5, 12, 25} {
+		res, err := Maximize(Problem{Engine: e, Lo: 0, Hi: 59, Mean: float64(mean)},
+			WithMaxIterations(250))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m := res.Dist.Mean(); math.Abs(m-float64(mean)) > 1e-6 {
+			t.Errorf("mean %d: optimized distribution has mean %v", mean, m)
+		}
+		_, hu, err := BestUniform(e, mean, 0, 59)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.H < hu-1e-9 {
+			t.Errorf("mean %d: Maximize %v below best uniform %v", mean, res.H, hu)
+		}
+		f, err := dist.NewFixed(mean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hf, err := e.AnonymityDegree(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.H < hf-1e-9 {
+			t.Errorf("mean %d: Maximize %v below fixed %v", mean, res.H, hf)
+		}
+	}
+}
+
+// TestMaximizeNearBestTwoPoint: extreme points of the mean-constrained
+// simplex are two-atom distributions, so the exhaustive two-point search is
+// a strong lower bound the gradient solver should reach or beat (within a
+// small numerical slack).
+func TestMaximizeNearBestTwoPoint(t *testing.T) {
+	e := engine(t, 40, 1)
+	for _, mean := range []float64{6, 15} {
+		res, err := Maximize(Problem{Engine: e, Lo: 0, Hi: 39, Mean: mean},
+			WithMaxIterations(300), WithRestarts(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, htp, err := BestTwoPoint(e, mean, 0, 39)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.H < htp-1e-6 {
+			t.Errorf("mean %v: Maximize %v vs best two-point %v", mean, res.H, htp)
+		}
+	}
+}
+
+// TestUnconstrainedMaximize: without a mean constraint the solver should
+// find a distribution at least as good as the best fixed length anywhere in
+// the support (the global fixed-length peak).
+func TestUnconstrainedMaximize(t *testing.T) {
+	e := engine(t, 50, 1)
+	res, err := Maximize(Problem{Engine: e, Lo: 0, Hi: 49, Mean: UnconstrainedMean()},
+		WithMaxIterations(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestFixed := math.Inf(-1)
+	for l := 0; l <= 49; l++ {
+		f, err := dist.NewFixed(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := e.AnonymityDegree(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h > bestFixed {
+			bestFixed = h
+		}
+	}
+	if res.H < bestFixed-1e-9 {
+		t.Errorf("unconstrained Maximize %v below best fixed %v", res.H, bestFixed)
+	}
+	if res.H > e.MaxAnonymity() {
+		t.Errorf("H %v exceeds log2 N", res.H)
+	}
+}
+
+// TestMaximizeStationarity: no single-coordinate mass transfer that
+// preserves the mean should improve the solution noticeably.
+func TestMaximizeStationarity(t *testing.T) {
+	e := engine(t, 40, 1)
+	mean := 10.0
+	res, err := Maximize(Problem{Engine: e, Lo: 0, Hi: 39, Mean: mean}, WithMaxIterations(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := res.H
+	lo, _ := res.Dist.Support()
+	mass := res.Dist.Mass
+	const eps = 1e-4
+	// Transfer eps of mass among triples (i, j, k) that keep mean and total
+	// fixed: move from j to i and k proportionally.
+	for i := 0; i < len(mass); i++ {
+		for k := i + 2; k < len(mass); k += 3 {
+			j := (i + k) / 2
+			if j == i || j == k || mass[j] < 2*eps {
+				continue
+			}
+			wi := float64(k-j) / float64(k-i)
+			wk := float64(j-i) / float64(k-i)
+			cand := append([]float64(nil), mass...)
+			cand[j] -= eps
+			cand[i] += eps * wi
+			cand[k] += eps * wk
+			var sum float64
+			for _, v := range cand {
+				sum += v
+			}
+			for idx := range cand {
+				cand[idx] /= sum
+			}
+			pd := dist.PMF{Lo: lo, Mass: cand}
+			h, err := e.AnonymityDegree(pd)
+			if err != nil {
+				continue
+			}
+			if h > base+1e-6 {
+				t.Errorf("perturbation (%d→%d,%d) improves H by %v; not stationary",
+					j+lo, i+lo, k+lo, h-base)
+			}
+		}
+	}
+}
+
+func TestBestUniformMatchesExhaustive(t *testing.T) {
+	e := engine(t, 100, 1)
+	mean := 10
+	u, h, err := BestUniform(e, mean, 0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := u.Mean(); got != float64(mean) {
+		t.Errorf("best uniform mean = %v", got)
+	}
+	// Verify against manual scan.
+	for a := 0; a <= mean; a++ {
+		b := 2*mean - a
+		if b > 99 {
+			continue
+		}
+		cand, err := dist.NewUniform(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hc, err := e.AnonymityDegree(cand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hc > h+1e-12 {
+			t.Errorf("U(%d,%d) beats BestUniform: %v > %v", a, b, hc, h)
+		}
+	}
+	// Paper §6.4: at short means the widest small-lower-bound uniform wins.
+	if u.A > 2 {
+		t.Errorf("best uniform at mean %d is %s; expected a small lower bound (paper §6.4)", mean, u)
+	}
+}
+
+func TestBestUniformErrors(t *testing.T) {
+	e := engine(t, 30, 1)
+	if _, _, err := BestUniform(nil, 5, 0, 10); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("nil engine err = %v", err)
+	}
+	if _, _, err := BestUniform(e, 40, 0, 29); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("mean out of range err = %v", err)
+	}
+	if _, _, err := BestUniform(e, 5, 0, 40); !errors.Is(err, ErrBadProblem) {
+		t.Errorf("support past N err = %v", err)
+	}
+}
+
+func TestBestTwoPointMeanRespected(t *testing.T) {
+	e := engine(t, 50, 1)
+	for _, mean := range []float64{4, 7.5, 20} {
+		tp, h, err := BestTwoPoint(e, mean, 0, 49)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(tp.Mean()-mean) > 1e-9 {
+			t.Errorf("mean %v: two-point mean %v", mean, tp.Mean())
+		}
+		if h <= 0 || h > e.MaxAnonymity() {
+			t.Errorf("mean %v: H = %v out of range", mean, h)
+		}
+	}
+	if _, _, err := BestTwoPoint(e, -1, 0, 49); !errors.Is(err, ErrBadProblem) {
+		t.Error("negative mean accepted")
+	}
+}
+
+// TestOptimizedBeatsPaperBaselines reproduces the qualitative content of
+// Figure 6: the optimized distribution beats both F(L) and U(2, 2L−2).
+func TestOptimizedBeatsPaperBaselines(t *testing.T) {
+	e := engine(t, 100, 1)
+	for _, mean := range []int{5, 10, 20} {
+		res, err := Maximize(Problem{Engine: e, Lo: 0, Hi: 99, Mean: float64(mean)},
+			WithMaxIterations(250))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := dist.NewFixed(mean)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hf, err := e.AnonymityDegree(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := dist.NewUniform(2, 2*mean-2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hu, err := e.AnonymityDegree(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(res.H >= hu-1e-9 && res.H >= hf-1e-9) {
+			t.Errorf("mean %d: optimized %v, U(2,2L-2) %v, F(L) %v", mean, res.H, hu, hf)
+		}
+		if !(res.H > hf+1e-6) {
+			t.Errorf("mean %d: optimization should strictly beat the fixed strategy (%v vs %v)",
+				mean, res.H, hf)
+		}
+	}
+}
+
+func TestProjectSimplex(t *testing.T) {
+	cases := [][]float64{
+		{0.2, 0.3, 0.5},
+		{1, 1, 1},
+		{-1, 2, 0.5},
+		{0, 0, 0},
+		{5},
+	}
+	for _, v := range cases {
+		in := append([]float64(nil), v...)
+		projectSimplex(in)
+		var sum float64
+		for _, x := range in {
+			if x < 0 {
+				t.Errorf("projectSimplex(%v) produced negative entry %v", v, in)
+			}
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("projectSimplex(%v) sums to %v", v, sum)
+		}
+	}
+	// Projection of a point already on the simplex is identity.
+	p := []float64{0.25, 0.25, 0.5}
+	in := append([]float64(nil), p...)
+	projectSimplex(in)
+	for i := range p {
+		if math.Abs(in[i]-p[i]) > 1e-9 {
+			t.Errorf("identity projection changed %v to %v", p, in)
+		}
+	}
+}
+
+func TestProjectWithMean(t *testing.T) {
+	e := engine(t, 30, 1)
+	prob := Problem{Engine: e, Lo: 2, Hi: 20, Mean: 9}
+	v := make([]float64, 19)
+	for i := range v {
+		v[i] = float64(i%5) - 1
+	}
+	prob.project(v)
+	var sum, mean float64
+	for i, x := range v {
+		if x < -1e-12 {
+			t.Errorf("negative mass %v at %d", x, i)
+		}
+		sum += x
+		mean += x * float64(prob.Lo+i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("sum = %v", sum)
+	}
+	if math.Abs(mean-9) > 1e-6 {
+		t.Errorf("mean = %v, want 9", mean)
+	}
+}

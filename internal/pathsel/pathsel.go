@@ -1,0 +1,280 @@
+// Package pathsel implements the rerouting path selection algorithm of
+// Guan et al. (ICDCS 2002) Figure 2: (1) draw a path length from the
+// strategy's distribution, (2) choose the sequence of intermediate nodes.
+// It ships presets for every system surveyed in §2 of the paper —
+// Anonymizer, LPWA, Anonymous Remailer, Onion Routing I/II, Crowds,
+// Hordes, Freedom, and PipeNet — expressed through their path-length
+// strategies.
+package pathsel
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"anonmix/internal/dist"
+	"anonmix/internal/trace"
+)
+
+// Errors returned by the selector.
+var (
+	// ErrBadStrategy reports an inconsistent strategy definition.
+	ErrBadStrategy = errors.New("pathsel: invalid strategy")
+	// ErrBadSender reports a sender outside the node range.
+	ErrBadSender = errors.New("pathsel: sender outside system")
+)
+
+// PathKind distinguishes the two route shapes of §3.2.
+type PathKind uint8
+
+// Path kinds.
+const (
+	// Simple paths never revisit a node (and never include the sender as
+	// an intermediate). This is the shape the exact engine analyzes.
+	Simple PathKind = iota + 1
+	// Complicated paths are chosen hop by hop uniformly at random and may
+	// contain cycles, as in Crowds and Onion Routing II.
+	Complicated
+)
+
+// String names the kind.
+func (k PathKind) String() string {
+	switch k {
+	case Simple:
+		return "simple"
+	case Complicated:
+		return "complicated"
+	default:
+		return fmt.Sprintf("PathKind(%d)", uint8(k))
+	}
+}
+
+// Strategy is a named path-selection policy: a path-length distribution
+// plus the route shape.
+type Strategy struct {
+	// Name identifies the strategy in reports (e.g. "Onion Routing I").
+	Name string
+	// Length is the path-length distribution.
+	Length dist.Length
+	// Kind selects simple or complicated routes.
+	Kind PathKind
+}
+
+// Validate checks the strategy against a system of n nodes.
+func (s Strategy) Validate(n int) error {
+	if s.Length == nil {
+		return fmt.Errorf("%w: nil length distribution", ErrBadStrategy)
+	}
+	if err := dist.Validate(s.Length); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadStrategy, err)
+	}
+	if s.Kind != Simple && s.Kind != Complicated {
+		return fmt.Errorf("%w: kind %v", ErrBadStrategy, s.Kind)
+	}
+	_, hi := s.Length.Support()
+	if s.Kind == Simple && hi > n-1 {
+		return fmt.Errorf("%w: simple paths of length %d impossible with %d nodes",
+			ErrBadStrategy, hi, n)
+	}
+	return nil
+}
+
+// String renders the name, distribution, and kind.
+func (s Strategy) String() string {
+	return fmt.Sprintf("%s{%s,%s}", s.Name, s.Length, s.Kind)
+}
+
+// Selector draws rerouting paths for a fixed system size.
+type Selector struct {
+	n        int
+	strategy Strategy
+}
+
+// NewSelector returns a path selector for an n-node system.
+func NewSelector(n int, s Strategy) (*Selector, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("%w: n = %d", ErrBadStrategy, n)
+	}
+	if err := s.Validate(n); err != nil {
+		return nil, err
+	}
+	return &Selector{n: n, strategy: s}, nil
+}
+
+// Strategy returns the selector's strategy.
+func (s *Selector) Strategy() Strategy { return s.strategy }
+
+// N returns the system size.
+func (s *Selector) N() int { return s.n }
+
+// SampleLength draws a path length from the strategy's distribution by
+// inverse-CDF sampling.
+func (s *Selector) SampleLength(rng *rand.Rand) int {
+	lo, hi := s.strategy.Length.Support()
+	u := rng.Float64()
+	var cum float64
+	for l := lo; l <= hi; l++ {
+		cum += s.strategy.Length.PMF(l)
+		if u < cum {
+			return l
+		}
+	}
+	return hi
+}
+
+// SelectPath implements Figure 2: it draws a length and returns the ordered
+// intermediate nodes for a message from the given sender. The returned
+// slice never contains the receiver; simple paths contain no repeats and
+// never the sender.
+func (s *Selector) SelectPath(rng *rand.Rand, sender trace.NodeID) ([]trace.NodeID, error) {
+	if int(sender) < 0 || int(sender) >= s.n {
+		return nil, fmt.Errorf("%w: %v in system of %d", ErrBadSender, sender, s.n)
+	}
+	l := s.SampleLength(rng)
+	if s.strategy.Kind == Complicated {
+		return s.complicatedPath(rng, sender, l), nil
+	}
+	return s.simplePath(rng, sender, l), nil
+}
+
+// simplePath samples l distinct intermediates uniformly from the n−1 nodes
+// other than the sender via a partial Fisher–Yates shuffle.
+func (s *Selector) simplePath(rng *rand.Rand, sender trace.NodeID, l int) []trace.NodeID {
+	pool := make([]trace.NodeID, 0, s.n-1)
+	for v := 0; v < s.n; v++ {
+		if trace.NodeID(v) != sender {
+			pool = append(pool, trace.NodeID(v))
+		}
+	}
+	for i := 0; i < l; i++ {
+		j := i + rng.Intn(len(pool)-i)
+		pool[i], pool[j] = pool[j], pool[i]
+	}
+	return pool[:l:l]
+}
+
+// complicatedPath picks each hop uniformly among all nodes except the one
+// currently holding the message, so cycles (and returns through the sender)
+// are possible — the Crowds/Onion-Routing-II route shape.
+func (s *Selector) complicatedPath(rng *rand.Rand, sender trace.NodeID, l int) []trace.NodeID {
+	path := make([]trace.NodeID, 0, l)
+	cur := sender
+	for i := 0; i < l; i++ {
+		next := trace.NodeID(rng.Intn(s.n - 1))
+		if next >= cur {
+			next++ // skip the current holder
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return path
+}
+
+// The presets below encode the path-selection behavior of the systems
+// surveyed in §2 of the paper. Construction errors are impossible for the
+// fixed parameters and are converted to panics in the unexported helper —
+// the exported constructors that take user parameters return errors.
+
+func mustFixed(name string, l int) Strategy {
+	f, err := dist.NewFixed(l)
+	if err != nil {
+		panic(fmt.Sprintf("pathsel: preset %s: %v", name, err))
+	}
+	return Strategy{Name: name, Length: f, Kind: Simple}
+}
+
+// Anonymizer is the single-proxy strategy: every path has exactly one
+// intermediate node (the Anonymizer server).
+func Anonymizer() Strategy { return mustFixed("Anonymizer", 1) }
+
+// LPWA is the Lucent Personalized Web Assistant strategy, also one proxy.
+func LPWA() Strategy { return mustFixed("LPWA", 1) }
+
+// Freedom is the Freedom network strategy: fixed three-node routes, no
+// cycles.
+func Freedom() Strategy { return mustFixed("Freedom", 3) }
+
+// OnionRoutingI is the first Onion Routing deployment: all routes have
+// exactly five hops.
+func OnionRoutingI() Strategy { return mustFixed("Onion Routing I", 5) }
+
+// PipeNet is the PipeNet 1.1 strategy: three or four intermediate nodes,
+// equiprobably.
+func PipeNet() Strategy {
+	u, err := dist.NewUniform(3, 4)
+	if err != nil {
+		panic(fmt.Sprintf("pathsel: preset PipeNet: %v", err))
+	}
+	return Strategy{Name: "PipeNet", Length: u, Kind: Simple}
+}
+
+// Crowds returns the Crowds strategy with forwarding probability pf: after
+// the first jondo, each jondo forwards to another jondo with probability pf
+// (geometric lengths, cycles allowed). maxLen truncates the geometric tail;
+// use n−1 to match the exact engine's simple-path analysis support.
+func Crowds(pf float64, maxLen int) (Strategy, error) {
+	g, err := dist.NewGeometric(pf, 1, maxLen)
+	if err != nil {
+		return Strategy{}, err
+	}
+	return Strategy{Name: "Crowds", Length: g, Kind: Complicated}, nil
+}
+
+// OnionRoutingII returns the Onion Routing II strategy, which borrows the
+// Crowds coin-flip route selection (geometric lengths, cycles allowed).
+func OnionRoutingII(pf float64, maxLen int) (Strategy, error) {
+	g, err := dist.NewGeometric(pf, 1, maxLen)
+	if err != nil {
+		return Strategy{}, err
+	}
+	return Strategy{Name: "Onion Routing II", Length: g, Kind: Complicated}, nil
+}
+
+// Hordes returns the Hordes forward-path strategy: like Crowds it routes
+// requests through coin-flip jondo chains with cycles allowed (replies go
+// back over multicast, which does not affect the sender-anonymity forward
+// path the paper analyzes).
+func Hordes(pf float64, maxLen int) (Strategy, error) {
+	g, err := dist.NewGeometric(pf, 1, maxLen)
+	if err != nil {
+		return Strategy{}, err
+	}
+	return Strategy{Name: "Hordes", Length: g, Kind: Complicated}, nil
+}
+
+// Remailer returns an Anonymous-Remailer-style strategy with a fixed chain
+// of the given length.
+func Remailer(chain int) (Strategy, error) {
+	f, err := dist.NewFixed(chain)
+	if err != nil {
+		return Strategy{}, err
+	}
+	return Strategy{Name: "Anonymous Remailer", Length: f, Kind: Simple}, nil
+}
+
+// FixedLength returns the paper's F(l) strategy on simple paths.
+func FixedLength(l int) (Strategy, error) {
+	f, err := dist.NewFixed(l)
+	if err != nil {
+		return Strategy{}, err
+	}
+	return Strategy{Name: fmt.Sprintf("F(%d)", l), Length: f, Kind: Simple}, nil
+}
+
+// UniformLength returns the paper's U(a,b) strategy on simple paths.
+func UniformLength(a, b int) (Strategy, error) {
+	u, err := dist.NewUniform(a, b)
+	if err != nil {
+		return Strategy{}, err
+	}
+	return Strategy{Name: fmt.Sprintf("U(%d,%d)", a, b), Length: u, Kind: Simple}, nil
+}
+
+// WithLength returns a simple-path strategy for an arbitrary distribution,
+// e.g. an optimizer output.
+func WithLength(name string, d dist.Length) (Strategy, error) {
+	if d == nil {
+		return Strategy{}, fmt.Errorf("%w: nil distribution", ErrBadStrategy)
+	}
+	return Strategy{Name: name, Length: d, Kind: Simple}, nil
+}

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Variance() != 0 || s.StdErr() != 0 {
+		t.Error("zero value not neutral")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	// Population variance is 4; unbiased sample variance is 32/7.
+	if math.Abs(s.Variance()-32.0/7) > 1e-12 {
+		t.Errorf("variance = %v", s.Variance())
+	}
+	if math.Abs(s.CI95()-1.96*s.StdErr()) > 1e-15 {
+		t.Errorf("CI95 = %v", s.CI95())
+	}
+}
+
+func TestSummaryMergeMatchesSequential(t *testing.T) {
+	xs := []float64{1.5, -2, 3.25, 0, 8, -1, 4.5, 2, 2, 7}
+	var whole Summary
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	var a, b Summary
+	for i, x := range xs {
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.N() != whole.N() {
+		t.Errorf("N = %d, want %d", a.N(), whole.N())
+	}
+	if math.Abs(a.Mean()-whole.Mean()) > 1e-12 {
+		t.Errorf("mean = %v, want %v", a.Mean(), whole.Mean())
+	}
+	if math.Abs(a.Variance()-whole.Variance()) > 1e-12 {
+		t.Errorf("variance = %v, want %v", a.Variance(), whole.Variance())
+	}
+}
+
+func TestSummaryMergeEdges(t *testing.T) {
+	var a, b Summary
+	b.Add(3)
+	a.Merge(b) // empty += non-empty
+	if a.N() != 1 || a.Mean() != 3 {
+		t.Errorf("merge into empty: %+v", a)
+	}
+	var c Summary
+	a.Merge(c) // non-empty += empty
+	if a.N() != 1 || a.Mean() != 3 {
+		t.Errorf("merge of empty changed summary: %+v", a)
+	}
+}
+
+func TestNewRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed, different streams")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	for i := 0; i < 10; i++ {
+		if NewRand(42).Int63() == c.Int63() {
+			continue
+		}
+		same = false
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestForkDecorrelated(t *testing.T) {
+	// Adjacent streams from the same seed must differ immediately.
+	a := Fork(7, 0)
+	b := Fork(7, 1)
+	diff := false
+	for i := 0; i < 5; i++ {
+		if a.Int63() != b.Int63() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("forked streams identical")
+	}
+	// Reproducibility.
+	x := Fork(7, 3).Int63()
+	y := Fork(7, 3).Int63()
+	if x != y {
+		t.Error("fork not reproducible")
+	}
+}

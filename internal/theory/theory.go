@@ -1,0 +1,244 @@
+// Package theory provides closed-form anonymity degrees for the special
+// cases analyzed in §5.3 of Guan et al. (ICDCS 2002): one compromised node
+// (C = 1) with fixed-length simple paths (Theorem 1), geometric coin-flip
+// lengths (Theorem 2), and uniform lengths (Theorem 3).
+//
+// The original derivations live in the authors' technical report TR2002-3-1,
+// which is not publicly available; the formulas here are our independent
+// re-derivations from the §4 threat model (see DESIGN.md §2). They are
+// computed by direct event-group summation — a code path deliberately
+// disjoint from the class-enumeration engine in internal/events — so the two
+// implementations cross-validate each other in tests.
+//
+// # Event groups for C = 1
+//
+// Condition on the sender not being the compromised node X (probability
+// (N−1)/N; otherwise the sender is self-identified and contributes zero
+// entropy). Five mutually exclusive observations exist:
+//
+//	off    X not on the path: only the receiver's predecessor is seen.
+//	t0     X is the last intermediate (successor = receiver).
+//	t1     X is second-to-last (its successor equals the receiver's
+//	       predecessor).
+//	mid    X is at positions 1..l−2: predecessor, successor and the
+//	       receiver's predecessor are three distinct witnesses.
+//	(s=X)  the compromised node is the sender (handled by the C/N branch).
+//
+// In each group the sender posterior is a spike α on one candidate (the
+// observed predecessor, or the receiver's predecessor for "off" when l = 0
+// is possible) plus a uniform slab over the unobserved uncompromised nodes.
+package theory
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"anonmix/internal/dist"
+	"anonmix/internal/entropy"
+)
+
+// ErrBadArgs reports out-of-domain arguments to a closed form.
+var ErrBadArgs = errors.New("theory: invalid arguments")
+
+// FixedSimpleC1 returns the anonymity degree of an n-node system with one
+// compromised node using fixed-length simple paths of length l — our
+// re-derivation of the paper's Theorem 1. It is piecewise:
+//
+//	l = 0:     0                                (sender exposed to receiver)
+//	l = 1, 2:  (N−2)/N · log2(N−2)              (the two lengths coincide)
+//	l ≥ 3:     [ (N−l)·log2(N−2) + log2(N−3) + (l−2)·Hmid(l) ] / N
+//
+// where Hmid(l) is the spike-and-slab entropy with spike 1/(l−2) over N−4
+// slab candidates. The l = 1,2 equality and the l = 3 dip reproduce the
+// paper's Figure 3(b) observations; the rise-then-fall in l reproduces the
+// long-path effect of Figure 3(a).
+func FixedSimpleC1(n, l int) (float64, error) {
+	if n < 5 {
+		return 0, fmt.Errorf("%w: need n ≥ 5, have %d", ErrBadArgs, n)
+	}
+	if l < 0 || l > n-1 {
+		return 0, fmt.Errorf("%w: fixed length %d outside [0,%d]", ErrBadArgs, l, n-1)
+	}
+	nf := float64(n)
+	switch l {
+	case 0:
+		return 0, nil
+	case 1, 2:
+		return (nf - 2) / nf * math.Log2(nf-2), nil
+	default:
+		hMid := entropy.SpikeAndSlab(1/float64(l-2), n-4)
+		h := (nf-float64(l))*math.Log2(nf-2) + math.Log2(nf-3) + float64(l-2)*hMid
+		return h / nf, nil
+	}
+}
+
+// C1 returns the anonymity degree of an n-node system with one compromised
+// node under an arbitrary path-length distribution, by direct summation
+// over the five C = 1 event groups (see the package comment). This is the
+// general closed form from which Theorems 1–3 follow by specialization.
+func C1(n int, d dist.Length) (float64, error) {
+	if n < 5 {
+		return 0, fmt.Errorf("%w: need n ≥ 5, have %d", ErrBadArgs, n)
+	}
+	if err := dist.Validate(d); err != nil {
+		return 0, err
+	}
+	lo, hi := d.Support()
+	if hi > n-1 {
+		return 0, fmt.Errorf("%w: support max %d exceeds N-1 = %d", ErrBadArgs, hi, n-1)
+	}
+	nf := float64(n)
+
+	// Accumulate the five event-group weights (each conditioned on the
+	// sender being uncompromised) and their Bayes numerators.
+	var (
+		pOff, pOffSpike float64 // off-path; spike numerator is P(l = 0)
+		pT0, pT0Spike   float64 // tail gap 0; spike numerator is P(l = 1)
+		pT1, pT1Spike   float64 // tail gap 1; spike numerator is P(l = 2)
+		pMid, pMidSpike float64 // middle; spike numerator is P(l ≥ 3)
+	)
+	for l := lo; l <= hi; l++ {
+		p := d.PMF(l)
+		if p == 0 {
+			continue
+		}
+		pOff += p * float64(n-1-l) / float64(n-1)
+		if l == 0 {
+			pOffSpike += p
+		}
+		if l >= 1 {
+			pT0 += p / float64(n-1)
+			if l == 1 {
+				pT0Spike += p / float64(n-1)
+			}
+		}
+		if l >= 2 {
+			pT1 += p / float64(n-1)
+			if l == 2 {
+				pT1Spike += p / float64(n-1)
+			}
+		}
+		if l >= 3 {
+			pMid += p * float64(l-2) / float64(n-1)
+			pMidSpike += p / float64(n-1)
+		}
+	}
+
+	groups := []struct {
+		p, spike float64
+		rest     int
+	}{
+		{pOff, pOffSpike, n - 2},
+		{pT0, pT0Spike, n - 2},
+		{pT1, pT1Spike, n - 3},
+		{pMid, pMidSpike, n - 4},
+	}
+	var h float64
+	for _, g := range groups {
+		if g.p == 0 {
+			continue
+		}
+		alpha := g.spike / g.p
+		if alpha > 1 {
+			alpha = 1
+		}
+		h += g.p * entropy.SpikeAndSlab(alpha, g.rest)
+	}
+	return (nf - 1) / nf * h, nil
+}
+
+// UniformC1 returns the anonymity degree for uniform lengths U(a,b) — the
+// paper's Theorem 3 setting. When a ≥ 3 the result depends on the
+// distribution only through its mean (paper: "the anonymity degree only
+// depends on the expected value of the path length"); MeanOnlyC1 computes
+// that reduced form directly.
+func UniformC1(n, a, b int) (float64, error) {
+	u, err := dist.NewUniform(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return C1(n, u)
+}
+
+// MeanOnlyC1 returns the anonymity degree for any length distribution with
+// lower bound ≥ 3 as a function of the mean alone:
+//
+//	H* = [ (N−m)·log2(N−2) + log2(N−3) + (m−2)·Hmid ] / N,  Hmid spike 1/(m−2)
+//
+// with m the expected length (may be fractional). For integer m this equals
+// FixedSimpleC1(n, m) — the paper's conclusion 2: fixed-length and uniform
+// variable-length strategies coincide when the uniform lower bound is ≥ 3
+// and the expectations match.
+func MeanOnlyC1(n int, mean float64) (float64, error) {
+	if n < 5 {
+		return 0, fmt.Errorf("%w: need n ≥ 5, have %d", ErrBadArgs, n)
+	}
+	if mean < 3 || mean > float64(n-1) {
+		return 0, fmt.Errorf("%w: mean %v outside [3, %d]", ErrBadArgs, mean, n-1)
+	}
+	nf := float64(n)
+	hMid := entropy.SpikeAndSlab(1/(mean-2), n-4)
+	h := (nf-mean)*math.Log2(nf-2) + math.Log2(nf-3) + (mean-2)*hMid
+	return h / nf, nil
+}
+
+// GeometricC1 returns the anonymity degree under the coin-flip length
+// distribution of the paper's Formula (12) (Crowds / Onion Routing II) with
+// forwarding probability pf, truncated at maxLen — our form of Theorem 2.
+func GeometricC1(n int, pf float64, minLen, maxLen int) (float64, error) {
+	g, err := dist.NewGeometric(pf, minLen, maxLen)
+	if err != nil {
+		return 0, err
+	}
+	return C1(n, g)
+}
+
+// GeometricClosedFormC1 is the fully closed-form variant of Theorem 2: for
+// the untruncated geometric P(l = k) = pf^(k−1)·(1−pf), k ≥ 1, the five
+// event-group weights have geometric-series closed forms:
+//
+//	P(l ≥ 1) = 1     P(l = 1) = 1−pf      E[l]        = 1/(1−pf)
+//	P(l ≥ 2) = pf    P(l = 2) = pf(1−pf)  E[(l−2)⁺]   = pf²/(1−pf)
+//	P(l ≥ 3) = pf²
+//
+// No summation loop is involved. Because a simple path cannot exceed
+// N−1 intermediates, the formula carries an O(pf^(N−1)·N) truncation error
+// relative to the exact engine; callers needing exactness under truncation
+// should use GeometricC1.
+func GeometricClosedFormC1(n int, pf float64) (float64, error) {
+	if n < 5 {
+		return 0, fmt.Errorf("%w: need n ≥ 5, have %d", ErrBadArgs, n)
+	}
+	if pf < 0 || pf >= 1 || math.IsNaN(pf) {
+		return 0, fmt.Errorf("%w: pf = %v", ErrBadArgs, pf)
+	}
+	nf := float64(n)
+	nm1 := nf - 1
+	meanL := 1 / (1 - pf)
+	groups := []struct {
+		p, spike float64
+		rest     int
+	}{
+		// Off-path: Σ p(l)(N−1−l)/(N−1); no l = 0 atom, so no spike.
+		{(nm1 - meanL) / nm1, 0, n - 2},
+		// Tail gap 0: weight P(l≥1)/(N−1), spike P(l=1)/(N−1).
+		{1 / nm1, (1 - pf) / nm1, n - 2},
+		// Tail gap 1: weight P(l≥2)/(N−1), spike P(l=2)/(N−1).
+		{pf / nm1, pf * (1 - pf) / nm1, n - 3},
+		// Middle: weight E[(l−2)⁺]/(N−1), spike P(l≥3)/(N−1).
+		{pf * pf / (1 - pf) / nm1, pf * pf / nm1, n - 4},
+	}
+	var h float64
+	for _, g := range groups {
+		if g.p <= 0 {
+			continue
+		}
+		alpha := g.spike / g.p
+		if alpha > 1 {
+			alpha = 1
+		}
+		h += g.p * entropy.SpikeAndSlab(alpha, g.rest)
+	}
+	return (nf - 1) / nf * h, nil
+}

@@ -1,0 +1,213 @@
+package theory
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"anonmix/internal/dist"
+)
+
+func TestFixedSimpleC1Args(t *testing.T) {
+	if _, err := FixedSimpleC1(4, 1); !errors.Is(err, ErrBadArgs) {
+		t.Errorf("n=4 err = %v", err)
+	}
+	if _, err := FixedSimpleC1(100, -1); !errors.Is(err, ErrBadArgs) {
+		t.Errorf("l=-1 err = %v", err)
+	}
+	if _, err := FixedSimpleC1(100, 100); !errors.Is(err, ErrBadArgs) {
+		t.Errorf("l=N err = %v", err)
+	}
+}
+
+func TestFixedSimpleC1KnownValues(t *testing.T) {
+	h0, err := FixedSimpleC1(100, 0)
+	if err != nil || h0 != 0 {
+		t.Errorf("l=0: %v, %v", h0, err)
+	}
+	want12 := 98.0 / 100 * math.Log2(98)
+	for _, l := range []int{1, 2} {
+		h, err := FixedSimpleC1(100, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(h-want12) > 1e-12 {
+			t.Errorf("l=%d: %v, want %v", l, h, want12)
+		}
+	}
+	h3, err := FixedSimpleC1(100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want3 := (97*math.Log2(98) + math.Log2(97)) / 100
+	if math.Abs(h3-want3) > 1e-12 {
+		t.Errorf("l=3: %v, want %v", h3, want3)
+	}
+}
+
+// TestC1MatchesFixedSimple: the general C=1 formula specializes to the
+// Theorem-1 piecewise form on point-mass distributions.
+func TestC1MatchesFixedSimple(t *testing.T) {
+	for _, n := range []int{8, 20, 100, 333} {
+		for l := 0; l <= n-1; l += 1 + n/30 {
+			f, err := dist.NewFixed(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := C1(n, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := FixedSimpleC1(n, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-10 {
+				t.Errorf("n=%d l=%d: C1 %v, FixedSimpleC1 %v", n, l, got, want)
+			}
+		}
+	}
+}
+
+func TestC1Validation(t *testing.T) {
+	u, err := dist.NewUniform(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := C1(4, u); !errors.Is(err, ErrBadArgs) {
+		t.Errorf("small n err = %v", err)
+	}
+	wide, err := dist.NewUniform(0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := C1(50, wide); !errors.Is(err, ErrBadArgs) {
+		t.Errorf("support > N-1 err = %v", err)
+	}
+}
+
+func TestUniformC1MeanOnly(t *testing.T) {
+	// For a ≥ 3 the uniform value equals MeanOnlyC1 at the same mean.
+	for _, tc := range []struct{ a, b int }{{3, 7}, {4, 36}, {10, 30}, {51, 71}} {
+		hu, err := UniformC1(100, tc.a, tc.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hm, err := MeanOnlyC1(100, float64(tc.a+tc.b)/2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(hu-hm) > 1e-10 {
+			t.Errorf("U(%d,%d): %v vs MeanOnly %v", tc.a, tc.b, hu, hm)
+		}
+	}
+	// Fractional means are allowed in the reduced form.
+	if _, err := MeanOnlyC1(100, 7.5); err != nil {
+		t.Errorf("fractional mean: %v", err)
+	}
+	if _, err := MeanOnlyC1(100, 2.5); !errors.Is(err, ErrBadArgs) {
+		t.Errorf("mean < 3 err = %v", err)
+	}
+	if _, err := MeanOnlyC1(4, 3); !errors.Is(err, ErrBadArgs) {
+		t.Errorf("small n err = %v", err)
+	}
+}
+
+func TestGeometricC1(t *testing.T) {
+	h, err := GeometricC1(100, 0.75, 1, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h <= 0 || h >= math.Log2(100) {
+		t.Errorf("GeometricC1 = %v outside (0, log2 100)", h)
+	}
+	// Higher forwarding probability (longer expected paths) should beat a
+	// very short-path configuration in this regime.
+	low, err := GeometricC1(100, 0.1, 1, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(h > low) {
+		t.Errorf("pf=0.75 (%v) should exceed pf=0.1 (%v)", h, low)
+	}
+	if _, err := GeometricC1(100, 1.2, 1, 99); err == nil {
+		t.Error("bad pf accepted")
+	}
+}
+
+// TestGeometricClosedFormMatchesSummation: the loop-free Theorem-2 form
+// agrees with the truncated summation up to the truncation error.
+func TestGeometricClosedFormMatchesSummation(t *testing.T) {
+	n := 100
+	for _, pf := range []float64{0, 0.1, 0.3, 0.5, 0.7, 0.85} {
+		closed, err := GeometricClosedFormC1(n, pf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		summed, err := GeometricC1(n, pf, 1, n-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Truncation error scale: pf^(N−1) amplified by the log-entropy
+		// terms; generous envelope.
+		tol := 1e-9 + 1000*math.Pow(pf, float64(n-1))
+		if math.Abs(closed-summed) > tol {
+			t.Errorf("pf=%v: closed %v, summed %v (tol %v)", pf, closed, summed, tol)
+		}
+	}
+	if _, err := GeometricClosedFormC1(4, 0.5); !errors.Is(err, ErrBadArgs) {
+		t.Error("small n accepted")
+	}
+	if _, err := GeometricClosedFormC1(100, 1); !errors.Is(err, ErrBadArgs) {
+		t.Error("pf=1 accepted")
+	}
+	if _, err := GeometricClosedFormC1(100, math.NaN()); !errors.Is(err, ErrBadArgs) {
+		t.Error("NaN pf accepted")
+	}
+}
+
+// TestGeometricClosedFormMonotoneRegime: for small pf (short expected
+// paths), increasing pf lengthens paths and improves anonymity — the
+// rising edge of the long-path-effect curve.
+func TestGeometricClosedFormMonotoneRegime(t *testing.T) {
+	n := 100
+	prev := -1.0
+	for _, pf := range []float64{0.05, 0.2, 0.4, 0.6, 0.8, 0.9} {
+		h, err := GeometricClosedFormC1(n, pf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h <= prev {
+			t.Errorf("pf=%v: H %v not increasing (prev %v)", pf, h, prev)
+		}
+		prev = h
+	}
+}
+
+// TestLongPathEffectClosedForm: the Theorem-1 curve is unimodal with an
+// interior peak — the paper's headline "long path effect".
+func TestLongPathEffectClosedForm(t *testing.T) {
+	n := 100
+	var peakL int
+	var peakH float64
+	for l := 1; l <= n-1; l++ {
+		h, err := FixedSimpleC1(n, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h > peakH {
+			peakH, peakL = h, l
+		}
+	}
+	if peakL <= 4 || peakL >= n-2 {
+		t.Errorf("peak at l=%d, want interior", peakL)
+	}
+	hEnd, err := FixedSimpleC1(n, n-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(hEnd < peakH) {
+		t.Errorf("no decline after peak: H(%d)=%v, peak %v", n-1, hEnd, peakH)
+	}
+	t.Logf("N=%d C=1 fixed-length peak at l=%d with H*=%.6f (paper reports l≈31; see DESIGN.md §2)", n, peakL, peakH)
+}

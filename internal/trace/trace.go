@@ -1,0 +1,98 @@
+// Package trace defines the observation records of the paper's threat model
+// (§4): every compromised node on a rerouting path reports the tuple
+// (time, predecessor, successor) for each message it forwards, and the
+// compromised receiver reports (time, predecessor). The adversary collects
+// these tuples, orders them by time, and hands them to the inference layer.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node of the anonymous communication system.
+// Values 0..N−1 are system nodes; Receiver denotes the (external) receiver.
+type NodeID int
+
+// Receiver is the pseudo-identity of the message receiver, which the paper
+// does not count among the system's N nodes.
+const Receiver NodeID = -1
+
+// String renders the node or the receiver marker.
+func (n NodeID) String() string {
+	if n == Receiver {
+		return "R"
+	}
+	return fmt.Sprintf("n%d", int(n))
+}
+
+// MessageID correlates reports belonging to one logical message. The paper
+// assumes the adversary can correlate observations of the same message
+// across compromised nodes (§4, worst-case assumption).
+type MessageID uint64
+
+// Tuple is one report from the adversary's agent at a compromised node:
+// at logical time Time, node Observer relayed message Msg from Pred to
+// Succ. A receiver report has Observer == Receiver and no successor.
+type Tuple struct {
+	// Time is a logical timestamp; the collector guarantees that
+	// timestamps increase along each message's path.
+	Time uint64
+	// Observer is the reporting compromised node (or Receiver).
+	Observer NodeID
+	// Msg correlates tuples of the same message.
+	Msg MessageID
+	// Pred is the node the message arrived from.
+	Pred NodeID
+	// Succ is the node the message was forwarded to (Receiver when the
+	// observer was the last intermediate; unset for receiver reports).
+	Succ NodeID
+}
+
+// ErrNoReceiverReport reports a message trace without the receiver tuple in
+// a model where the receiver is compromised.
+var ErrNoReceiverReport = errors.New("trace: message has no receiver report")
+
+// MessageTrace is every report collected for one message, split into the
+// on-path compromised node reports (time-ordered) and the receiver report.
+type MessageTrace struct {
+	// Msg is the correlated message.
+	Msg MessageID
+	// Reports holds compromised-node tuples ordered by Time.
+	Reports []Tuple
+	// ReceiverSeen tells whether the receiver reported this message.
+	ReceiverSeen bool
+	// ReceiverPred is the receiver's reported predecessor (valid only when
+	// ReceiverSeen).
+	ReceiverPred NodeID
+}
+
+// Collate groups raw tuples by message and time-orders each group.
+// Receiver tuples are split out. The input is not modified.
+func Collate(tuples []Tuple) map[MessageID]*MessageTrace {
+	out := make(map[MessageID]*MessageTrace)
+	get := func(id MessageID) *MessageTrace {
+		mt, ok := out[id]
+		if !ok {
+			mt = &MessageTrace{Msg: id}
+			out[id] = mt
+		}
+		return mt
+	}
+	for _, t := range tuples {
+		mt := get(t.Msg)
+		if t.Observer == Receiver {
+			mt.ReceiverSeen = true
+			mt.ReceiverPred = t.Pred
+			continue
+		}
+		mt.Reports = append(mt.Reports, t)
+	}
+	for _, mt := range out {
+		sort.Slice(mt.Reports, func(i, j int) bool {
+			return mt.Reports[i].Time < mt.Reports[j].Time
+		})
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestNodeIDString(t *testing.T) {
+	if got := NodeID(5).String(); got != "n5" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Receiver.String(); got != "R" {
+		t.Errorf("Receiver String = %q", got)
+	}
+}
+
+func TestCollateGroupsAndOrders(t *testing.T) {
+	tuples := []Tuple{
+		{Time: 30, Observer: 2, Msg: 1, Pred: 1, Succ: 3},
+		{Time: 10, Observer: 7, Msg: 1, Pred: 0, Succ: 1},
+		{Time: 40, Observer: Receiver, Msg: 1, Pred: 9},
+		{Time: 5, Observer: Receiver, Msg: 2, Pred: 4},
+		{Time: 1, Observer: 3, Msg: 2, Pred: 8, Succ: 4},
+	}
+	got := Collate(tuples)
+	if len(got) != 2 {
+		t.Fatalf("collated %d messages, want 2", len(got))
+	}
+	m1 := got[1]
+	if len(m1.Reports) != 2 {
+		t.Fatalf("msg 1: %d reports", len(m1.Reports))
+	}
+	if m1.Reports[0].Observer != 7 || m1.Reports[1].Observer != 2 {
+		t.Errorf("msg 1 reports out of order: %+v", m1.Reports)
+	}
+	if !m1.ReceiverSeen || m1.ReceiverPred != 9 {
+		t.Errorf("msg 1 receiver: seen=%v pred=%v", m1.ReceiverSeen, m1.ReceiverPred)
+	}
+	m2 := got[2]
+	if !m2.ReceiverSeen || m2.ReceiverPred != 4 || len(m2.Reports) != 1 {
+		t.Errorf("msg 2: %+v", m2)
+	}
+}
+
+func TestCollateNoReceiver(t *testing.T) {
+	got := Collate([]Tuple{{Time: 1, Observer: 0, Msg: 9, Pred: 1, Succ: 2}})
+	mt := got[9]
+	if mt.ReceiverSeen {
+		t.Error("receiver marked seen without a receiver tuple")
+	}
+}
+
+func TestCollateEmpty(t *testing.T) {
+	if got := Collate(nil); len(got) != 0 {
+		t.Errorf("Collate(nil) = %v", got)
+	}
+}
+
+func TestCollateDoesNotMutateInput(t *testing.T) {
+	in := []Tuple{
+		{Time: 2, Observer: 1, Msg: 1, Pred: 0, Succ: 2},
+		{Time: 1, Observer: 2, Msg: 1, Pred: 1, Succ: 3},
+	}
+	want := append([]Tuple(nil), in...)
+	Collate(in)
+	for i := range in {
+		if in[i] != want[i] {
+			t.Fatalf("input mutated at %d: %+v", i, in[i])
+		}
+	}
+}
