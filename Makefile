@@ -1,0 +1,33 @@
+# Build, test, and benchmark entry points for the anonmix reproduction.
+
+GO ?= go
+DATE := $(shell date +%Y%m%d)
+
+.PHONY: all build vet test race bench bench-smoke clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench snapshots the full benchmark suite as JSON so the performance
+# trajectory is tracked across PRs (see EXPERIMENTS.md).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -json > BENCH_$(DATE).json
+	@echo "wrote BENCH_$(DATE).json"
+
+# bench-smoke is the quick acceptance sweep used by CI.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig3a$$|BenchmarkFig4|BenchmarkWeights$$' -benchmem
+
+clean:
+	rm -f BENCH_*.json

@@ -436,6 +436,22 @@ func BenchmarkEngineEvalC8(b *testing.B) {
 	}
 }
 
+// BenchmarkWeights measures building the per-class weight vectors the
+// optimizer consumes (N=100, C=8: ~9.8k observation classes over the full
+// length range).
+func BenchmarkWeights(b *testing.B) {
+	e, err := events.New(100, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Weights(0, 99); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkOptimizer measures a full mean-constrained Maximize solve.
 func BenchmarkOptimizer(b *testing.B) {
 	e, err := events.New(100, 1)

@@ -27,4 +27,41 @@
 // The benchmarks in bench_test.go regenerate every figure and theorem of
 // the evaluation section; EXPERIMENTS.md records paper-vs-measured for
 // each, and DESIGN.md documents the model reconstruction.
+//
+// # Performance
+//
+// The analysis stack is built around three layers of shared, concurrency-
+// safe state; every layer is exact, so cached results are bit-identical to
+// recomputation:
+//
+//   - internal/combin keeps process-wide grow-on-demand tables for
+//     ln(n!) and the stars-and-bars composition counts that dominate the
+//     engine's inner loop. Reads are lock-free atomic loads of immutable
+//     snapshots; growth is mutex-serialized copy-and-replace.
+//
+//   - events.Engine memoizes every per-class posterior, keyed by the
+//     observation class and the exact IEEE-754 fingerprint of the path-
+//     length distribution. ClassStats, StatsFor, Weights, and
+//     AnonymityDegree never compute a (class, distribution) pair twice,
+//     and class enumerations are shared per (C, receiver) across engines.
+//     Engines are safe for concurrent use; internal/figures additionally
+//     shares one engine per (N, C, inference mode) across all generators.
+//
+//   - internal/pool is a bounded worker pool (GOMAXPROCS-sized by
+//     default) behind every fan-out loop: per-class statistics in events,
+//     per-point series generation in figures, restart batches in
+//     optimize.Maximize, and sampling workers in montecarlo. The calling
+//     goroutine always participates, so a saturated or width-1 pool
+//     degrades to inline serial execution — never deadlock — and each
+//     task writes only its own output slot, which keeps parallel results
+//     byte-identical to the serial reference path (pool.SetWorkers(1)).
+//
+// The benchmark harness doubles as the regression gate:
+//
+//	go test -bench 'Fig3a|Fig4|Weights' -benchmem   # perf acceptance suite
+//	go test -race ./...                             # cache-layer safety
+//	make bench                                      # snapshot BENCH_<date>.json
+//
+// EXPERIMENTS.md records the current numbers, including the measured
+// speedup of the cache layer over the serial baseline.
 package anonmix

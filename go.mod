@@ -1,0 +1,3 @@
+module anonmix
+
+go 1.24

@@ -1,0 +1,89 @@
+package combin
+
+import (
+	"math"
+	"math/big"
+	"sync"
+	"testing"
+)
+
+// TestLogFactorialTableMatchesLgamma checks that table-served values are
+// bit-identical to direct Lgamma evaluation, across growth boundaries.
+func TestLogFactorialTableMatchesLgamma(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 17, 255, 256, 257, 1000, 5000} {
+		want, _ := math.Lgamma(float64(n) + 1)
+		if got := LogFactorial(n); got != want {
+			t.Errorf("LogFactorial(%d) = %v, want %v (bit-identical)", n, got, want)
+		}
+	}
+	if !math.IsInf(LogFactorial(-1), -1) {
+		t.Error("LogFactorial(-1) should be -Inf")
+	}
+}
+
+// TestStarsAndBarsTableExact cross-checks the cached linear-space counts
+// against exact big-integer binomials, across growth boundaries.
+func TestStarsAndBarsTableExact(t *testing.T) {
+	for vars := 0; vars <= 6; vars++ {
+		for _, slack := range []int{0, 1, 2, 50, 127, 128, 129, 300} {
+			got := StarsAndBars(slack, vars)
+			var want float64
+			if vars == 0 {
+				if slack == 0 {
+					want = 1
+				}
+			} else {
+				bi := ChooseBig(slack+vars-1, vars-1)
+				want, _ = new(big.Float).SetInt(bi).Float64()
+			}
+			if got != want {
+				t.Errorf("StarsAndBars(%d,%d) = %v, want %v", slack, vars, got, want)
+			}
+		}
+	}
+	if StarsAndBars(-1, 2) != 0 || StarsAndBars(3, -1) != 0 {
+		t.Error("negative arguments should count zero arrangements")
+	}
+	// The vars >= sbMaxVars fallback bypasses the table but must agree
+	// with the direct binomial.
+	if got, want := StarsAndBars(5, sbMaxVars), Choose(5+sbMaxVars-1, sbMaxVars-1); got != want {
+		t.Errorf("fallback StarsAndBars = %v, want %v", got, want)
+	}
+}
+
+// TestTablesConcurrent hammers both shared tables from many goroutines
+// while they grow, for the -race detector, and verifies every result.
+func TestTablesConcurrent(t *testing.T) {
+	const goroutines = 16
+	const perG = 2000
+	var wg sync.WaitGroup
+	errs := make([]string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Walk n upward so every goroutine keeps hitting the growth
+				// edge of the log-factorial table.
+				n := (i*7+g*13)%3000 + 1
+				want, _ := math.Lgamma(float64(n) + 1)
+				if got := LogFactorial(n); got != want {
+					errs[g] = "LogFactorial mismatch"
+					return
+				}
+				vars := i%8 + 1
+				slack := (i * 3) % 400
+				if got, want := StarsAndBars(slack, vars), Choose(slack+vars-1, vars-1); got != want {
+					errs[g] = "StarsAndBars mismatch"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, e := range errs {
+		if e != "" {
+			t.Errorf("goroutine %d: %s", g, e)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"anonmix/internal/combin"
 	"anonmix/internal/entropy"
 	"anonmix/internal/simnet"
 	"anonmix/internal/stats"
@@ -112,6 +113,30 @@ func EventEntropy(n, c int, pf float64) (float64, error) {
 		return 0, err
 	}
 	return entropy.SpikeAndSlab(p, n-c-1), nil
+}
+
+// OnPathProb returns the probability that at least one of c collaborators
+// appears among the l distinct intermediates of a simple rerouting path
+// drawn by an honest sender in an n-node system:
+//
+//	1 − C(n−1−c, l)/C(n−1, l)
+//
+// evaluated through the shared log-combinatorics table. This is the bridge
+// between the Crowds predecessor analysis and the paper's simple-path
+// model: it is the weight of the "adversary sees a relay report" branch
+// that the class engine refines into run/gap signatures.
+func OnPathProb(n, c, l int) (float64, error) {
+	if n < 2 || c < 0 || c >= n {
+		return 0, fmt.Errorf("%w: n=%d c=%d", ErrBadParam, n, c)
+	}
+	if l < 0 || l > n-1 {
+		return 0, fmt.Errorf("%w: path length %d outside [0,%d]", ErrBadParam, l, n-1)
+	}
+	if l > n-1-c {
+		return 1, nil // more intermediates than honest nodes: a hit is forced
+	}
+	miss := math.Exp(combin.LogChoose(n-1-c, l) - combin.LogChoose(n-1, l))
+	return 1 - miss, nil
 }
 
 // SimulatePredecessor estimates P(H1 | H1+) by direct protocol simulation:

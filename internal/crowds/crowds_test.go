@@ -190,3 +190,40 @@ func TestCrowdsOverTestbed(t *testing.T) {
 		t.Errorf("testbed P(H1|H1+) = %v over %d events, formula %v", got, events, want)
 	}
 }
+
+// TestOnPathProb cross-checks the log-space hypergeometric form against a
+// direct rational computation and pins its boundary behavior.
+func TestOnPathProb(t *testing.T) {
+	for _, tc := range []struct{ n, c, l int }{
+		{10, 2, 0}, {10, 2, 3}, {10, 2, 7}, {50, 5, 20}, {100, 1, 51},
+	} {
+		got, err := crowds.OnPathProb(tc.n, tc.c, tc.l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Direct product: miss = Π_{i<l} (n-1-c-i)/(n-1-i).
+		miss := 1.0
+		for i := 0; i < tc.l; i++ {
+			miss *= float64(tc.n - 1 - tc.c - i) / float64(tc.n - 1 - i)
+		}
+		if math.Abs(got-(1-miss)) > 1e-12 {
+			t.Errorf("n=%d c=%d l=%d: %v, want %v", tc.n, tc.c, tc.l, got, 1-miss)
+		}
+	}
+	// l = 0 never meets a collaborator; saturated paths always do.
+	if p, _ := crowds.OnPathProb(10, 3, 0); p != 0 {
+		t.Errorf("l=0: %v", p)
+	}
+	if p, _ := crowds.OnPathProb(10, 3, 7); p != 1 {
+		t.Errorf("saturated: %v", p)
+	}
+	// c = 0 never hits.
+	if p, _ := crowds.OnPathProb(10, 0, 5); p != 0 {
+		t.Errorf("c=0: %v", p)
+	}
+	for _, tc := range []struct{ n, c, l int }{{1, 0, 0}, {10, -1, 2}, {10, 10, 2}, {10, 2, -1}, {10, 2, 10}} {
+		if _, err := crowds.OnPathProb(tc.n, tc.c, tc.l); !errors.Is(err, crowds.ErrBadParam) {
+			t.Errorf("n=%d c=%d l=%d accepted", tc.n, tc.c, tc.l)
+		}
+	}
+}

@@ -1,0 +1,371 @@
+// Package dist defines the discrete path-length distributions of Guan et
+// al. (ICDCS 2002): the fixed-length strategy F(l), the uniform strategy
+// U(a,b) (Formula 11), the coin-flip geometric strategy of Crowds and
+// Onion Routing II (Formula 12), two-point mixtures (the extreme points of
+// the mean-constrained simplex used by the optimizer cross-checks),
+// truncated Poisson lengths, and arbitrary finite mass functions (the
+// optimizer's output format).
+//
+// Every distribution is an immutable value implementing Length; the exact
+// engine, the path selector, the optimizer, and the estimator all consume
+// that interface. Support bounds are inclusive and PMF values outside the
+// support are zero, so callers may iterate l in [lo, hi] and skip zero
+// atoms.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"anonmix/internal/combin"
+)
+
+// ErrInvalid reports an out-of-domain distribution parameter or a mass
+// function that does not form a probability distribution.
+var ErrInvalid = errors.New("dist: invalid distribution")
+
+// sumTolerance is the absolute tolerance used when checking that a mass
+// function sums to one.
+const sumTolerance = 1e-9
+
+// Length is a discrete probability distribution over non-negative path
+// lengths with finite support.
+type Length interface {
+	// Support returns the inclusive bounds [lo, hi] outside of which the
+	// PMF is zero. 0 <= lo <= hi.
+	Support() (lo, hi int)
+	// PMF returns P(length = l); zero outside the support.
+	PMF(l int) float64
+	// Mean returns the expected path length.
+	Mean() float64
+	// String renders the distribution in the paper's notation.
+	String() string
+}
+
+// Validate checks that d is a well-formed distribution: non-nil, with
+// sane support bounds, non-negative finite atoms, and total mass 1 within
+// tolerance.
+func Validate(d Length) error {
+	if d == nil {
+		return fmt.Errorf("%w: nil distribution", ErrInvalid)
+	}
+	lo, hi := d.Support()
+	if lo < 0 || hi < lo {
+		return fmt.Errorf("%w: support [%d,%d]", ErrInvalid, lo, hi)
+	}
+	var sum float64
+	for l := lo; l <= hi; l++ {
+		p := d.PMF(l)
+		if p < 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+			return fmt.Errorf("%w: P(%d) = %v", ErrInvalid, l, p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > sumTolerance {
+		return fmt.Errorf("%w: mass sums to %v, want 1", ErrInvalid, sum)
+	}
+	return nil
+}
+
+// Fixed is the paper's fixed-length strategy F(l): every rerouting path has
+// exactly L intermediate nodes.
+type Fixed struct {
+	// L is the path length.
+	L int
+}
+
+// NewFixed returns the point-mass distribution at length l >= 0.
+func NewFixed(l int) (Fixed, error) {
+	if l < 0 {
+		return Fixed{}, fmt.Errorf("%w: fixed length %d", ErrInvalid, l)
+	}
+	return Fixed{L: l}, nil
+}
+
+// Support returns [L, L].
+func (f Fixed) Support() (int, int) { return f.L, f.L }
+
+// PMF returns 1 at L, 0 elsewhere.
+func (f Fixed) PMF(l int) float64 {
+	if l == f.L {
+		return 1
+	}
+	return 0
+}
+
+// Mean returns L.
+func (f Fixed) Mean() float64 { return float64(f.L) }
+
+// String renders the paper's F(l) notation.
+func (f Fixed) String() string { return fmt.Sprintf("F(%d)", f.L) }
+
+// Uniform is the paper's variable-length strategy U(a,b) (Formula 11):
+// the length is equiprobable over the integers in [A, B].
+type Uniform struct {
+	// A and B are the inclusive support bounds.
+	A, B int
+}
+
+// NewUniform returns the uniform distribution on [a, b], 0 <= a <= b.
+func NewUniform(a, b int) (Uniform, error) {
+	if a < 0 || b < a {
+		return Uniform{}, fmt.Errorf("%w: uniform bounds [%d,%d]", ErrInvalid, a, b)
+	}
+	return Uniform{A: a, B: b}, nil
+}
+
+// Support returns [A, B].
+func (u Uniform) Support() (int, int) { return u.A, u.B }
+
+// PMF returns 1/(B-A+1) inside the support.
+func (u Uniform) PMF(l int) float64 {
+	if l < u.A || l > u.B {
+		return 0
+	}
+	return 1 / float64(u.B-u.A+1)
+}
+
+// Mean returns (A+B)/2.
+func (u Uniform) Mean() float64 { return float64(u.A+u.B) / 2 }
+
+// String renders the paper's U(a,b) notation.
+func (u Uniform) String() string { return fmt.Sprintf("U(%d,%d)", u.A, u.B) }
+
+// Geometric is the coin-flip length distribution of Crowds / Onion Routing
+// II (the paper's Formula 12): after Min mandatory hops each further hop is
+// taken with probability Pf, truncated at Max and renormalized so the mass
+// on [Min, Max] sums to one.
+type Geometric struct {
+	// Pf is the forwarding probability in [0, 1).
+	Pf float64
+	// Min and Max bound the support.
+	Min, Max int
+
+	norm float64 // 1 - Pf^(Max-Min+1), the truncated total mass
+	mean float64
+}
+
+// NewGeometric returns the truncated geometric distribution
+// P(l) ∝ pf^(l-min)·(1-pf) on [min, max], with pf in [0, 1).
+func NewGeometric(pf float64, min, max int) (Geometric, error) {
+	if pf < 0 || pf >= 1 || math.IsNaN(pf) {
+		return Geometric{}, fmt.Errorf("%w: forwarding probability %v", ErrInvalid, pf)
+	}
+	if min < 0 || max < min {
+		return Geometric{}, fmt.Errorf("%w: geometric bounds [%d,%d]", ErrInvalid, min, max)
+	}
+	g := Geometric{Pf: pf, Min: min, Max: max}
+	g.norm = 1 - math.Pow(pf, float64(max-min+1))
+	var mean float64
+	for l := min; l <= max; l++ {
+		mean += float64(l) * g.PMF(l)
+	}
+	g.mean = mean
+	return g, nil
+}
+
+// Support returns [Min, Max].
+func (g Geometric) Support() (int, int) { return g.Min, g.Max }
+
+// PMF returns the truncated, renormalized geometric mass at l.
+func (g Geometric) PMF(l int) float64 {
+	if l < g.Min || l > g.Max {
+		return 0
+	}
+	norm := g.norm
+	if norm == 0 {
+		// Zero-valued struct or pf so close to 0 that the power underflowed;
+		// recompute the safe default (point mass cases keep norm = 1-pf > 0).
+		norm = 1
+	}
+	return math.Pow(g.Pf, float64(l-g.Min)) * (1 - g.Pf) / norm
+}
+
+// Mean returns the truncated expectation (≈ Min + Pf/(1-Pf) when Max is
+// far in the tail).
+func (g Geometric) Mean() float64 { return g.mean }
+
+// String renders the forwarding probability and support.
+func (g Geometric) String() string {
+	return fmt.Sprintf("Geom(pf=%g,%d..%d)", g.Pf, g.Min, g.Max)
+}
+
+// TwoPoint is a two-atom mixture: length L1 with probability P1, length L2
+// with probability 1-P1. The extreme points of the mean-constrained
+// simplex are two-point distributions, which makes this family the
+// optimizer's exhaustive cross-check.
+type TwoPoint struct {
+	// L1 and L2 are the two support atoms, L1 <= L2.
+	L1, L2 int
+	// P1 is the mass on L1.
+	P1 float64
+}
+
+// NewTwoPoint returns the two-atom distribution {l1: p1, l2: 1-p1} with
+// 0 <= l1 <= l2 and p1 in [0, 1]. When l1 == l2 the atoms merge.
+func NewTwoPoint(l1, l2 int, p1 float64) (TwoPoint, error) {
+	if l1 < 0 || l2 < l1 {
+		return TwoPoint{}, fmt.Errorf("%w: two-point atoms (%d,%d)", ErrInvalid, l1, l2)
+	}
+	if p1 < 0 || p1 > 1 || math.IsNaN(p1) {
+		return TwoPoint{}, fmt.Errorf("%w: two-point mass %v", ErrInvalid, p1)
+	}
+	return TwoPoint{L1: l1, L2: l2, P1: p1}, nil
+}
+
+// Support returns [L1, L2].
+func (t TwoPoint) Support() (int, int) { return t.L1, t.L2 }
+
+// PMF returns the atom masses (merged when L1 == L2).
+func (t TwoPoint) PMF(l int) float64 {
+	if t.L1 == t.L2 {
+		if l == t.L1 {
+			return 1
+		}
+		return 0
+	}
+	switch l {
+	case t.L1:
+		return t.P1
+	case t.L2:
+		return 1 - t.P1
+	default:
+		return 0
+	}
+}
+
+// Mean returns P1·L1 + (1-P1)·L2.
+func (t TwoPoint) Mean() float64 {
+	if t.L1 == t.L2 {
+		return float64(t.L1)
+	}
+	return t.P1*float64(t.L1) + (1-t.P1)*float64(t.L2)
+}
+
+// String renders both atoms with their masses.
+func (t TwoPoint) String() string {
+	return fmt.Sprintf("TwoPoint(%d:%.4g,%d:%.4g)", t.L1, t.P1, t.L2, 1-t.P1)
+}
+
+// Poisson is a Poisson(λ) length distribution truncated to [Min, Max] and
+// renormalized — a smooth unimodal family used to exercise the engine away
+// from the paper's parametric strategies.
+type Poisson struct {
+	// Lambda is the rate parameter.
+	Lambda float64
+	// Min and Max bound the support.
+	Min, Max int
+
+	mass []float64 // normalized masses, indexed by l-Min
+	mean float64
+}
+
+// NewPoisson returns the truncated Poisson distribution with rate lambda on
+// [min, max].
+func NewPoisson(lambda float64, min, max int) (Poisson, error) {
+	if lambda <= 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
+		return Poisson{}, fmt.Errorf("%w: Poisson rate %v", ErrInvalid, lambda)
+	}
+	if min < 0 || max < min {
+		return Poisson{}, fmt.Errorf("%w: Poisson bounds [%d,%d]", ErrInvalid, min, max)
+	}
+	p := Poisson{Lambda: lambda, Min: min, Max: max, mass: make([]float64, max-min+1)}
+	logLambda := math.Log(lambda)
+	var sum float64
+	for l := min; l <= max; l++ {
+		// log P(l) = l·ln λ − λ − ln l!, via the shared log-factorial table.
+		p.mass[l-min] = math.Exp(float64(l)*logLambda - lambda - combin.LogFactorial(l))
+		sum += p.mass[l-min]
+	}
+	if sum <= 0 {
+		return Poisson{}, fmt.Errorf("%w: Poisson(%v) has no mass on [%d,%d]", ErrInvalid, lambda, min, max)
+	}
+	var mean float64
+	for i := range p.mass {
+		p.mass[i] /= sum
+		mean += float64(min+i) * p.mass[i]
+	}
+	p.mean = mean
+	return p, nil
+}
+
+// Support returns [Min, Max].
+func (p Poisson) Support() (int, int) { return p.Min, p.Max }
+
+// PMF returns the truncated, renormalized Poisson mass at l.
+func (p Poisson) PMF(l int) float64 {
+	if l < p.Min || l > p.Max || p.mass == nil {
+		return 0
+	}
+	return p.mass[l-p.Min]
+}
+
+// Mean returns the truncated expectation.
+func (p Poisson) Mean() float64 { return p.mean }
+
+// String renders the rate and support.
+func (p Poisson) String() string {
+	return fmt.Sprintf("Poisson(%g,%d..%d)", p.Lambda, p.Min, p.Max)
+}
+
+// PMF is an arbitrary finite mass function: Mass[i] is the probability of
+// length Lo+i. It is the output format of the optimizer and the input
+// format for hand-built or randomly generated distributions. The struct
+// may be constructed literally for internal plumbing; NewPMF validates.
+type PMF struct {
+	// Lo is the length of the first atom.
+	Lo int
+	// Mass holds one probability per consecutive length.
+	Mass []float64
+}
+
+// NewPMF returns a validated mass function on [lo, lo+len(mass)-1]. The
+// mass slice is copied.
+func NewPMF(lo int, mass []float64) (PMF, error) {
+	if lo < 0 || len(mass) == 0 {
+		return PMF{}, fmt.Errorf("%w: PMF lo=%d with %d atoms", ErrInvalid, lo, len(mass))
+	}
+	p := PMF{Lo: lo, Mass: append([]float64(nil), mass...)}
+	if err := Validate(p); err != nil {
+		return PMF{}, err
+	}
+	return p, nil
+}
+
+// Support returns [Lo, Lo+len(Mass)-1].
+func (p PMF) Support() (int, int) { return p.Lo, p.Lo + len(p.Mass) - 1 }
+
+// PMF returns Mass[l-Lo], or zero outside the support.
+func (p PMF) PMF(l int) float64 {
+	i := l - p.Lo
+	if i < 0 || i >= len(p.Mass) {
+		return 0
+	}
+	return p.Mass[i]
+}
+
+// Mean returns the expectation of the mass function.
+func (p PMF) Mean() float64 {
+	var m float64
+	for i, v := range p.Mass {
+		m += float64(p.Lo+i) * v
+	}
+	return m
+}
+
+// String renders the support bounds.
+func (p PMF) String() string {
+	lo, hi := p.Support()
+	return fmt.Sprintf("PMF(%d..%d)", lo, hi)
+}
+
+// Interface compliance.
+var (
+	_ Length = Fixed{}
+	_ Length = Uniform{}
+	_ Length = Geometric{}
+	_ Length = TwoPoint{}
+	_ Length = Poisson{}
+	_ Length = PMF{}
+)

@@ -1,0 +1,213 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func mustValidate(t *testing.T, d Length) {
+	t.Helper()
+	if err := Validate(d); err != nil {
+		t.Fatalf("%s: %v", d, err)
+	}
+}
+
+func TestFixed(t *testing.T) {
+	f, err := NewFixed(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustValidate(t, f)
+	if lo, hi := f.Support(); lo != 5 || hi != 5 {
+		t.Errorf("support [%d,%d]", lo, hi)
+	}
+	if f.PMF(5) != 1 || f.PMF(4) != 0 || f.Mean() != 5 {
+		t.Errorf("F(5): PMF(5)=%v PMF(4)=%v mean=%v", f.PMF(5), f.PMF(4), f.Mean())
+	}
+	if f.String() != "F(5)" {
+		t.Errorf("String = %q", f.String())
+	}
+	if _, err := NewFixed(-1); !errors.Is(err, ErrInvalid) {
+		t.Error("negative length accepted")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	u, err := NewUniform(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustValidate(t, u)
+	if u.PMF(2) != 0.25 || u.PMF(6) != 0 || u.PMF(1) != 0 {
+		t.Errorf("PMF: %v %v %v", u.PMF(2), u.PMF(6), u.PMF(1))
+	}
+	if u.Mean() != 3.5 {
+		t.Errorf("mean %v", u.Mean())
+	}
+	if _, err := NewUniform(3, 2); !errors.Is(err, ErrInvalid) {
+		t.Error("inverted bounds accepted")
+	}
+	if _, err := NewUniform(-1, 2); !errors.Is(err, ErrInvalid) {
+		t.Error("negative bound accepted")
+	}
+	// Degenerate single-atom uniform.
+	one, err := NewUniform(4, 4)
+	if err != nil || one.PMF(4) != 1 {
+		t.Errorf("U(4,4): %v %v", one, err)
+	}
+}
+
+func TestGeometric(t *testing.T) {
+	g, err := NewGeometric(0.5, 1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustValidate(t, g)
+	// Untruncated mean is 1/(1-pf) = 2; the tail mass beyond 40 is ~2^-40.
+	if math.Abs(g.Mean()-2) > 1e-9 {
+		t.Errorf("mean %v, want ~2", g.Mean())
+	}
+	if math.Abs(g.PMF(1)-0.5/(1-math.Pow(0.5, 40))) > 1e-15 {
+		t.Errorf("PMF(1) = %v", g.PMF(1))
+	}
+	// pf = 0 degenerates to a point mass at Min.
+	g0, err := NewGeometric(0, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustValidate(t, g0)
+	if g0.PMF(1) != 1 || g0.Mean() != 1 {
+		t.Errorf("pf=0: PMF(1)=%v mean=%v", g0.PMF(1), g0.Mean())
+	}
+	for _, pf := range []float64{-0.1, 1, 1.5, math.NaN()} {
+		if _, err := NewGeometric(pf, 1, 10); !errors.Is(err, ErrInvalid) {
+			t.Errorf("pf=%v accepted", pf)
+		}
+	}
+	if _, err := NewGeometric(0.5, 5, 4); !errors.Is(err, ErrInvalid) {
+		t.Error("inverted bounds accepted")
+	}
+}
+
+func TestTwoPoint(t *testing.T) {
+	tp, err := NewTwoPoint(2, 8, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustValidate(t, tp)
+	if tp.PMF(2) != 0.25 || tp.PMF(8) != 0.75 || tp.PMF(5) != 0 {
+		t.Errorf("PMF: %v %v %v", tp.PMF(2), tp.PMF(8), tp.PMF(5))
+	}
+	if tp.Mean() != 0.25*2+0.75*8 {
+		t.Errorf("mean %v", tp.Mean())
+	}
+	// Merged atoms.
+	pt, err := NewTwoPoint(3, 3, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustValidate(t, pt)
+	if pt.PMF(3) != 1 || pt.Mean() != 3 {
+		t.Errorf("merged: PMF(3)=%v mean=%v", pt.PMF(3), pt.Mean())
+	}
+	if _, err := NewTwoPoint(5, 2, 0.5); !errors.Is(err, ErrInvalid) {
+		t.Error("inverted atoms accepted")
+	}
+	if _, err := NewTwoPoint(1, 2, 1.5); !errors.Is(err, ErrInvalid) {
+		t.Error("mass > 1 accepted")
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	p, err := NewPoisson(9, 1, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustValidate(t, p)
+	// Far from the truncation bounds the mean is close to lambda.
+	if math.Abs(p.Mean()-9) > 0.01 {
+		t.Errorf("mean %v, want ~9", p.Mean())
+	}
+	// The PMF ratio matches the Poisson recurrence P(l)/P(l-1) = λ/l.
+	for l := 2; l <= 20; l++ {
+		got := p.PMF(l) / p.PMF(l-1)
+		want := 9.0 / float64(l)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("ratio at %d: %v, want %v", l, got, want)
+		}
+	}
+	if _, err := NewPoisson(0, 1, 10); !errors.Is(err, ErrInvalid) {
+		t.Error("lambda=0 accepted")
+	}
+	if _, err := NewPoisson(math.NaN(), 1, 10); !errors.Is(err, ErrInvalid) {
+		t.Error("NaN lambda accepted")
+	}
+}
+
+func TestPMF(t *testing.T) {
+	p, err := NewPMF(2, []float64{0.5, 0, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustValidate(t, p)
+	if lo, hi := p.Support(); lo != 2 || hi != 4 {
+		t.Errorf("support [%d,%d]", lo, hi)
+	}
+	if p.Mean() != 3 {
+		t.Errorf("mean %v", p.Mean())
+	}
+	if p.PMF(1) != 0 || p.PMF(5) != 0 {
+		t.Error("mass outside support")
+	}
+	// The constructor copies its input.
+	mass := []float64{1}
+	q, err := NewPMF(0, mass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mass[0] = 0.3
+	if q.PMF(0) != 1 {
+		t.Error("NewPMF aliased the caller's slice")
+	}
+	if _, err := NewPMF(0, nil); !errors.Is(err, ErrInvalid) {
+		t.Error("empty mass accepted")
+	}
+	if _, err := NewPMF(-1, []float64{1}); !errors.Is(err, ErrInvalid) {
+		t.Error("negative lo accepted")
+	}
+	if _, err := NewPMF(0, []float64{0.5, 0.4}); !errors.Is(err, ErrInvalid) {
+		t.Error("non-normalized mass accepted")
+	}
+	if _, err := NewPMF(0, []float64{1.5, -0.5}); !errors.Is(err, ErrInvalid) {
+		t.Error("negative atom accepted")
+	}
+}
+
+func TestValidateNil(t *testing.T) {
+	if err := Validate(nil); !errors.Is(err, ErrInvalid) {
+		t.Error("nil distribution accepted")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	g, _ := NewGeometric(0.5, 1, 40)
+	tp, _ := NewTwoPoint(1, 4, 0.3)
+	po, _ := NewPoisson(9, 1, 63)
+	pm, _ := NewPMF(2, []float64{0.5, 0.5})
+	u, _ := NewUniform(0, 9)
+	for _, tc := range []struct {
+		d    Length
+		want string
+	}{
+		{g, "Geom(pf=0.5,1..40)"},
+		{tp, "TwoPoint(1:0.3,4:0.7)"},
+		{po, "Poisson(9,1..63)"},
+		{pm, "PMF(2..3)"},
+		{u, "U(0,9)"},
+	} {
+		if tc.d.String() != tc.want {
+			t.Errorf("String = %q, want %q", tc.d.String(), tc.want)
+		}
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"anonmix/internal/combin"
 	"anonmix/internal/dist"
 	"anonmix/internal/entropy"
+	"anonmix/internal/pool"
 )
 
 // Errors returned by the engine.
@@ -289,11 +290,19 @@ func (m InferenceMode) String() string {
 
 // Engine computes exact anonymity degrees for a rerouting-based anonymous
 // communication system with n nodes of which c are compromised.
+//
+// The engine memoizes every per-class posterior it computes, keyed by the
+// exact mass fingerprint of the length distribution, so repeated queries
+// (figure sweeps, optimizer restarts, Monte-Carlo trials) never recompute
+// a class. It is safe for concurrent use; cached results are bit-identical
+// to fresh computation.
 type Engine struct {
 	n, c       int
 	mode       InferenceMode
 	receiver   bool // receiver compromised (paper default: true)
 	selfReport bool // compromised sender identifies itself (paper default: true)
+
+	memo engineMemo
 }
 
 // Option configures an Engine.
@@ -400,26 +409,53 @@ func (e *Engine) ClassStats(d dist.Length) ([]Stats, error) {
 	if err := e.checkDist(d); err != nil {
 		return nil, err
 	}
+	return e.classStatsKeyed(distKey(d), d)
+}
+
+// classStatsKeyed is ClassStats after validation, with the memo key already
+// computed (AnonymityDegree reuses its own key here).
+func (e *Engine) classStatsKeyed(key string, d dist.Length) ([]Stats, error) {
+	if s, ok := e.memo.loadClassStats(key); ok {
+		return append([]Stats(nil), s...), nil
+	}
 	_, hi := d.Support()
 	classes, err := e.enumerate(hi)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Stats, 0, len(classes))
-	var total float64
-	for _, cl := range classes {
-		st, err := e.statsFor(cl, d)
-		if err != nil {
-			return nil, err
+	out := make([]Stats, len(classes))
+	errs := make([]error, len(classes))
+	// Fan the per-class posteriors out over the shared worker pool. Each
+	// task writes only its own slot, and the verification sum below runs
+	// over the slots in class order, so the parallel path is bit-identical
+	// to the serial one. Small class spaces (C = 1 has four classes) are
+	// not worth the dispatch overhead.
+	if len(classes) >= parallelClassThreshold {
+		pool.ForEach(len(classes), func(i int) {
+			out[i], errs[i] = e.statsFor(classes[i], d)
+		})
+	} else {
+		for i, cl := range classes {
+			out[i], errs[i] = e.statsFor(cl, d)
 		}
-		total += st.P
-		out = append(out, st)
+	}
+	var total float64
+	for i := range out {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		total += out[i].P
 	}
 	if math.Abs(total-1) > 1e-6 {
 		return nil, fmt.Errorf("events: class probabilities sum to %v, want 1 (internal accounting bug)", total)
 	}
-	return out, nil
+	e.memo.storeClassStats(key, out)
+	return append([]Stats(nil), out...), nil
 }
+
+// parallelClassThreshold is the class-space size below which ClassStats
+// and Weights stay serial (pool dispatch would cost more than the work).
+const parallelClassThreshold = 64
 
 // StatsFor returns the statistics of a single observation class under d.
 // It is the entry point used by the simulation adversary, which reconstructs
@@ -435,7 +471,16 @@ func (e *Engine) StatsFor(cl Class, d dist.Length) (Stats, error) {
 	if cl.K() > e.c {
 		return Stats{}, fmt.Errorf("%w: class has %d compromised, system has %d", ErrClassMismatch, cl.K(), e.c)
 	}
-	return e.statsFor(cl, d)
+	key := singleKey{class: cl.String(), dist: distKey(d)}
+	if st, ok := e.memo.loadSingle(key); ok {
+		return st, nil
+	}
+	st, err := e.statsFor(cl, d)
+	if err != nil {
+		return Stats{}, err
+	}
+	e.memo.storeSingle(key, st)
+	return st, nil
 }
 
 // statsFor computes the Bayes mixture for one class. See the package
@@ -588,18 +633,10 @@ func (e *Engine) shape(cl Class) (base, free, nObs int) {
 
 // starsAndBars returns the number of ways to write slack as an ordered sum
 // of vars non-negative integers, in linear space (the engine's free-variable
-// counts are tiny, so the binomial is exact in a float64).
+// counts are tiny, so the binomial is exact in a float64). It is served
+// from the process-wide table in internal/combin.
 func starsAndBars(slack, vars int) float64 {
-	if slack < 0 {
-		return 0
-	}
-	if vars == 0 {
-		if slack == 0 {
-			return 1
-		}
-		return 0
-	}
-	return combin.Choose(slack+vars-1, vars-1)
+	return combin.StarsAndBars(slack, vars)
 }
 
 // ClassWeights holds, for one observation class, the linear weight vectors
@@ -631,16 +668,23 @@ type ClassWeights struct {
 
 // Weights returns the per-class weight vectors for path lengths in
 // [lo, hi]. hi must not exceed N−1.
+// The returned weight vectors are shared with the engine's cache and must
+// be treated as read-only.
 func (e *Engine) Weights(lo, hi int) ([]ClassWeights, error) {
 	if lo < 0 || hi < lo || hi > e.n-1 {
 		return nil, fmt.Errorf("%w: weight range [%d,%d] with N=%d", ErrInvalidSystem, lo, hi, e.n)
+	}
+	key := weightKey{lo, hi}
+	if w, ok := e.memo.loadWeights(key); ok {
+		return append([]ClassWeights(nil), w...), nil
 	}
 	classes, err := e.enumerate(hi)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]ClassWeights, 0, len(classes))
-	for _, cl := range classes {
+	out := make([]ClassWeights, len(classes))
+	build := func(i int) {
+		cl := classes[i]
 		k := cl.K()
 		base, free, nObs := e.shape(cl)
 		cw := ClassWeights{
@@ -674,16 +718,31 @@ func (e *Engine) Weights(lo, hi int) ([]ClassWeights, error) {
 			cw.W[l-lo] = w * starsAndBars(slack, free)
 			cw.W0[l-lo] = w * starsAndBars(slack, free-1)
 		}
-		out = append(out, cw)
+		out[i] = cw
 	}
-	return out, nil
+	if len(classes) >= parallelClassThreshold {
+		pool.ForEach(len(classes), build)
+	} else {
+		for i := range classes {
+			build(i)
+		}
+	}
+	e.memo.storeWeights(key, out)
+	return append([]ClassWeights(nil), out...), nil
 }
 
 // AnonymityDegree returns H*(S) (Formula 5): the expected posterior entropy
 // over all observation classes, including the C/N branch in which the
 // sender itself is compromised and immediately identified.
 func (e *Engine) AnonymityDegree(d dist.Length) (float64, error) {
-	stats, err := e.ClassStats(d)
+	if err := e.checkDist(d); err != nil {
+		return 0, err
+	}
+	key := distKey(d)
+	if h, ok := e.memo.loadDegree(key); ok {
+		return h, nil
+	}
+	stats, err := e.classStatsKeyed(key, d)
 	if err != nil {
 		return 0, err
 	}
@@ -702,14 +761,16 @@ func (e *Engine) AnonymityDegree(d dist.Length) (float64, error) {
 		// Monte-Carlo estimator handles it exactly.
 		frac = 1
 	}
-	return frac * h, nil
+	h *= frac
+	e.memo.storeDegree(key, h)
+	return h, nil
 }
 
 // enumerate returns the mode-appropriate class set for distributions whose
 // support ends at hi.
 func (e *Engine) enumerate(hi int) ([]Class, error) {
 	if e.mode != InferenceHopCount {
-		return Enumerate(e.c, e.receiver), nil
+		return enumerateShared(e.c, e.receiver), nil
 	}
 	if !e.receiver {
 		return nil, fmt.Errorf("%w: hop-count inference requires a compromised receiver (timing baseline)", ErrInvalidSystem)

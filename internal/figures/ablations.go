@@ -9,8 +9,8 @@ package figures
 import (
 	"fmt"
 
-	"anonmix/internal/dist"
 	"anonmix/internal/events"
+	"anonmix/internal/pool"
 	"anonmix/internal/theory"
 )
 
@@ -24,22 +24,14 @@ func AblationCSweep() (Figure, error) {
 		XLabel: "path length l",
 	}
 	for _, c := range []int{1, 2, 4, 8} {
-		e, err := events.New(PaperN, c)
+		e, err := sharedEngine(PaperN, c, events.InferenceStandard)
 		if err != nil {
 			return Figure{}, err
 		}
-		s := Series{Label: fmt.Sprintf("C=%d", c)}
-		for l := 1; l <= PaperN-1; l += 2 {
-			f, err := dist.NewFixed(l)
-			if err != nil {
-				return Figure{}, err
-			}
-			h, err := e.AnonymityDegree(f)
-			if err != nil {
-				return Figure{}, err
-			}
-			s.X = append(s.X, float64(l))
-			s.Y = append(s.Y, h)
+		s, err := seriesOver(fmt.Sprintf("C=%d", c), intRange(1, PaperN-1, 2),
+			func(l int) (float64, error) { return fixedDegree(e, l) })
+		if err != nil {
+			return Figure{}, err
 		}
 		fig.Series = append(fig.Series, s)
 	}
@@ -56,29 +48,41 @@ func AblationNSweep() (Figure, error) {
 	}
 	peakL := Series{Label: "peak location l*"}
 	peakFrac := Series{Label: "peak H*/log2(N)"}
-	for _, n := range []int{20, 40, 60, 80, 100, 150, 200, 300} {
-		e, err := events.New(n, 1)
+	// One independent fixed-length sweep per system size; each sweep in
+	// turn fans its lengths out when pool slots are free.
+	ns := []int{20, 40, 60, 80, 100, 150, 200, 300}
+	type peak struct {
+		l    int
+		frac float64
+	}
+	peaks, err := pool.MapErr(len(ns), func(i int) (peak, error) {
+		n := ns[i]
+		e, err := sharedEngine(n, 1, events.InferenceStandard)
 		if err != nil {
-			return Figure{}, err
+			return peak{}, err
+		}
+		hs, err := pool.MapErr(n-1, func(j int) (float64, error) {
+			return fixedDegree(e, j+1)
+		})
+		if err != nil {
+			return peak{}, err
 		}
 		bestL, bestH := 0, -1.0
-		for l := 1; l <= n-1; l++ {
-			f, err := dist.NewFixed(l)
-			if err != nil {
-				return Figure{}, err
-			}
-			h, err := e.AnonymityDegree(f)
-			if err != nil {
-				return Figure{}, err
-			}
+		for j, h := range hs {
 			if h > bestH {
-				bestH, bestL = h, l
+				bestH, bestL = h, j+1
 			}
 		}
+		return peak{l: bestL, frac: bestH / e.MaxAnonymity()}, nil
+	})
+	if err != nil {
+		return Figure{}, err
+	}
+	for i, n := range ns {
 		peakL.X = append(peakL.X, float64(n))
-		peakL.Y = append(peakL.Y, float64(bestL))
+		peakL.Y = append(peakL.Y, float64(peaks[i].l))
 		peakFrac.X = append(peakFrac.X, float64(n))
-		peakFrac.Y = append(peakFrac.Y, bestH/e.MaxAnonymity())
+		peakFrac.Y = append(peakFrac.Y, peaks[i].frac)
 	}
 	fig.Series = []Series{peakL, peakFrac}
 	return fig, nil
@@ -106,34 +110,19 @@ func AblationInference() (Figure, error) {
 		{"full-position", events.InferenceFullPosition},
 	}
 	for _, m := range modes {
-		e, err := events.New(PaperN, PaperC, events.WithInference(m.mode))
+		e, err := sharedEngine(PaperN, PaperC, m.mode)
 		if err != nil {
 			return Figure{}, err
 		}
-		fixed := Series{Label: "F(m) " + m.label}
-		vari := Series{Label: "U(1,2m-1) " + m.label}
-		for mean := 1; mean <= 49; mean += 2 {
-			f, err := dist.NewFixed(mean)
-			if err != nil {
-				return Figure{}, err
-			}
-			hf, err := e.AnonymityDegree(f)
-			if err != nil {
-				return Figure{}, err
-			}
-			fixed.X = append(fixed.X, float64(mean))
-			fixed.Y = append(fixed.Y, hf)
-
-			u, err := dist.NewUniform(1, 2*mean-1)
-			if err != nil {
-				return Figure{}, err
-			}
-			hu, err := e.AnonymityDegree(u)
-			if err != nil {
-				return Figure{}, err
-			}
-			vari.X = append(vari.X, float64(mean))
-			vari.Y = append(vari.Y, hu)
+		fixed, err := seriesOver("F(m) "+m.label, intRange(1, 49, 2),
+			func(mean int) (float64, error) { return fixedDegree(e, mean) })
+		if err != nil {
+			return Figure{}, err
+		}
+		vari, err := seriesOver("U(1,2m-1) "+m.label, intRange(1, 49, 2),
+			func(mean int) (float64, error) { return uniformDegree(e, 1, 2*mean-1) })
+		if err != nil {
+			return Figure{}, err
 		}
 		fig.Series = append(fig.Series, fixed, vari)
 	}

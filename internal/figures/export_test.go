@@ -1,0 +1,7 @@
+package figures
+
+import "sync"
+
+// ResetEnginesForTest drops the process-wide shared engines so a test can
+// force cold caches on both sides of a parallel-vs-serial comparison.
+func ResetEnginesForTest() { engines = sync.Map{} }

@@ -12,12 +12,12 @@ package montecarlo
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"anonmix/internal/adversary"
 	"anonmix/internal/dist"
 	"anonmix/internal/events"
 	"anonmix/internal/pathsel"
+	"anonmix/internal/pool"
 	"anonmix/internal/stats"
 	"anonmix/internal/trace"
 )
@@ -103,44 +103,42 @@ func EstimateH(cfg Config) (Result, error) {
 	per := cfg.Trials / cfg.Workers
 	extra := cfg.Trials % cfg.Workers
 
-	var wg sync.WaitGroup
-	for w := 0; w < cfg.Workers; w++ {
+	// Each stream owns a forked RNG and a private accumulator, and the
+	// streams are merged in index order below, so the estimate is a pure
+	// function of (Seed, Trials, Workers) regardless of how the shared pool
+	// schedules them.
+	pool.ForEach(cfg.Workers, func(w int) {
 		trials := per
 		if w < extra {
 			trials++
 		}
 		if trials == 0 {
-			continue
+			return
 		}
-		wg.Add(1)
-		go func(w, trials int) {
-			defer wg.Done()
-			rng := stats.Fork(cfg.Seed, int64(w))
-			p := &parts[w]
-			for t := 0; t < trials; t++ {
-				sender := trace.NodeID(rng.Intn(cfg.N))
-				if analyst.Compromised(sender) {
-					// Local-eavesdropper branch: sender identified.
-					p.sum.Add(0)
-					p.compSender++
-					continue
-				}
-				path, err := selector.SelectPath(rng, sender)
-				if err != nil {
-					p.err = err
-					return
-				}
-				mt := Synthesize(1, sender, path, analyst.Compromised)
-				post, err := analyst.Posterior(mt)
-				if err != nil {
-					p.err = err
-					return
-				}
-				p.sum.Add(post.H)
+		rng := stats.Fork(cfg.Seed, int64(w))
+		p := &parts[w]
+		for t := 0; t < trials; t++ {
+			sender := trace.NodeID(rng.Intn(cfg.N))
+			if analyst.Compromised(sender) {
+				// Local-eavesdropper branch: sender identified.
+				p.sum.Add(0)
+				p.compSender++
+				continue
 			}
-		}(w, trials)
-	}
-	wg.Wait()
+			path, err := selector.SelectPath(rng, sender)
+			if err != nil {
+				p.err = err
+				return
+			}
+			mt := Synthesize(1, sender, path, analyst.Compromised)
+			post, err := analyst.Posterior(mt)
+			if err != nil {
+				p.err = err
+				return
+			}
+			p.sum.Add(post.H)
+		}
+	})
 
 	var total stats.Summary
 	var compSenders int

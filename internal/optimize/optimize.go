@@ -23,6 +23,7 @@ import (
 
 	"anonmix/internal/dist"
 	"anonmix/internal/events"
+	"anonmix/internal/pool"
 )
 
 // Errors returned by the solvers.
@@ -139,9 +140,17 @@ func Maximize(p Problem, opts ...Option) (Result, error) {
 	n := p.Hi - p.Lo + 1
 	starts := p.startingPoints(cfg.restarts)
 
+	// The evaluator's class weights are read-only after construction, so
+	// every restart shares them; each ascent owns its own iterate and
+	// gradient buffers. Restarts run concurrently on the shared pool and
+	// are folded in start order below, so the winner (and its tie-breaking)
+	// is identical to the serial loop.
+	results := make([]Result, len(starts))
+	pool.ForEach(len(starts), func(i int) {
+		results[i] = p.ascend(ev, starts[i], cfg)
+	})
 	best := Result{H: math.Inf(-1)}
-	for _, start := range starts {
-		res := p.ascend(ev, start, cfg)
+	for _, res := range results {
 		if res.H > best.H {
 			conv := res.Converged
 			iters := best.Iterations + res.Iterations
@@ -521,8 +530,7 @@ func BestUniform(e *events.Engine, mean, lo, hi int) (dist.Uniform, float64, err
 		return dist.Uniform{}, 0, fmt.Errorf("%w: mean %d, support [%d,%d], N=%d",
 			ErrBadProblem, mean, lo, hi, e.N())
 	}
-	bestH := math.Inf(-1)
-	var bestU dist.Uniform
+	var cands []dist.Uniform
 	for a := lo; a <= mean; a++ {
 		b := 2*mean - a
 		if b > hi {
@@ -532,12 +540,21 @@ func BestUniform(e *events.Engine, mean, lo, hi int) (dist.Uniform, float64, err
 		if err != nil {
 			return dist.Uniform{}, 0, err
 		}
-		h, err := e.AnonymityDegree(u)
-		if err != nil {
-			return dist.Uniform{}, 0, err
-		}
+		cands = append(cands, u)
+	}
+	// Evaluate the family concurrently, then fold in candidate order so the
+	// first-best tie-breaking matches a serial scan.
+	hs, err := pool.MapErr(len(cands), func(i int) (float64, error) {
+		return e.AnonymityDegree(cands[i])
+	})
+	if err != nil {
+		return dist.Uniform{}, 0, err
+	}
+	bestH := math.Inf(-1)
+	var bestU dist.Uniform
+	for i, h := range hs {
 		if h > bestH {
-			bestH, bestU = h, u
+			bestH, bestU = h, cands[i]
 		}
 	}
 	if math.IsInf(bestH, -1) {

@@ -1,0 +1,103 @@
+package pool
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		prev := SetWorkers(workers)
+		for _, n := range []int{0, 1, 5, 100, 1000} {
+			hits := make([]atomic.Int32, n)
+			ForEach(n, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, got)
+				}
+			}
+		}
+		SetWorkers(prev)
+	}
+}
+
+func TestSetWorkersClampsAndRestores(t *testing.T) {
+	prev := SetWorkers(3)
+	if Workers() != 3 {
+		t.Errorf("Workers = %d, want 3", Workers())
+	}
+	if got := SetWorkers(-5); got != 3 {
+		t.Errorf("SetWorkers returned %d, want 3", got)
+	}
+	if Workers() != 1 {
+		t.Errorf("negative width not clamped: %d", Workers())
+	}
+	SetWorkers(prev)
+}
+
+func TestMapOrdering(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	out := Map(257, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapErrReturnsLowestIndexError(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	errA := errors.New("a")
+	errB := errors.New("b")
+	_, err := MapErr(100, func(i int) (int, error) {
+		switch i {
+		case 7:
+			return 0, errB
+		case 3:
+			return 0, errA
+		}
+		return i, nil
+	})
+	if !errors.Is(err, errA) {
+		t.Errorf("err = %v, want the lowest-index error %v", err, errA)
+	}
+	out, err := MapErr(10, func(i int) (int, error) { return i, nil })
+	if err != nil || len(out) != 10 {
+		t.Errorf("clean MapErr: %v, %v", out, err)
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Errorf("recovered %v, want boom", r)
+		}
+	}()
+	ForEach(64, func(i int) {
+		if i == 10 {
+			panic("boom")
+		}
+	})
+	t.Error("ForEach returned after a task panicked")
+}
+
+// TestNestedForEach verifies that a saturated pool degrades to inline
+// execution instead of deadlocking when tasks fan out again.
+func TestNestedForEach(t *testing.T) {
+	prev := SetWorkers(2)
+	defer SetWorkers(prev)
+	var total atomic.Int64
+	ForEach(8, func(i int) {
+		ForEach(8, func(j int) {
+			total.Add(1)
+		})
+	})
+	if total.Load() != 64 {
+		t.Errorf("nested tasks ran %d times, want 64", total.Load())
+	}
+}

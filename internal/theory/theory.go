@@ -103,6 +103,11 @@ func C1(n int, d dist.Length) (float64, error) {
 		if p == 0 {
 			continue
 		}
+		// P(X off path | l) is the falling-factorial ratio
+		// P(n−2, l)/P(n−1, l), which telescopes to the exact rational
+		// (n−1−l)/(n−1) — evaluated directly so the weight carries no
+		// log-space rounding. Tests cross-check the telescoped form against
+		// combin.LogFallingFactorial.
 		pOff += p * float64(n-1-l) / float64(n-1)
 		if l == 0 {
 			pOffSpike += p

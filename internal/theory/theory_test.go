@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"anonmix/internal/combin"
 	"anonmix/internal/dist"
 )
 
@@ -210,4 +211,20 @@ func TestLongPathEffectClosedForm(t *testing.T) {
 		t.Errorf("no decline after peak: H(%d)=%v, peak %v", n-1, hEnd, peakH)
 	}
 	t.Logf("N=%d C=1 fixed-length peak at l=%d with H*=%.6f (paper reports l≈31; see DESIGN.md §2)", n, peakL, peakH)
+}
+
+// TestOffPathWeightMatchesFallingFactorials pins the identity behind C1's
+// off-path event-group weight: the exact rational (n-1-l)/(n-1) used in
+// the hot loop equals the falling-factorial ratio P(n-2,l)/P(n-1,l)
+// evaluated through the shared log-combinatorics table.
+func TestOffPathWeightMatchesFallingFactorials(t *testing.T) {
+	for _, n := range []int{5, 20, 100, 333} {
+		for l := 0; l <= n-1; l++ {
+			exact := float64(n-1-l) / float64(n-1)
+			logged := math.Exp(combin.LogFallingFactorial(n-2, l) - combin.LogFallingFactorial(n-1, l))
+			if math.Abs(exact-logged) > 1e-12*(1+exact) {
+				t.Errorf("n=%d l=%d: rational %v, log falling factorial %v", n, l, exact, logged)
+			}
+		}
+	}
 }
