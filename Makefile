@@ -2,6 +2,9 @@
 
 GO ?= go
 DATE := $(shell date +%Y%m%d)
+# The short commit hash keys bench snapshots so a same-day rerun (or a
+# stack of PRs landing together) never clobbers an earlier measurement.
+SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo nogit)
 
 .PHONY: all build vet test race bench bench-smoke clean
 
@@ -22,12 +25,13 @@ race:
 # bench snapshots the full benchmark suite as JSON so the performance
 # trajectory is tracked across PRs (see EXPERIMENTS.md).
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -json > BENCH_$(DATE).json
-	@echo "wrote BENCH_$(DATE).json"
+	$(GO) test -run '^$$' -bench . -benchmem -json > BENCH_$(DATE)_$(SHA).json
+	@echo "wrote BENCH_$(DATE)_$(SHA).json"
 
-# bench-smoke is the quick acceptance sweep used by CI.
+# bench-smoke is the quick acceptance sweep; CI runs exactly this target
+# so the two can never diverge.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkFig3a$$|BenchmarkFig4|BenchmarkWeights$$' -benchmem
+	$(GO) test -run '^$$' -bench 'BenchmarkFig3a$$|BenchmarkFig4|BenchmarkWeights$$|BenchmarkDegreeLargeC$$|BenchmarkWeightsLargeC$$' -benchtime=1x -benchmem
 
 clean:
 	rm -f BENCH_*.json

@@ -9,6 +9,7 @@ package anonmix
 
 import (
 	"crypto/rand"
+	"fmt"
 	"math"
 	"testing"
 	"time"
@@ -396,6 +397,101 @@ func BenchmarkAblationCompromiseSweep(b *testing.B) {
 		}
 	}
 	b.ReportMetric(h1-h8, "decay_c1_to_c8_bits")
+}
+
+// BenchmarkAblationLargeC regenerates the large-C figure (anonymity vs
+// compromised fraction at N ∈ {100, 1000}) and reports the normalized
+// anonymity remaining at 50% corruption of the large system.
+func BenchmarkAblationLargeC(b *testing.B) {
+	fig := benchFigure(b, figures.AblationLargeC)
+	s := fig.Series[len(fig.Series)-1]
+	b.ReportMetric(s.Y[len(s.Y)-1], "norm_H*_at_half_N1000")
+}
+
+// BenchmarkDegreeLargeC measures one cold exact evaluation far beyond the
+// old enumeration cap: N = 1000, C = 400 (40% corruption), U(2,20). A
+// fresh engine per iteration keeps the memo out of the measurement.
+func BenchmarkDegreeLargeC(b *testing.B) {
+	u, err := dist.NewUniform(2, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var h float64
+	for i := 0; i < b.N; i++ {
+		e, err := events.New(1000, 400)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if h, err = e.AnonymityDegree(u); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(h, "H*_bits")
+}
+
+// BenchmarkWeightsLargeC measures building the optimizer's bucketed weight
+// decomposition at N = 1000, C = 400 over the U(2,20) support range.
+func BenchmarkWeightsLargeC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e, err := events.New(1000, 400)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Weights(0, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDegreeEnumerated times the legacy Θ(3^C) per-class path
+// (ClassStats fold) at the top of its range, for the EXPERIMENTS.md
+// enumerated-vs-bucketed comparison.
+func BenchmarkDegreeEnumerated(b *testing.B) {
+	u, err := dist.NewUniform(2, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range []int{8, 10, 12} {
+		b.Run(fmt.Sprintf("C=%d", c), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e, err := events.New(100, c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stats, err := e.ClassStats(u)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var h float64
+				for _, st := range stats {
+					h += st.P * st.H
+				}
+				_ = h * float64(100-c) / 100
+			}
+		})
+	}
+}
+
+// BenchmarkDegreeBucketed times the counted-bucket path over the same
+// configurations plus the C = 32/64 regime only it can reach.
+func BenchmarkDegreeBucketed(b *testing.B) {
+	u, err := dist.NewUniform(2, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range []int{8, 10, 12, 32, 64} {
+		b.Run(fmt.Sprintf("C=%d", c), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e, err := events.New(100, c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := e.AnonymityDegree(u); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkEngineEval measures a single exact H*(S) evaluation (N=100,

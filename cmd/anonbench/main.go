@@ -6,9 +6,13 @@
 //	anonbench -figure 3a            # one figure to stdout
 //	anonbench -all -out results/    # every figure into results/<name>.tsv
 //	anonbench -list                 # available figure names
+//	anonbench -figure ablation-largec -largec-n 100,1000 -largec-frac 0.5
 //
-// All figures use the paper's configuration: N = 100 nodes, C = 1
-// compromised node, receiver compromised.
+// The paper figures use its configuration (N = 100 nodes, C = 1
+// compromised node, receiver compromised). The large-C ablation drives
+// the counted-bucket engine across compromised fractions; its system
+// sizes, maximum fraction, and point count are set by the -largec-*
+// flags.
 package main
 
 import (
@@ -17,6 +21,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 
 	"anonmix/internal/figures"
 )
@@ -31,10 +37,13 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("anonbench", flag.ContinueOnError)
 	var (
-		figure = fs.String("figure", "", "figure to regenerate (see -list)")
-		all    = fs.Bool("all", false, "regenerate every figure")
-		out    = fs.String("out", "", "directory for TSV files (stdout if empty)")
-		list   = fs.Bool("list", false, "list available figures")
+		figure       = fs.String("figure", "", "figure to regenerate (see -list)")
+		all          = fs.Bool("all", false, "regenerate every figure")
+		out          = fs.String("out", "", "directory for TSV files (stdout if empty)")
+		list         = fs.Bool("list", false, "list available figures")
+		largeCNs     = fs.String("largec-n", "100,1000", "comma-separated system sizes for ablation-largec")
+		largeCFrac   = fs.Float64("largec-frac", 0.5, "maximum compromised fraction c/N for ablation-largec")
+		largeCPoints = fs.Int("largec-points", 10, "points per curve for ablation-largec")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,6 +65,16 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		figs = fs
+	case *figure == "ablation-largec":
+		ns, err := parseInts(*largeCNs)
+		if err != nil {
+			return fmt.Errorf("-largec-n: %w", err)
+		}
+		f, err := figures.AblationLargeCSweep(ns, *largeCFrac, *largeCPoints)
+		if err != nil {
+			return err
+		}
+		figs = []figures.Figure{f}
 	case *figure != "":
 		f, err := figures.ByName(*figure)
 		if err != nil {
@@ -93,4 +112,27 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(os.Stderr, "anonbench: wrote %s\n", path)
 	}
 	return nil
+}
+
+// parseInts parses a comma-separated list of positive integers.
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("size %d must be positive", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty size list %q", s)
+	}
+	return out, nil
 }

@@ -52,6 +52,35 @@ func TestRunFigureToDirectory(t *testing.T) {
 	}
 }
 
+func TestRunLargeCSweep(t *testing.T) {
+	var sb strings.Builder
+	args := []string{"-figure", "ablation-largec", "-largec-n", "50", "-largec-frac", "0.4", "-largec-points", "4"}
+	if err := run(args, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# Figure ablation-largec") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "N=50 (H*/log2 N)") {
+		t.Errorf("missing series label:\n%s", out)
+	}
+	// 5 fraction rows (0 .. 0.4 step 0.1) below the TSV header.
+	if got := strings.Count(out, "\n"); got < 6 {
+		t.Errorf("want ≥ 6 lines, got %d:\n%s", got, out)
+	}
+}
+
+func TestRunLargeCBadFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-figure", "ablation-largec", "-largec-n", "x"}, &sb); err == nil {
+		t.Error("bad size list accepted")
+	}
+	if err := run([]string{"-figure", "ablation-largec", "-largec-frac", "2"}, &sb); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-figure", "nope"}, &sb); err == nil {

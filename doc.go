@@ -39,9 +39,22 @@
 //     engine's inner loop. Reads are lock-free atomic loads of immutable
 //     snapshots; growth is mutex-serialized copy-and-replace.
 //
-//   - events.Engine memoizes every per-class posterior, keyed by the
-//     observation class and the exact IEEE-754 fingerprint of the path-
-//     length distribution. ClassStats, StatsFor, Weights, and
+//   - events.Engine aggregates over counted shape buckets instead of
+//     concrete observation classes: per-class statistics depend only on
+//     (k compromised, m runs, j₂ wide junctions, tail flag), so the
+//     Θ(3^C) class space collapses into O(min(C, L)³) buckets with
+//     closed-form multiplicities C(k−1,m−1)·C(m−1,j₂). AnonymityDegree,
+//     BucketStats, and the optimizer's Weights are therefore exact for
+//     any C ≤ N−1 — constant corrupted fractions included (N = 1000,
+//     C = 400 evaluates in well under a millisecond) — where the old
+//     enumeration capped at C = 12. The per-class APIs (ClassStats,
+//     Enumerate) keep that bound; StatsFor handles single classes at any
+//     C, which lets the Monte-Carlo estimator cross-validate the bucketed
+//     engine deep into the large-C regime.
+//
+//   - events.Engine memoizes every posterior it computes, keyed by the
+//     observation class or bucket set and the exact IEEE-754 fingerprint
+//     of the path-length distribution. ClassStats, StatsFor, Weights, and
 //     AnonymityDegree never compute a (class, distribution) pair twice,
 //     and class enumerations are shared per (C, receiver) across engines.
 //     Engines are safe for concurrent use; internal/figures additionally
@@ -58,10 +71,11 @@
 //
 // The benchmark harness doubles as the regression gate:
 //
-//	go test -bench 'Fig3a|Fig4|Weights' -benchmem   # perf acceptance suite
-//	go test -race ./...                             # cache-layer safety
-//	make bench                                      # snapshot BENCH_<date>.json
+//	make bench-smoke     # perf acceptance suite (same command CI runs)
+//	go test -race ./...  # cache-layer safety
+//	make bench           # snapshot BENCH_<date>_<sha>.json
 //
 // EXPERIMENTS.md records the current numbers, including the measured
-// speedup of the cache layer over the serial baseline.
+// speedup of the cache layer over the serial baseline and of the bucketed
+// engine over the per-class enumeration.
 package anonmix

@@ -181,6 +181,10 @@ func (s *System) CompareStrategies(strats []pathsel.Strategy, compromised []trac
 				Strategy:    approx,
 				Trials:      trials,
 				Seed:        seed,
+				// The estimate is a pure function of (Seed, Trials,
+				// Workers); pin the width so a caller-supplied seed means
+				// the same numbers on every machine.
+				Workers: 4,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("core: estimating %s: %w", st.Name, err)

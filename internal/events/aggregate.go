@@ -1,0 +1,347 @@
+package events
+
+// Counted-bucket aggregation: the polynomial replacement for the Θ(3^C)
+// class enumeration.
+//
+// Every per-class statistic the engine computes (statsFor, the Weights
+// vectors) depends on a class only through its *shape* — the tuple
+// (k compromised, m runs, j₂ wide junctions, tail flag). The run-length
+// composition and the order of the junction flags never enter the math:
+// base, free, and nObs are sums over the runs and gaps, and the length-loop
+// recurrence uses only k. The class space therefore collapses into
+// O(min(C, L)³) shape buckets, each carrying a closed-form multiplicity
+//
+//	count(k, m, j₂) = C(k−1, m−1) · C(m−1, j₂)
+//
+// (compositions of k into m ordered runs, times choices of which of the
+// m−1 junctions are wide). Summing count·P over buckets is exactly the sum
+// of P over concrete classes, so AnonymityDegree and the optimizer's
+// weight decomposition become exact in O(min(C, L)³·L) for any C ≤ N−1 —
+// the regime of constant corrupted fractions that the exponential
+// enumeration could never reach.
+
+import (
+	"fmt"
+	"math"
+
+	"anonmix/internal/combin"
+	"anonmix/internal/dist"
+	"anonmix/internal/entropy"
+	"anonmix/internal/pool"
+)
+
+// Bucket is one equivalence class of observation-class shapes: every
+// concrete Class with K compromised intermediates arranged in Runs maximal
+// runs, Wide of whose junctions have a gap of at least two nodes, and the
+// given tail flag. The zero value is the empty bucket (no compromised node
+// on the path).
+type Bucket struct {
+	// K is the number of compromised intermediates on the path.
+	K int
+	// Runs is the number of maximal compromised runs (0 only for the
+	// empty bucket).
+	Runs int
+	// Wide is the number of junctions with a gap of ≥ 2 nodes; the other
+	// Runs−1−Wide junctions are one-node gaps.
+	Wide int
+	// Tail is the tail flag shared by every class in the bucket. Unused
+	// (zero) for the empty bucket.
+	Tail TailFlag
+}
+
+// Empty reports whether the bucket is the no-compromised-observation one.
+func (b Bucket) Empty() bool { return b.Runs == 0 }
+
+// Count returns the number of concrete observation classes in the bucket,
+// C(K−1, Runs−1)·C(Runs−1, Wide), as a float64. The product can overflow
+// to +Inf for buckets with K in the several hundreds (path lengths no real
+// configuration reaches); callers detect that and fall back to LogCount,
+// which stays exact.
+func (b Bucket) Count() float64 {
+	if b.Empty() {
+		return 1
+	}
+	return combin.Choose(b.K-1, b.Runs-1) * combin.Choose(b.Runs-1, b.Wide)
+}
+
+// LogCount returns ln of Count, computed in log space.
+func (b Bucket) LogCount() float64 {
+	if b.Empty() {
+		return 0
+	}
+	return combin.LogChoose(b.K-1, b.Runs-1) + combin.LogChoose(b.Runs-1, b.Wide)
+}
+
+// Class returns a canonical representative class of the bucket: a first
+// run absorbing the excess length, Runs−1 single-node runs, the Wide wide
+// junctions first. Its shape (and therefore all its statistics) is shared
+// by every class in the bucket.
+func (b Bucket) Class() Class {
+	if b.Empty() {
+		return Class{}
+	}
+	runs := make([]int, b.Runs)
+	runs[0] = b.K - (b.Runs - 1)
+	for i := 1; i < b.Runs; i++ {
+		runs[i] = 1
+	}
+	gaps := make([]GapFlag, b.Runs-1)
+	for i := range gaps {
+		if i < b.Wide {
+			gaps[i] = GapWide
+		} else {
+			gaps[i] = GapOne
+		}
+	}
+	return Class{Runs: runs, Gaps: gaps, Tail: b.Tail}
+}
+
+// String renders the bucket compactly, e.g. "k=3 m=2 wide=1 t2+".
+func (b Bucket) String() string {
+	if b.Empty() {
+		return "k=0"
+	}
+	return fmt.Sprintf("k=%d m=%d wide=%d t%s", b.K, b.Runs, b.Wide, b.Tail)
+}
+
+// bucketShape mirrors shape for a whole bucket: minimum producible path
+// length, free gap-variable count (head gap included), and observed
+// uncompromised witnesses. See shape for the per-flag accounting.
+func (e *Engine) bucketShape(b Bucket) (base, free, nObs int) {
+	if b.Empty() {
+		if e.receiver {
+			return 0, 1, 1
+		}
+		return 0, 1, 0
+	}
+	j1 := b.Runs - 1 - b.Wide
+	base = b.K + j1 + 2*b.Wide
+	free = 1 + b.Wide
+	nObs = 1 + j1 + 2*b.Wide
+	switch b.Tail {
+	case TailZero:
+	case TailOne:
+		base++
+		nObs++
+	case TailWide:
+		base += 2
+		free++
+		nObs += 2
+	case TailUnobserved:
+		base++
+		free++
+		nObs++
+	}
+	return base, free, nObs
+}
+
+// bucketSet returns every shape bucket that can occur on a path of length
+// at most hi: the empty bucket plus (k, m, j₂, tail) with k ≤ min(C, hi)
+// and minimal base length k+m−1+j₂ ≤ hi. The order is deterministic
+// (k-major), which keeps the parallel aggregation paths bit-identical to a
+// serial fold.
+func (e *Engine) bucketSet(hi int) []Bucket {
+	tails := []TailFlag{TailZero, TailOne, TailWide}
+	if !e.receiver {
+		tails = []TailFlag{TailZero, TailUnobserved}
+	}
+	kMax := e.c
+	if kMax > hi {
+		kMax = hi
+	}
+	out := []Bucket{{}}
+	for k := 1; k <= kMax; k++ {
+		for m := 1; m <= k && k+m-1 <= hi; m++ {
+			for j2 := 0; j2 < m && k+m-1+j2 <= hi; j2++ {
+				for _, t := range tails {
+					out = append(out, Bucket{K: k, Runs: m, Wide: j2, Tail: t})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// BucketStats aggregates one whole bucket of observation classes under a
+// path-length distribution: the per-class posterior (identical for every
+// member) and the bucket's total probability mass.
+type BucketStats struct {
+	// Bucket is the shape signature.
+	Bucket Bucket
+	// Count is the number of concrete classes in the bucket (+Inf when
+	// not float64-representable; see Bucket.Count).
+	Count float64
+	// P is the total probability that the adversary's observation falls
+	// in this bucket (Count × the per-class probability), conditioned on
+	// the sender not being compromised. Σ P over a BucketStats slice is 1.
+	P float64
+	// Alpha is the per-class posterior spike P(g0 = 0 | class), shared by
+	// every class in the bucket.
+	Alpha float64
+	// Rest is the slab candidate count shared by the bucket.
+	Rest int
+	// H is the per-class posterior entropy in bits.
+	H float64
+}
+
+// bucketStatsFor computes the aggregate Bayes mixture for one bucket. It
+// runs the same W(l,k) recurrence as statsFor with the bucket multiplicity
+// folded into the starting weight; because every recurrence factor is ≤ 1
+// and the folded weight satisfies count·W(l,k) ≤ 1 for l ≥ base, the
+// linear path neither overflows nor loses the bucket's mass. Buckets whose
+// multiplicity exceeds float64 range (possible only for path lengths
+// beyond ~1000) fall back to a fully log-space evaluation.
+func (e *Engine) bucketStatsFor(b Bucket, d dist.Length) BucketStats {
+	lo, hi := d.Support()
+	if hi > e.n-1 {
+		hi = e.n - 1
+	}
+	k := b.K
+	base, free, nObs := e.bucketShape(b)
+	count := b.Count()
+
+	var sumP, sumP0 float64
+	if !math.IsInf(count, 1) {
+		w := count
+		for i := 0; i < k; i++ {
+			w *= float64(e.c-i) / float64(e.n-1-i)
+		}
+		for l := k; l <= hi; l++ {
+			if l > k {
+				num := float64(e.n - 1 - e.c - (l - 1 - k))
+				if num <= 0 {
+					break
+				}
+				w *= num / float64(e.n-1-(l-1))
+			}
+			if l < lo || l < base {
+				continue
+			}
+			p := d.PMF(l)
+			if p == 0 {
+				continue
+			}
+			slack := l - base
+			sumP += p * w * starsAndBars(slack, free)
+			sumP0 += p * w * starsAndBars(slack, free-1)
+		}
+	} else {
+		// Astronomical multiplicity: aggregate in log space. Each term
+		// count·W(l,k)·A is a probability (≤ 1), so the exponentials are
+		// safe to accumulate linearly.
+		lp := b.LogCount() + combin.LogFallingFactorial(e.c, k)
+		for l := base; l <= hi; l++ {
+			if l < lo {
+				continue
+			}
+			p := d.PMF(l)
+			if p == 0 {
+				continue
+			}
+			lw := lp + combin.LogFallingFactorial(e.n-1-e.c, l-k) -
+				combin.LogFallingFactorial(e.n-1, l)
+			slack := l - base
+			sumP += p * math.Exp(lw+combin.LogStarsAndBars(slack, free))
+			sumP0 += p * math.Exp(lw+combin.LogStarsAndBars(slack, free-1))
+		}
+	}
+
+	st := BucketStats{Bucket: b, Count: count, Rest: e.n - e.c - nObs}
+	if sumP <= 0 {
+		// Bucket unreachable under this distribution.
+		return st
+	}
+	st.P = sumP
+	st.Alpha = sumP0 / sumP
+	if st.Alpha > 1 {
+		st.Alpha = 1 // guard against rounding
+	}
+	if b.Empty() && !e.receiver {
+		st.Alpha = 0
+		st.Rest = e.n - e.c
+		st.H = entropy.Max(st.Rest)
+		return st
+	}
+	switch {
+	case e.mode == InferenceFullPosition && !b.Empty():
+		st.H = (1 - st.Alpha) * entropy.Max(st.Rest)
+	default:
+		st.H = entropy.SpikeAndSlab(st.Alpha, st.Rest)
+	}
+	return st
+}
+
+// BucketStats returns the aggregate statistics of every shape bucket under
+// d. It is the polynomial counterpart of ClassStats: the returned total
+// probabilities sum to 1 over the sender-not-compromised branch (verified,
+// as in ClassStats), and unlike the enumeration it works for any C ≤ N−1.
+// Hop-count inference has no shape buckets (its classes carry exact tail
+// gaps) and is rejected.
+func (e *Engine) BucketStats(d dist.Length) ([]BucketStats, error) {
+	if err := e.checkDist(d); err != nil {
+		return nil, err
+	}
+	if e.mode == InferenceHopCount {
+		return nil, fmt.Errorf("%w: hop-count inference has no shape buckets; use ClassStats", ErrInvalidSystem)
+	}
+	return e.bucketStatsKeyed(distKey(d), d)
+}
+
+// bucketStatsKeyed is BucketStats after validation, with the memo key
+// already computed (AnonymityDegree reuses its own key here).
+func (e *Engine) bucketStatsKeyed(key string, d dist.Length) ([]BucketStats, error) {
+	if s, ok := e.memo.loadBucketStats(key); ok {
+		return append([]BucketStats(nil), s...), nil
+	}
+	_, hi := d.Support()
+	if hi > e.n-1 {
+		hi = e.n - 1
+	}
+	buckets := e.bucketSet(hi)
+	out := make([]BucketStats, len(buckets))
+	// Same fan-out discipline as ClassStats: each task writes only its own
+	// slot and the verification fold below runs in bucket order, so the
+	// parallel path is bit-identical to the serial one.
+	if len(buckets) >= parallelClassThreshold {
+		pool.ForEach(len(buckets), func(i int) {
+			out[i] = e.bucketStatsFor(buckets[i], d)
+		})
+	} else {
+		for i, b := range buckets {
+			out[i] = e.bucketStatsFor(b, d)
+		}
+	}
+	var total float64
+	for i := range out {
+		total += out[i].P
+	}
+	if math.Abs(total-1) > 1e-6 {
+		return nil, fmt.Errorf("events: bucket probabilities sum to %v, want 1 (internal accounting bug)", total)
+	}
+	e.memo.storeBucketStats(key, out)
+	return append([]BucketStats(nil), out...), nil
+}
+
+// bucketWeights builds the optimizer's weight decomposition from shape
+// buckets: one ClassWeights entry per bucket with per-class W/W0 vectors
+// (the same recurrence the enumerated path used) and the bucket
+// multiplicity in Count. The objective is then Σ_σ Count_σ·P_σ·f(α_σ) —
+// identical to the per-class sum, at O(min(C, hi)³) entries instead of
+// Θ(3^C).
+func (e *Engine) bucketWeights(lo, hi int) []ClassWeights {
+	buckets := e.bucketSet(hi)
+	out := make([]ClassWeights, len(buckets))
+	build := func(i int) {
+		b := buckets[i]
+		base, free, nObs := e.bucketShape(b)
+		out[i] = e.buildWeights(b.Class(), b.Count(), b.K, base, free, nObs, lo, hi)
+	}
+	if len(buckets) >= parallelClassThreshold {
+		pool.ForEach(len(buckets), build)
+	} else {
+		for i := range buckets {
+			build(i)
+		}
+	}
+	return out
+}

@@ -47,11 +47,12 @@ type weightKey struct{ lo, hi int }
 
 // engineMemo holds the per-engine caches. The zero value is ready to use.
 type engineMemo struct {
-	mu         sync.RWMutex
-	classStats map[string][]Stats
-	degrees    map[string]float64
-	single     map[singleKey]Stats
-	weights    map[weightKey][]ClassWeights
+	mu          sync.RWMutex
+	classStats  map[string][]Stats
+	bucketStats map[string][]BucketStats
+	degrees     map[string]float64
+	single      map[singleKey]Stats
+	weights     map[weightKey][]ClassWeights
 }
 
 func (m *engineMemo) loadClassStats(key string) ([]Stats, bool) {
@@ -67,6 +68,22 @@ func (m *engineMemo) storeClassStats(key string, s []Stats) {
 		m.classStats = make(map[string][]Stats)
 	}
 	m.classStats[key] = s
+	m.mu.Unlock()
+}
+
+func (m *engineMemo) loadBucketStats(key string) ([]BucketStats, bool) {
+	m.mu.RLock()
+	s, ok := m.bucketStats[key]
+	m.mu.RUnlock()
+	return s, ok
+}
+
+func (m *engineMemo) storeBucketStats(key string, s []BucketStats) {
+	m.mu.Lock()
+	if m.bucketStats == nil || len(m.bucketStats) >= maxMemoEntries {
+		m.bucketStats = make(map[string][]BucketStats)
+	}
+	m.bucketStats[key] = s
 	m.mu.Unlock()
 }
 

@@ -27,6 +27,16 @@
 // length distribution yields the spike-and-slab sender posterior whose
 // entropy is H(e). Everything is exact (log-space combinatorics); no
 // sampling is involved.
+//
+// # Counted buckets
+//
+// The class space grows as Θ(3^C), but every statistic above depends on a
+// class only through its shape (k compromised, m runs, j₂ wide junctions,
+// tail flag), so aggregate queries — AnonymityDegree, BucketStats, and the
+// optimizer's Weights — collapse the enumeration into O(min(C, L)³) shape
+// buckets with closed-form multiplicities C(k−1,m−1)·C(m−1,j₂) (see
+// aggregate.go). Those paths are exact for any C ≤ N−1; only the per-class
+// APIs (ClassStats, Enumerate) keep the enumeration and its C ≤ 12 bound.
 package events
 
 import (
@@ -48,16 +58,19 @@ var (
 	// exceeds N−1, the longest simple path in an N-node clique.
 	ErrSupportTooLong = errors.New("events: path length support exceeds N-1 (simple paths)")
 	// ErrTooManyClasses reports a compromised-node count whose class space
-	// is too large to enumerate exactly; use the Monte-Carlo estimator.
+	// is too large to enumerate class-by-class. The bucketed aggregates
+	// (AnonymityDegree, BucketStats, Weights) and single-class StatsFor
+	// have no such limit.
 	ErrTooManyClasses = errors.New("events: class space too large for exact enumeration")
 	// ErrClassMismatch reports a class signature inconsistent with the
 	// engine's system parameters.
 	ErrClassMismatch = errors.New("events: class signature inconsistent with system")
 )
 
-// maxCompromisedExact bounds the exact enumeration: the class space grows as
-// Θ(3^C), so beyond this the Monte-Carlo estimator should be used instead.
-const maxCompromisedExact = 12
+// maxCompromisedEnumerate bounds the per-class enumeration (ClassStats and
+// the hop-count paths): the concrete class space grows as Θ(3^C). The
+// bucketed aggregates in aggregate.go are polynomial and unbounded.
+const maxCompromisedEnumerate = 12
 
 // GapFlag classifies the observable size of the gap between two consecutive
 // compromised runs on a path.
@@ -331,16 +344,18 @@ func WithoutSenderSelfReport() Option {
 
 // New returns an exact engine for an n-node system with c compromised
 // nodes. The receiver is compromised in addition to the c nodes, matching
-// the paper's threat model.
+// the paper's threat model. Any c ≤ n is accepted: the aggregate queries
+// run on the counted-bucket engine, which is polynomial in c; only the
+// per-class ClassStats enumeration keeps a small-c bound. At c = n the
+// degenerate system has H* = 0 (AnonymityDegree short-circuits), but the
+// per-class partition, which conditions on an uncompromised sender, is
+// undefined and ClassStats/BucketStats report an accounting error.
 func New(n, c int, opts ...Option) (*Engine, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("%w: need at least 2 nodes, have %d", ErrInvalidSystem, n)
 	}
 	if c < 0 || c > n {
 		return nil, fmt.Errorf("%w: %d compromised of %d nodes", ErrInvalidSystem, c, n)
-	}
-	if c > maxCompromisedExact {
-		return nil, fmt.Errorf("%w: c = %d > %d", ErrTooManyClasses, c, maxCompromisedExact)
 	}
 	e := &Engine{n: n, c: c, mode: InferenceStandard, receiver: true, selfReport: true}
 	for _, o := range opts {
@@ -404,7 +419,9 @@ func (e *Engine) checkDist(d dist.Length) error {
 // under the path-length distribution d. The returned probabilities sum to 1
 // (over the sender-not-compromised branch); this invariant is verified and
 // an error is returned if it fails, since it would indicate a combinatorial
-// accounting bug.
+// accounting bug. The concrete class space grows as Θ(3^C), so ClassStats
+// returns ErrTooManyClasses beyond C = 12; use BucketStats for the
+// polynomial aggregate view at any C.
 func (e *Engine) ClassStats(d dist.Length) ([]Stats, error) {
 	if err := e.checkDist(d); err != nil {
 		return nil, err
@@ -650,9 +667,18 @@ func starsAndBars(slack, vars int) float64 {
 //
 // with f the spike-and-slab entropy (or its full-position variant). The
 // optimizer uses this decomposition for exact analytic gradients.
+//
+// One entry covers a whole shape bucket of Count classes sharing the same
+// per-class vectors, so the objective and its gradient must weight each
+// entry's contribution by Count (the hop-count path enumerates concrete
+// classes, with Count == 1).
 type ClassWeights struct {
-	// Class is the observation signature.
+	// Class is the observation signature (a canonical bucket
+	// representative on the bucketed path).
 	Class Class
+	// Count is the bucket multiplicity: the number of concrete classes
+	// sharing these vectors. Always ≥ 1.
+	Count float64
 	// Rest is the slab candidate count for the class.
 	Rest int
 	// FullPosition selects the (1−α)·log2(Rest) entropy form.
@@ -666,8 +692,11 @@ type ClassWeights struct {
 	Lo int
 }
 
-// Weights returns the per-class weight vectors for path lengths in
-// [lo, hi]. hi must not exceed N−1.
+// Weights returns the weight vectors for path lengths in [lo, hi]. hi must
+// not exceed N−1. Under the standard and full-position modes the entries
+// are shape buckets (one per bucket, with the multiplicity in Count),
+// which keeps the decomposition polynomial for any C; hop-count inference
+// enumerates its concrete classes with Count == 1.
 // The returned weight vectors are shared with the engine's cache and must
 // be treated as read-only.
 func (e *Engine) Weights(lo, hi int) ([]ClassWeights, error) {
@@ -678,6 +707,11 @@ func (e *Engine) Weights(lo, hi int) ([]ClassWeights, error) {
 	if w, ok := e.memo.loadWeights(key); ok {
 		return append([]ClassWeights(nil), w...), nil
 	}
+	if e.mode != InferenceHopCount {
+		out := e.bucketWeights(lo, hi)
+		e.memo.storeWeights(key, out)
+		return append([]ClassWeights(nil), out...), nil
+	}
 	classes, err := e.enumerate(hi)
 	if err != nil {
 		return nil, err
@@ -685,40 +719,8 @@ func (e *Engine) Weights(lo, hi int) ([]ClassWeights, error) {
 	out := make([]ClassWeights, len(classes))
 	build := func(i int) {
 		cl := classes[i]
-		k := cl.K()
 		base, free, nObs := e.shape(cl)
-		cw := ClassWeights{
-			Class:        cl,
-			Rest:         e.n - e.c - nObs,
-			FullPosition: e.mode == InferenceFullPosition && !cl.Empty(),
-			Lo:           lo,
-			W:            make([]float64, hi-lo+1),
-			W0:           make([]float64, hi-lo+1),
-		}
-		if cl.Empty() && !e.receiver {
-			cw.UniformOverAll = true
-			cw.Rest = e.n - e.c
-		}
-		w := 1.0
-		for i := 0; i < k; i++ {
-			w *= float64(e.c-i) / float64(e.n-1-i)
-		}
-		for l := k; l <= hi; l++ {
-			if l > k {
-				num := float64(e.n - 1 - e.c - (l - 1 - k))
-				if num <= 0 {
-					break
-				}
-				w *= num / float64(e.n-1-(l-1))
-			}
-			if l < lo || l < base {
-				continue
-			}
-			slack := l - base
-			cw.W[l-lo] = w * starsAndBars(slack, free)
-			cw.W0[l-lo] = w * starsAndBars(slack, free-1)
-		}
-		out[i] = cw
+		out[i] = e.buildWeights(cl, 1, cl.K(), base, free, nObs, lo, hi)
 	}
 	if len(classes) >= parallelClassThreshold {
 		pool.ForEach(len(classes), build)
@@ -731,24 +733,83 @@ func (e *Engine) Weights(lo, hi int) ([]ClassWeights, error) {
 	return append([]ClassWeights(nil), out...), nil
 }
 
+// buildWeights constructs one weight entry from a class (or bucket
+// representative), its multiplicity, and its precomputed shape. Both
+// Weights paths funnel through it so the length-loop recurrence can never
+// diverge between the enumerated and bucketed decompositions.
+func (e *Engine) buildWeights(cl Class, count float64, k, base, free, nObs, lo, hi int) ClassWeights {
+	cw := ClassWeights{
+		Class:        cl,
+		Count:        count,
+		Rest:         e.n - e.c - nObs,
+		FullPosition: e.mode == InferenceFullPosition && !cl.Empty(),
+		Lo:           lo,
+		W:            make([]float64, hi-lo+1),
+		W0:           make([]float64, hi-lo+1),
+	}
+	if cl.Empty() && !e.receiver {
+		cw.UniformOverAll = true
+		cw.Rest = e.n - e.c
+	}
+	w := 1.0
+	for i := 0; i < k; i++ {
+		w *= float64(e.c-i) / float64(e.n-1-i)
+	}
+	for l := k; l <= hi; l++ {
+		if l > k {
+			num := float64(e.n - 1 - e.c - (l - 1 - k))
+			if num <= 0 {
+				break
+			}
+			w *= num / float64(e.n-1-(l-1))
+		}
+		if l < lo || l < base {
+			continue
+		}
+		slack := l - base
+		cw.W[l-lo] = w * starsAndBars(slack, free)
+		cw.W0[l-lo] = w * starsAndBars(slack, free-1)
+	}
+	return cw
+}
+
 // AnonymityDegree returns H*(S) (Formula 5): the expected posterior entropy
 // over all observation classes, including the C/N branch in which the
-// sender itself is compromised and immediately identified.
+// sender itself is compromised and immediately identified. It runs on the
+// counted-bucket engine (O(min(C, L)³·L), exact for any C ≤ N−1); only
+// hop-count inference still enumerates its concrete classes.
 func (e *Engine) AnonymityDegree(d dist.Length) (float64, error) {
 	if err := e.checkDist(d); err != nil {
 		return 0, err
+	}
+	if e.c == e.n {
+		// Every node (the sender included) is compromised: the
+		// sender-not-compromised branch is empty and H*(S) = 0. The
+		// per-class partition below conditions on that empty branch, so
+		// short-circuit rather than divide by zero mass.
+		return 0, nil
 	}
 	key := distKey(d)
 	if h, ok := e.memo.loadDegree(key); ok {
 		return h, nil
 	}
-	stats, err := e.classStatsKeyed(key, d)
-	if err != nil {
-		return 0, err
-	}
 	var h float64
-	for _, st := range stats {
-		h += st.P * st.H
+	if e.mode == InferenceHopCount {
+		stats, err := e.classStatsKeyed(key, d)
+		if err != nil {
+			return 0, err
+		}
+		for _, st := range stats {
+			h += st.P * st.H
+		}
+	} else {
+		buckets, err := e.bucketStatsKeyed(key, d)
+		if err != nil {
+			return 0, err
+		}
+		for _, st := range buckets {
+			h += st.P * st.H
+		}
 	}
 	frac := float64(e.n-e.c) / float64(e.n)
 	if !e.selfReport {
@@ -770,6 +831,10 @@ func (e *Engine) AnonymityDegree(d dist.Length) (float64, error) {
 // support ends at hi.
 func (e *Engine) enumerate(hi int) ([]Class, error) {
 	if e.mode != InferenceHopCount {
+		if e.c > maxCompromisedEnumerate {
+			return nil, fmt.Errorf("%w: c = %d > %d (per-class enumeration; BucketStats and Weights aggregate any c)",
+				ErrTooManyClasses, e.c, maxCompromisedEnumerate)
+		}
 		return enumerateShared(e.c, e.receiver), nil
 	}
 	if !e.receiver {

@@ -49,7 +49,6 @@ func TestNewValidation(t *testing.T) {
 		{0, 0, events.ErrInvalidSystem},
 		{10, -1, events.ErrInvalidSystem},
 		{10, 11, events.ErrInvalidSystem},
-		{100, 13, events.ErrTooManyClasses},
 	}
 	for _, c := range cases {
 		if _, err := events.New(c.n, c.c); !errors.Is(err, c.want) {
@@ -58,6 +57,22 @@ func TestNewValidation(t *testing.T) {
 	}
 	if _, err := events.New(100, 1); err != nil {
 		t.Errorf("New(100,1) err = %v", err)
+	}
+	// The old Θ(3^C) engine refused c > 12 outright; the counted-bucket
+	// engine accepts any c ≤ n and only the per-class enumeration keeps
+	// the bound.
+	e, err := events.New(100, 13)
+	if err != nil {
+		t.Fatalf("New(100,13) err = %v; bucketed engine must accept large c", err)
+	}
+	if _, err := e.AnonymityDegree(mustUniform(t, 2, 20)); err != nil {
+		t.Errorf("AnonymityDegree at c=13 err = %v", err)
+	}
+	if _, err := e.ClassStats(mustUniform(t, 2, 20)); !errors.Is(err, events.ErrTooManyClasses) {
+		t.Errorf("ClassStats at c=13 err = %v, want ErrTooManyClasses", err)
+	}
+	if _, err := events.New(1000, 400); err != nil {
+		t.Errorf("New(1000,400) err = %v", err)
 	}
 }
 

@@ -126,7 +126,7 @@ func TestWeightsConsistentWithAnonymityDegree(t *testing.T) {
 					q := 1 - alpha
 					f = -alpha*math.Log2(alpha) - q*math.Log2(q/float64(cw.Rest))
 				}
-				h += sp * f
+				h += cw.Count * sp * f
 			}
 			h *= float64(30-c) / 30
 			if math.Abs(h-want) > 1e-9 {

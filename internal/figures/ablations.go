@@ -8,7 +8,9 @@ package figures
 
 import (
 	"fmt"
+	"math"
 
+	"anonmix/internal/dist"
 	"anonmix/internal/events"
 	"anonmix/internal/pool"
 	"anonmix/internal/theory"
@@ -125,6 +127,67 @@ func AblationInference() (Figure, error) {
 			return Figure{}, err
 		}
 		fig.Series = append(fig.Series, fixed, vari)
+	}
+	return fig, nil
+}
+
+// AblationLargeC regenerates the default large-C sweep: anonymity degree
+// (normalized by log2 N) versus the compromised fraction c/N up to 0.5 at
+// N ∈ {100, 1000} — the constant-corrupted-fraction regime of Ando et
+// al.'s complexity analysis, reachable only through the counted-bucket
+// engine (the Θ(3^C) enumeration capped out at C = 12).
+func AblationLargeC() (Figure, error) {
+	return AblationLargeCSweep([]int{100, 1000}, 0.5, 10)
+}
+
+// AblationLargeCSweep plots H*(S)/log2(N) for a U(2,20) strategy at each
+// system size in ns, at points+1 evenly spaced compromised fractions from
+// 0 to maxFrac. Every point is an exact bucketed-engine evaluation.
+func AblationLargeCSweep(ns []int, maxFrac float64, points int) (Figure, error) {
+	if len(ns) == 0 || points < 1 || maxFrac <= 0 || maxFrac > 1 {
+		return Figure{}, fmt.Errorf("figures: large-C sweep needs sizes, frac in (0,1], points ≥ 1; have sizes=%v frac=%v points=%d",
+			ns, maxFrac, points)
+	}
+	fig := Figure{
+		Name:   "ablation-largec",
+		Title:  "Anonymity degree vs. compromised fraction (bucketed exact engine, U(2,20))",
+		XLabel: "c/N",
+	}
+	for _, n := range ns {
+		if n < 22 {
+			return Figure{}, fmt.Errorf("figures: large-C sweep needs N ≥ 22 for U(2,20), have %d", n)
+		}
+		u, err := dist.NewUniform(2, 20)
+		if err != nil {
+			return Figure{}, err
+		}
+		norm := math.Log2(float64(n))
+		s := Series{Label: fmt.Sprintf("N=%d (H*/log2 N)", n)}
+		// One exact evaluation per fraction; the points of a curve fan out
+		// over the shared pool like every other series in this package.
+		fracs := make([]float64, points+1)
+		cs := make([]int, points+1)
+		for i := range fracs {
+			fracs[i] = maxFrac * float64(i) / float64(points)
+			cs[i] = int(math.Round(fracs[i] * float64(n)))
+		}
+		ys, err := pool.MapErr(len(cs), func(i int) (float64, error) {
+			e, err := sharedEngine(n, cs[i], events.InferenceStandard)
+			if err != nil {
+				return 0, err
+			}
+			h, err := e.AnonymityDegree(u)
+			if err != nil {
+				return 0, err
+			}
+			return h / norm, nil
+		})
+		if err != nil {
+			return Figure{}, err
+		}
+		s.X = fracs
+		s.Y = ys
+		fig.Series = append(fig.Series, s)
 	}
 	return fig, nil
 }

@@ -449,6 +449,8 @@ func ByName(name string) (Figure, error) {
 		return AblationInference()
 	case "ablation-crowds":
 		return AblationCrowdsPf()
+	case "ablation-largec":
+		return AblationLargeC()
 	default:
 		return Figure{}, fmt.Errorf("%w: %q", ErrUnknownFigure, name)
 	}
@@ -460,5 +462,6 @@ func Names() []string {
 	return []string{
 		"3a", "3b", "4a", "4b", "4c", "4d", "5a", "5b", "5c", "5d", "6",
 		"ablation-c", "ablation-n", "ablation-inference", "ablation-crowds",
+		"ablation-largec",
 	}
 }

@@ -1,0 +1,76 @@
+package montecarlo_test
+
+// Cross-validation of the sampling estimator against the counted-bucket
+// exact engine in the high-compromise regime (constant corrupted
+// fractions, C = 20–40) that the old Θ(3^C) enumeration could never
+// reach. The two paths are fully independent — the estimator samples
+// concrete paths and reconstructs per-event posteriors via StatsFor, the
+// engine sums closed-form bucket multiplicities — so agreement here pins
+// both.
+
+import (
+	"math"
+	"testing"
+
+	"anonmix/internal/events"
+	"anonmix/internal/montecarlo"
+	"anonmix/internal/pathsel"
+	"anonmix/internal/trace"
+)
+
+func TestEstimateMatchesBucketedEngineLargeC(t *testing.T) {
+	cases := []struct {
+		name   string
+		n, c   int
+		a, b   int // uniform length bounds
+		trials int
+	}{
+		{"N=60 C=20 U(2,12)", 60, 20, 2, 12, 40000},
+		{"N=100 C=30 U(1,15)", 100, 30, 1, 15, 40000},
+		{"N=100 C=40 U(2,12)", 100, 40, 2, 12, 40000},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			compromised := make([]trace.NodeID, tc.c)
+			for i := range compromised {
+				// Spread the compromised IDs over the node range.
+				compromised[i] = trace.NodeID(i * tc.n / tc.c)
+			}
+			strat, err := pathsel.UniformLength(tc.a, tc.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := montecarlo.EstimateH(montecarlo.Config{
+				N:           tc.n,
+				Compromised: compromised,
+				Strategy:    strat,
+				Trials:      tc.trials,
+				Seed:        20260730,
+				Workers:     4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			engine, err := events.New(tc.n, tc.c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := engine.AnonymityDegree(strat.Length)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// 4σ plus a small absolute floor, matching the small-C
+			// integration test.
+			tol := 4*res.StdErr + 1e-3
+			if math.Abs(res.H-want) > tol {
+				t.Errorf("MC H = %v ± %v, bucketed exact H* = %v (Δ=%v)",
+					res.H, res.StdErr, want, res.H-want)
+			}
+			wantShare := float64(tc.c) / float64(tc.n)
+			if math.Abs(res.CompromisedSenderShare-wantShare) > 0.02 {
+				t.Errorf("compromised-sender share %v, want ≈%v", res.CompromisedSenderShare, wantShare)
+			}
+		})
+	}
+}

@@ -45,7 +45,10 @@ type Config struct {
 	Trials int
 	// Seed makes the run reproducible.
 	Seed int64
-	// Workers sets the number of sampling goroutines (default 4).
+	// Workers sets the number of sampling goroutines; it defaults to the
+	// shared pool width (pool.Workers()) so sampling saturates the
+	// machine. The estimate is a pure function of (Seed, Trials, Workers),
+	// so pin Workers explicitly when runs must reproduce across machines.
 	Workers int
 	// EngineOptions are forwarded to the exact engine (inference mode,
 	// receiver assumptions).
@@ -73,7 +76,7 @@ func EstimateH(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("%w: trials = %d", ErrBadConfig, cfg.Trials)
 	}
 	if cfg.Workers <= 0 {
-		cfg.Workers = 4
+		cfg.Workers = pool.Workers()
 	}
 	if cfg.Strategy.Kind == pathsel.Complicated {
 		return Result{}, ErrComplicatedPaths

@@ -273,10 +273,15 @@ func (p Problem) ascend(ev *evaluator, start []float64, cfg config) Result {
 }
 
 // evaluator computes the objective and its exact gradient from the engine's
-// per-class weight vectors: H*(p) = frac · Σ_σ P_σ(p)·f(α_σ) with
-// P_σ, P0_σ linear in p and α_σ = P0_σ/P_σ, so
+// weight vectors: H*(p) = frac · Σ_σ n_σ·P_σ(p)·f(α_σ) with P_σ, P0_σ
+// linear in p, α_σ = P0_σ/P_σ, and n_σ the bucket multiplicity
+// (ClassWeights.Count — the number of concrete observation classes sharing
+// the entry's vectors), so
 //
-//	∂H*/∂p_l = frac · Σ_σ [ f(α_σ)·W_σ(l) + f'(α_σ)·(W0_σ(l) − α_σ·W_σ(l)) ].
+//	∂H*/∂p_l = frac · Σ_σ n_σ·[ f(α_σ)·W_σ(l) + f'(α_σ)·(W0_σ(l) − α_σ·W_σ(l)) ].
+//
+// The multiplicity never enters α (it cancels in P0/P), which is what lets
+// one bucket entry stand for its whole class family.
 type evaluator struct {
 	weights []events.ClassWeights
 	frac    float64 // (N−C)/N, the uncompromised-sender branch weight
@@ -338,7 +343,7 @@ func (ev *evaluator) value(mass []float64) float64 {
 			continue
 		}
 		f, _ := fAndDeriv(cw, sp0/sp)
-		h += sp * f
+		h += cw.Count * sp * f
 	}
 	return ev.frac * h
 }
@@ -358,21 +363,21 @@ func (ev *evaluator) valueGrad(mass, grad []float64) float64 {
 			}
 		}
 		if sp <= 0 {
-			// Directional derivative into an unreached class: each unit of
-			// mass at l contributes W(l)·f(W0(l)/W(l)).
+			// Directional derivative into an unreached bucket: each unit of
+			// mass at l contributes Count·W(l)·f(W0(l)/W(l)).
 			for i, w := range cw.W {
 				if w > 0 {
 					f, _ := fAndDeriv(cw, cw.W0[i]/w)
-					grad[i] += ev.frac * w * f
+					grad[i] += ev.frac * cw.Count * w * f
 				}
 			}
 			continue
 		}
 		alpha := sp0 / sp
 		f, fp := fAndDeriv(cw, alpha)
-		h += sp * f
+		h += cw.Count * sp * f
 		for i, w := range cw.W {
-			grad[i] += ev.frac * (f*w + fp*(cw.W0[i]-alpha*w))
+			grad[i] += ev.frac * cw.Count * (f*w + fp*(cw.W0[i]-alpha*w))
 		}
 	}
 	return ev.frac * h
