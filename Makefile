@@ -6,7 +6,7 @@ DATE := $(shell date +%Y%m%d)
 # stack of PRs landing together) never clobbers an earlier measurement.
 SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo nogit)
 
-.PHONY: all build vet test race bench bench-smoke clean
+.PHONY: all build vet test race bench bench-smoke bench-compare clean
 
 all: build vet test
 
@@ -22,16 +22,43 @@ test:
 race:
 	$(GO) test -race ./...
 
+# SNAPSHOT picks a free BENCH_<date>_<sha>[...].json name: rerunning at
+# the committed baseline's own commit must never clobber the baseline
+# (bench-compare would then find one file and silently have nothing to
+# compare).
+SNAPSHOT = $$(f=BENCH_$(DATE)_$(SHA).json; [ -e $$f ] && f=BENCH_$(DATE)_$(SHA)_r$$(date +%H%M%S).json; echo $$f)
+
 # bench snapshots the full benchmark suite as JSON so the performance
 # trajectory is tracked across PRs (see EXPERIMENTS.md).
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -json > BENCH_$(DATE)_$(SHA).json
-	@echo "wrote BENCH_$(DATE)_$(SHA).json"
+	@f=$(SNAPSHOT); $(GO) test -run '^$$' -bench . -benchmem -json > $$f && echo "wrote $$f"
+
+# SMOKE is the single definition of the gated smoke set: bench-smoke,
+# bench-smoke-snapshot, and bench-compare all derive from it, so the run
+# pattern and the regression gate cannot drift apart.
+SMOKE = Fig3a|Fig4[abcd]|Weights|DegreeLargeC|WeightsLargeC
 
 # bench-smoke is the quick acceptance sweep; CI runs exactly this target
 # so the two can never diverge.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkFig3a$$|BenchmarkFig4|BenchmarkWeights$$|BenchmarkDegreeLargeC$$|BenchmarkWeightsLargeC$$' -benchtime=1x -benchmem
+	$(GO) test -run '^$$' -bench 'Benchmark($(SMOKE))$$' -benchtime=1x -benchmem
 
+# bench-smoke-snapshot records just the smoke set as a JSON snapshot (the
+# cheap CI-side input for bench-compare; `make bench` is the full suite).
+.PHONY: bench-smoke-snapshot
+bench-smoke-snapshot:
+	@f=$(SNAPSHOT); $(GO) test -run '^$$' -bench 'Benchmark($(SMOKE))$$' -benchmem -json > $$f && echo "wrote $$f"
+
+# bench-compare diffs the two newest BENCH_*.json snapshots and fails on a
+# >20% ns/op regression in the smoke set. CI runs it non-blocking after
+# bench-smoke-snapshot, so the committed snapshot is the baseline.
+bench-compare:
+	$(GO) run ./cmd/benchcompare -smoke '^($(SMOKE))$$'
+
+# clean removes only untracked snapshots: committed BENCH_*.json files are
+# the bench-compare trajectory baselines and must survive.
 clean:
-	rm -f BENCH_*.json
+	@for f in BENCH_*.json; do \
+		[ -e "$$f" ] || continue; \
+		git ls-files --error-unmatch "$$f" >/dev/null 2>&1 || rm -f "$$f"; \
+	done

@@ -24,6 +24,7 @@ import (
 	"anonmix/internal/onion"
 	"anonmix/internal/optimize"
 	"anonmix/internal/pathsel"
+	"anonmix/internal/scenario"
 	"anonmix/internal/simnet"
 	"anonmix/internal/stats"
 	"anonmix/internal/theory"
@@ -704,5 +705,50 @@ func BenchmarkPosterior(b *testing.B) {
 		if _, err := analyst.Posterior(mt); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkScenarioMillionNodes drives the full scenario stack — sharded
+// event kernel, sparse path selection, O(1)-per-message adversarial
+// analysis — at N = 1,000,000 nodes with 1,000 messages per iteration,
+// and reports kernel throughput.
+func BenchmarkScenarioMillionNodes(b *testing.B) {
+	var events, perSec float64
+	for i := 0; i < b.N; i++ {
+		res, err := scenario.Run(scenario.Config{
+			N:            1_000_000,
+			Backend:      scenario.BackendTestbed,
+			StrategySpec: "uniform:1,7",
+			Adversary:    scenario.Adversary{Count: 1000},
+			Workload:     scenario.Workload{Messages: 1000, Seed: int64(i) + 1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = float64(res.Kernel.Events)
+		perSec = res.Kernel.EventsPerSec
+	}
+	b.ReportMetric(events, "events/op")
+	b.ReportMetric(perSec, "events/s")
+}
+
+// BenchmarkScenarioBackends runs one small scenario on each backend.
+func BenchmarkScenarioBackends(b *testing.B) {
+	for _, kind := range []scenario.BackendKind{
+		scenario.BackendExact, scenario.BackendMonteCarlo, scenario.BackendTestbed,
+	} {
+		b.Run(string(kind), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := scenario.Run(scenario.Config{
+					N:            100,
+					Backend:      kind,
+					StrategySpec: "uniform:0,10",
+					Adversary:    scenario.Adversary{Count: 3},
+					Workload:     scenario.Workload{Messages: 2000, Seed: 1, Workers: 4},
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"anonmix/internal/figures"
+	"anonmix/internal/pathsel"
 )
 
 func main() {
@@ -44,6 +45,11 @@ func run(args []string, stdout io.Writer) error {
 		largeCNs     = fs.String("largec-n", "100,1000", "comma-separated system sizes for ablation-largec")
 		largeCFrac   = fs.Float64("largec-frac", 0.5, "maximum compromised fraction c/N for ablation-largec")
 		largeCPoints = fs.Int("largec-points", 10, "points per curve for ablation-largec")
+		backendsN    = fs.Int("backends-n", figures.PaperN, "system size for ablation-backends")
+		backendsC    = fs.Int("backends-c", figures.PaperC, "compromised count for ablation-backends")
+		backendsMsgs = fs.Int("backends-messages", 4000, "messages/trials per sampled point for ablation-backends")
+		backendsStr  = fs.String("backends-strategies", "", "semicolon-separated pathsel specs for ablation-backends, e.g. 'freedom;uniform:1,5' (default set if empty)")
+		backendsSeed = fs.Int64("backends-seed", 1, "seed for ablation-backends sampling")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,6 +71,16 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		figs = fs
+	case *figure == "ablation-backends":
+		// Always the parameterized sweep: the -backends-* flag defaults
+		// match the named figure, so explicit and default values behave
+		// identically (no stale-literal guard to drift).
+		f, err := figures.AblationBackendsSweep(*backendsN, *backendsC, *backendsMsgs, *backendsSeed,
+			pathsel.SplitSpecs(*backendsStr))
+		if err != nil {
+			return err
+		}
+		figs = []figures.Figure{f}
 	case *figure == "ablation-largec":
 		ns, err := parseInts(*largeCNs)
 		if err != nil {

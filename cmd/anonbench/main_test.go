@@ -93,3 +93,41 @@ func TestRunErrors(t *testing.T) {
 		t.Error("bad flag accepted")
 	}
 }
+
+func TestRunBackendsSweep(t *testing.T) {
+	var sb strings.Builder
+	args := []string{
+		"-figure", "ablation-backends", "-backends-n", "20", "-backends-c", "2",
+		"-backends-messages", "800", "-backends-strategies", "freedom;uniform:2,6",
+	}
+	if err := run(args, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# Figure ablation-backends") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "exact\tmc(800)\ttestbed(800)") {
+		t.Errorf("missing series labels:\n%s", out)
+	}
+}
+
+func TestRunBackendsSweepBadSpec(t *testing.T) {
+	var sb strings.Builder
+	args := []string{"-figure", "ablation-backends", "-backends-strategies", "warp:9"}
+	if err := run(args, &sb); err == nil {
+		t.Error("bad spec accepted")
+	}
+}
+
+func TestRunBackendsSweepDuplicateMean(t *testing.T) {
+	var sb strings.Builder
+	args := []string{
+		"-figure", "ablation-backends", "-backends-n", "20", "-backends-c", "1",
+		"-backends-messages", "200", "-backends-strategies", "freedom;uniform:1,5",
+	}
+	err := run(args, &sb)
+	if err == nil || !strings.Contains(err.Error(), "share mean path length") {
+		t.Errorf("duplicate-mean specs: err = %v", err)
+	}
+}

@@ -7,6 +7,10 @@
 //
 //	anonopt -n 100 -c 1 -mean 10
 //	anonopt -n 100 -c 1            # unconstrained (best possible strategy)
+//	anonopt -n 100 -c 1 -mean 5 -compare 'freedom;onionrouting1;uniform:1,5'
+//
+// -compare takes pathsel registry specs and evaluates each against the
+// optimum through the scenario layer's exact backend.
 package main
 
 import (
@@ -17,8 +21,9 @@ import (
 
 	"anonmix/internal/dist"
 	"anonmix/internal/entropy"
-	"anonmix/internal/events"
 	"anonmix/internal/optimize"
+	"anonmix/internal/pathsel"
+	"anonmix/internal/scenario"
 )
 
 func main() {
@@ -31,15 +36,18 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("anonopt", flag.ContinueOnError)
 	var (
-		n    = fs.Int("n", 100, "number of nodes")
-		c    = fs.Int("c", 1, "number of compromised nodes")
-		mean = fs.Float64("mean", -1, "target expected path length (<0: unconstrained)")
-		hi   = fs.Int("max", -1, "maximum path length (default N-1)")
+		n       = fs.Int("n", 100, "number of nodes")
+		c       = fs.Int("c", 1, "number of compromised nodes")
+		mean    = fs.Float64("mean", -1, "target expected path length (<0: unconstrained)")
+		hi      = fs.Int("max", -1, "maximum path length (default N-1)")
+		compare = fs.String("compare", "", "semicolon-separated strategy specs to rank against the optimum, e.g. 'freedom;uniform:1,5'")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	engine, err := events.New(*n, *c)
+	// The scenario layer hands out the process-shared memoizing engine, so
+	// the optimizer, the baselines, and the -compare rows reuse one cache.
+	engine, err := scenario.Engine(*n, *c)
 	if err != nil {
 		return err
 	}
@@ -90,6 +98,25 @@ func run(args []string, w io.Writer) error {
 		}
 		if tp, htp, err := optimize.BestTwoPoint(engine, *mean, 0, *hi); err == nil {
 			fmt.Fprintf(w, "  best %s H* = %.6f  (Δ = %+.6f)\n", tp, htp, res.H-htp)
+		}
+	}
+
+	// Named strategies from the registry, evaluated through the scenario
+	// layer on the same exact backend.
+	if *compare != "" {
+		fmt.Fprintf(w, "\nNamed strategies (exact backend):\n")
+		for _, spec := range pathsel.SplitSpecs(*compare) {
+			sres, err := scenario.Run(scenario.Config{
+				N:            *n,
+				Backend:      scenario.BackendExact,
+				StrategySpec: spec,
+				Adversary:    scenario.Adversary{Count: *c},
+			})
+			if err != nil {
+				return fmt.Errorf("-compare %s: %w", spec, err)
+			}
+			fmt.Fprintf(w, "  %-24s H* = %.6f  (Δ = %+.6f, mean %.2f)\n",
+				sres.Strategy.Name, sres.H, res.H-sres.H, sres.Strategy.Length.Mean())
 		}
 	}
 	return nil

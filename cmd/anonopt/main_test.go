@@ -51,3 +51,19 @@ func TestRunErrors(t *testing.T) {
 		t.Error("bad flag accepted")
 	}
 }
+
+func TestRunCompareSpecs(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "40", "-c", "1", "-mean", "4", "-compare", "freedom;uniform:1,5"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Named strategies (exact backend)", "Freedom", "U(1,5)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	if err := run([]string{"-n", "40", "-c", "1", "-compare", "warp:9"}, &sb); err == nil {
+		t.Error("bad -compare spec accepted")
+	}
+}

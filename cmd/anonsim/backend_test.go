@@ -1,0 +1,136 @@
+package main
+
+// Tests of the scenario-layer flags: every backend reachable from one
+// command, strategy specs resolved through the pathsel registry.
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunExactBackend(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-backend", "exact", "-n", "40", "-c", "1", "-strategy", "fixed:5"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Backend exact", "Exact H*(S)", "Maximum log2(N)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMonteCarloBackend(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-backend", "mc", "-n", "30", "-c", "2", "-strategy", "uniform:0,6",
+		"-messages", "5000", "-seed", "2",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Backend mc", "Estimated H*(S)", "95% CI", "Exact engine H*(S)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSpecStrategies(t *testing.T) {
+	// Full registry specs work directly, with the legacy parameter flags
+	// ignored.
+	var sb strings.Builder
+	err := run([]string{
+		"-n", "25", "-c", "2", "-strategy", "pipenet", "-messages", "1000", "-seed", "4",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "PipeNet") {
+		t.Errorf("output:\n%s", sb.String())
+	}
+}
+
+func TestRunOnionProtocol(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-protocol", "onion", "-n", "20", "-c", "2", "-strategy", "fixed:4",
+		"-messages", "1500", "-seed", "6",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Protocol: onion") || !strings.Contains(out, "within 4σ) ✓") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestRunMixProtocol(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-protocol", "mix", "-batch", "4", "-n", "20", "-c", "2",
+		"-strategy", "uniform:1,5", "-messages", "2000", "-seed", "8",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Protocol: mix") || !strings.Contains(out, "within 4σ) ✓") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestRunStrategiesList(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-strategies"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"crowds:pf[,maxLen]", "uniform:a,b", "pipenet"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in registry listing:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBackendErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-backend", "quantum"}, &sb); err == nil {
+		t.Error("unknown backend accepted")
+	}
+	if err := run([]string{"-protocol", "pigeon"}, &sb); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	// Cyclic strategy on an analytic backend: the capability error.
+	if err := run([]string{"-backend", "exact", "-strategy", "crowds:0.7", "-protocol", "onion"}, &sb); err == nil {
+		t.Error("exact backend accepted a cyclic strategy")
+	}
+}
+
+// TestRunCrowdsProtocolWithExplicitPf: -protocol crowds must honor -pf
+// even when the strategy spec is not a coin-flip family, and refuse a
+// pf-less crowds run instead of degenerating to pf=0.
+func TestRunCrowdsProtocolWithExplicitPf(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-protocol", "crowds", "-pf", "0.6", "-n", "20", "-c", "2",
+		"-strategy", "uniform:0,5", "-messages", "1500", "-seed", "2",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "pf=0.60") {
+		t.Errorf("-pf not honored:\n%s", sb.String())
+	}
+	sb.Reset()
+	err = run([]string{
+		"-protocol", "crowds", "-n", "20", "-c", "2",
+		"-strategy", "uniform:0,5", "-messages", "100",
+	}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "forwarding probability") {
+		t.Errorf("pf-less crowds run: err = %v", err)
+	}
+}

@@ -1,15 +1,19 @@
-// Command anonsim runs the goroutine-based rerouting testbed end to end:
-// it builds an N-node network with C compromised nodes, sends messages
-// under a chosen path-selection strategy, lets the passive adversary
-// collect (time, predecessor, successor) tuples and infer sender
-// posteriors, and reports the empirical anonymity degree next to the exact
-// engine's H*(S).
+// Command anonsim runs one anonymity scenario end to end on any backend
+// of the scenario layer: the exact engine, the Monte-Carlo estimator, or
+// the sharded discrete-event testbed. Switching backend, strategy,
+// protocol substrate, or threat model is a flag change, not a different
+// program:
 //
-// Usage:
+//	anonsim -n 50 -c 3 -strategy uniform:0,10 -messages 5000
+//	anonsim -backend exact -n 100 -c 1 -strategy fixed:5
+//	anonsim -backend mc -n 1000 -c 30 -strategy onionrouting1
+//	anonsim -backend testbed -n 1000000 -c 1000 -strategy uniform:1,7 -messages 1000
+//	anonsim -n 50 -c 2 -strategy crowds:0.7        # predecessor analysis
+//	anonsim -protocol mix -batch 8 -strategy fixed:5
 //
-//	anonsim -n 50 -c 3 -strategy uniform -a 0 -b 10 -messages 5000
-//	anonsim -n 100 -c 1 -strategy fixed -l 5
-//	anonsim -n 50 -c 2 -strategy crowds -pf 0.7   # predecessor analysis
+// Strategy specs come from the pathsel registry (see -strategies); the
+// legacy flags -l, -a, -b, -pf still modify the bare names "fixed",
+// "uniform", and "crowds".
 package main
 
 import (
@@ -18,15 +22,11 @@ import (
 	"io"
 	"math"
 	"os"
+	"strings"
 	"time"
 
-	"anonmix/internal/adversary"
-	"anonmix/internal/crowds"
-	"anonmix/internal/events"
 	"anonmix/internal/pathsel"
-	"anonmix/internal/simnet"
-	"anonmix/internal/stats"
-	"anonmix/internal/trace"
+	"anonmix/internal/scenario"
 )
 
 func main() {
@@ -39,187 +39,175 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("anonsim", flag.ContinueOnError)
 	var (
-		n        = fs.Int("n", 50, "number of nodes")
-		c        = fs.Int("c", 2, "number of compromised nodes (0..c-1)")
-		strategy = fs.String("strategy", "uniform", "fixed | uniform | pipenet | onionrouting1 | crowds")
-		fixedL   = fs.Int("l", 5, "fixed strategy: path length")
-		a        = fs.Int("a", 0, "uniform strategy: lower bound")
-		b        = fs.Int("b", 10, "uniform strategy: upper bound")
-		pf       = fs.Float64("pf", 0.7, "crowds strategy: forwarding probability")
-		messages = fs.Int("messages", 5000, "messages to send")
-		seed     = fs.Int64("seed", 1, "random seed")
+		n          = fs.Int("n", 50, "number of nodes")
+		c          = fs.Int("c", 2, "number of compromised nodes (0..c-1)")
+		strategy   = fs.String("strategy", "uniform", "strategy spec from the pathsel registry (see -strategies)")
+		backend    = fs.String("backend", "testbed", "backend: exact | mc | testbed")
+		protocol   = fs.String("protocol", "plain", "testbed substrate: plain | onion | crowds | mix")
+		batch      = fs.Int("batch", 0, "mix protocol: threshold batch size (default 8)")
+		fixedL     = fs.Int("l", 5, "fixed strategy: path length")
+		a          = fs.Int("a", 0, "uniform strategy: lower bound")
+		b          = fs.Int("b", 10, "uniform strategy: upper bound")
+		pf         = fs.Float64("pf", 0.7, "crowds strategy: forwarding probability")
+		messages   = fs.Int("messages", 5000, "messages to send (testbed) / trials (mc)")
+		seed       = fs.Int64("seed", 1, "random seed")
+		noReceiver = fs.Bool("uncompromised-receiver", false, "drop the receiver's report from the adversary's view")
+		list       = fs.Bool("strategies", false, "list registered strategy specs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	compromised := make([]trace.NodeID, *c)
-	for i := range compromised {
-		compromised[i] = trace.NodeID(i)
-	}
-	if *strategy == "crowds" {
-		return runCrowds(w, *n, *c, *pf, *messages, *seed, compromised)
+	if *list {
+		for _, e := range pathsel.Specs() {
+			fmt.Fprintln(w, e.Usage)
+		}
+		return nil
 	}
 
-	var strat pathsel.Strategy
-	var err error
-	switch *strategy {
-	case "fixed":
-		strat, err = pathsel.FixedLength(*fixedL)
-	case "uniform":
-		strat, err = pathsel.UniformLength(*a, *b)
-	case "pipenet":
-		strat = pathsel.PipeNet()
-	case "onionrouting1":
-		strat = pathsel.OnionRoutingI()
-	default:
-		err = fmt.Errorf("unknown strategy %q", *strategy)
-	}
+	kind, err := scenario.ParseBackend(*backend)
 	if err != nil {
 		return err
 	}
-	return runSimple(w, *n, *messages, *seed, compromised, strat)
+	proto, err := scenario.ParseProtocol(*protocol)
+	if err != nil {
+		return err
+	}
+	// An explicitly passed -pf drives the Crowds substrate even when the
+	// strategy spec is not a coin-flip family (e.g. -protocol crowds with
+	// the default strategy); otherwise the scenario layer recovers pf from
+	// a geometric strategy, and refuses a pf-less crowds run.
+	pfSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "pf" {
+			pfSet = true
+		}
+	})
+	cfg := scenario.Config{
+		N:            *n,
+		Backend:      kind,
+		StrategySpec: legacySpec(*strategy, *fixedL, *a, *b, *pf),
+		Protocol:     proto,
+		Adversary:    scenario.Adversary{Count: *c, UncompromisedReceiver: *noReceiver},
+		Workload: scenario.Workload{
+			Messages:       *messages,
+			Seed:           *seed,
+			BatchThreshold: *batch,
+		},
+	}
+	if pfSet {
+		cfg.CrowdsPf = *pf
+	}
+	res, err := scenario.Run(cfg)
+	if err != nil {
+		return err
+	}
+	switch {
+	case res.Crowds != nil:
+		return printCrowds(w, cfg, res)
+	case kind == scenario.BackendTestbed:
+		return printTestbed(w, cfg, res)
+	default:
+		return printAnalytic(w, cfg, res)
+	}
 }
 
-// runSimple drives the testbed under a simple-path strategy and compares
-// the adversary's empirical entropy against the exact engine.
-func runSimple(w io.Writer, n, messages int, seed int64, compromised []trace.NodeID, strat pathsel.Strategy) error {
-	engine, err := events.New(n, len(compromised))
-	if err != nil {
-		return err
+// legacySpec upgrades the historical bare strategy names to registry
+// specs, folding in the legacy parameter flags; full specs pass through.
+func legacySpec(strategy string, l, a, b int, pf float64) string {
+	if strings.ContainsRune(strategy, ':') {
+		return strategy
 	}
-	sel, err := pathsel.NewSelector(n, strat)
-	if err != nil {
-		return err
+	switch strings.ToLower(strategy) {
+	case "fixed":
+		return fmt.Sprintf("fixed:%d", l)
+	case "uniform":
+		return fmt.Sprintf("uniform:%d,%d", a, b)
+	case "crowds":
+		return fmt.Sprintf("crowds:%g", pf)
+	default:
+		return strategy
 	}
-	analyst, err := adversary.NewAnalyst(engine, strat.Length, compromised)
-	if err != nil {
-		return err
-	}
-	nw, err := simnet.New(simnet.Config{N: n, Compromised: compromised, Seed: seed})
-	if err != nil {
-		return err
-	}
-	nw.Start()
-	defer nw.Close()
+}
 
+// exactReference computes the exact H*(S) for the scenario's strategy (the
+// shared engine makes this nearly free). It returns NaN when the exact
+// backend cannot express the scenario.
+func exactReference(cfg scenario.Config) float64 {
+	ref := cfg
+	ref.Backend = scenario.BackendExact
+	ref.Protocol = scenario.ProtocolPlain
+	res, err := scenario.Run(ref)
+	if err != nil {
+		return math.NaN()
+	}
+	return res.H
+}
+
+// printTestbed renders a routed testbed run next to the exact engine.
+func printTestbed(w io.Writer, cfg scenario.Config, res scenario.Result) error {
 	fmt.Fprintf(w, "Testbed: N=%d, C=%d, strategy %s, %d messages\n",
-		n, len(compromised), strat, messages)
-	start := time.Now()
-	rng := stats.NewRand(seed)
-	senders := make(map[trace.MessageID]trace.NodeID, messages)
-	for i := 0; i < messages; i++ {
-		sender := trace.NodeID(rng.Intn(n))
-		path, err := sel.SelectPath(rng, sender)
-		if err != nil {
-			return err
-		}
-		id, err := nw.SendRoute(sender, path, nil)
-		if err != nil {
-			return err
-		}
-		senders[id] = sender
-	}
-	if err := nw.WaitSettled(5 * time.Minute); err != nil {
-		return err
-	}
-	elapsed := time.Since(start)
-
-	var sum stats.Summary
-	var identified int
-	for id, mt := range trace.Collate(nw.Tuples()) {
-		sender := senders[id]
-		if analyst.Compromised(sender) {
-			sum.Add(0)
-			identified++
-			continue
-		}
-		post, err := analyst.Posterior(mt)
-		if err != nil {
-			return err
-		}
-		if post.H < 1e-9 {
-			identified++
-		}
-		sum.Add(post.H)
-	}
-	exact, err := engine.AnonymityDegree(strat.Length)
-	if err != nil {
-		return err
-	}
-
+		cfg.N, cfg.Adversary.Count, res.Strategy, res.Trials)
+	fmt.Fprintf(w, "Protocol: %s\n", cfg.Protocol)
 	fmt.Fprintf(w, "Delivered %d messages in %v (%.0f msg/s)\n",
-		len(senders), elapsed.Round(time.Millisecond), float64(messages)/elapsed.Seconds())
-	fmt.Fprintf(w, "\nEmpirical anonymity degree = %.4f ± %.4f bits (95%% CI)\n", sum.Mean(), sum.CI95())
-	fmt.Fprintf(w, "Exact engine H*(S)         = %.4f bits\n", exact)
-	fmt.Fprintf(w, "Maximum log2(N)            = %.4f bits\n", math.Log2(float64(n)))
+		res.Trials, res.Elapsed.Round(time.Millisecond),
+		float64(res.Trials)/res.Elapsed.Seconds())
+	if k := res.Kernel; k != nil {
+		fmt.Fprintf(w, "Kernel: %d shards, %d events (%.0f events/s), +%d goroutines\n",
+			k.Shards, k.Events, k.EventsPerSec, k.Goroutines)
+	}
+	fmt.Fprintf(w, "\nEmpirical anonymity degree = %.4f ± %.4f bits (95%% CI)\n", res.H, res.CI95)
+	exact := exactReference(cfg)
+	if !math.IsNaN(exact) {
+		fmt.Fprintf(w, "Exact engine H*(S)         = %.4f bits\n", exact)
+	}
+	fmt.Fprintf(w, "Maximum log2(N)            = %.4f bits\n", res.MaxH)
 	fmt.Fprintf(w, "Messages fully deanonymized: %d (%.1f%%)\n",
-		identified, 100*float64(identified)/float64(messages))
-	if d := math.Abs(sum.Mean() - exact); d <= 4*sum.StdErr()+1e-3 {
-		fmt.Fprintf(w, "Agreement: |empirical - exact| = %.5f (within 4σ) ✓\n", d)
-	} else {
-		fmt.Fprintf(w, "Agreement: |empirical - exact| = %.5f (OUTSIDE 4σ) ✗\n", d)
+		res.Deanonymized, 100*float64(res.Deanonymized)/float64(res.Trials))
+	if !math.IsNaN(exact) {
+		if d := math.Abs(res.H - exact); d <= 4*res.StdErr+1e-3 {
+			fmt.Fprintf(w, "Agreement: |empirical - exact| = %.5f (within 4σ) ✓\n", d)
+		} else {
+			fmt.Fprintf(w, "Agreement: |empirical - exact| = %.5f (OUTSIDE 4σ) ✗\n", d)
+		}
 	}
 	return nil
 }
 
-// runCrowds drives the jondo protocol and reports the Reiter–Rubin
+// printCrowds renders the jondo-protocol run: the Reiter–Rubin
 // predecessor statistics.
-func runCrowds(w io.Writer, n, c int, pf float64, messages int, seed int64, compromised []trace.NodeID) error {
-	fwd, err := crowds.NewForwarder(n, pf, seed)
-	if err != nil {
-		return err
-	}
-	nw, err := simnet.New(simnet.Config{N: n, Compromised: compromised, Forwarder: fwd, Buffer: 8192})
-	if err != nil {
-		return err
-	}
-	nw.Start()
-	defer nw.Close()
-
+func printCrowds(w io.Writer, cfg scenario.Config, res scenario.Result) error {
+	cr := res.Crowds
 	fmt.Fprintf(w, "Crowds testbed: N=%d, C=%d, pf=%.2f, %d messages from honest jondos\n",
-		n, c, pf, messages)
-	rng := stats.NewRand(seed)
-	senders := make(map[trace.MessageID]trace.NodeID, messages)
-	for i := 0; i < messages; i++ {
-		sender := trace.NodeID(c + rng.Intn(n-c))
-		id, err := nw.Inject(sender, fwd.FirstHop(sender), simnet.Packet{})
-		if err != nil {
-			return err
-		}
-		senders[id] = sender
+		cfg.N, cfg.Adversary.Count, cr.Pf, res.Trials)
+	if k := res.Kernel; k != nil {
+		fmt.Fprintf(w, "Kernel: %d shards, %d events (%.0f events/s)\n",
+			k.Shards, k.Events, k.EventsPerSec)
 	}
-	if err := nw.WaitSettled(5 * time.Minute); err != nil {
-		return err
+	fmt.Fprintf(w, "Paths observed by a collaborator: %d of %d\n", cr.Observed, res.Trials)
+	if cr.Observed > 0 {
+		fmt.Fprintf(w, "Empirical P(pred = initiator | observed) = %.4f\n",
+			float64(cr.Hits)/float64(cr.Observed))
 	}
+	fmt.Fprintf(w, "Reiter–Rubin closed form                 = %.4f\n", cr.PredecessorProb)
+	fmt.Fprintf(w, "Posterior entropy of that event          = %.4f bits\n", cr.EventEntropy)
+	fmt.Fprintf(w, "Probable innocence: %v\n", cr.ProbableInnocence)
+	return nil
+}
 
-	var exposed, hits int
-	for id, mt := range trace.Collate(nw.Tuples()) {
-		if len(mt.Reports) == 0 {
-			continue
+// printAnalytic renders exact and Monte-Carlo results.
+func printAnalytic(w io.Writer, cfg scenario.Config, res scenario.Result) error {
+	fmt.Fprintf(w, "Backend %s: N=%d, C=%d, strategy %s\n",
+		res.Backend, cfg.N, cfg.Adversary.Count, res.Strategy)
+	if res.Estimated {
+		fmt.Fprintf(w, "Estimated H*(S) = %.4f ± %.4f bits (95%% CI, %d trials)\n",
+			res.H, res.CI95, res.Trials)
+		exact := exactReference(cfg)
+		if !math.IsNaN(exact) {
+			fmt.Fprintf(w, "Exact engine H*(S)         = %.4f bits\n", exact)
 		}
-		exposed++
-		if mt.Reports[0].Pred == senders[id] {
-			hits++
-		}
+	} else {
+		fmt.Fprintf(w, "Exact H*(S)     = %.6f bits\n", res.H)
 	}
-	theo, err := crowds.PredecessorProb(n, c, pf)
-	if err != nil {
-		return err
-	}
-	okPI, err := crowds.ProbableInnocence(n, c, pf)
-	if err != nil {
-		return err
-	}
-	hEvent, err := crowds.EventEntropy(n, c, pf)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "Paths observed by a collaborator: %d of %d\n", exposed, messages)
-	if exposed > 0 {
-		fmt.Fprintf(w, "Empirical P(pred = initiator | observed) = %.4f\n", float64(hits)/float64(exposed))
-	}
-	fmt.Fprintf(w, "Reiter–Rubin closed form                 = %.4f\n", theo)
-	fmt.Fprintf(w, "Posterior entropy of that event          = %.4f bits\n", hEvent)
-	fmt.Fprintf(w, "Probable innocence: %v\n", okPI)
+	fmt.Fprintf(w, "Maximum log2(N) = %.4f bits (normalized %.2f%%)\n", res.MaxH, 100*res.Normalized)
 	return nil
 }

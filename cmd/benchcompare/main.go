@@ -1,0 +1,207 @@
+// Command benchcompare diffs the two newest BENCH_<date>_<sha>.json
+// snapshots (as written by `make bench`, i.e. `go test -json -bench`) and
+// fails when any benchmark of the smoke set regressed by more than the
+// threshold. `make bench-compare` and the non-blocking CI step run exactly
+// this command, so the local gate and the CI gate cannot diverge.
+//
+// Usage:
+//
+//	benchcompare                      # newest two BENCH_*.json in .
+//	benchcompare old.json new.json    # explicit baseline and candidate
+//	benchcompare -threshold 1.5       # tolerate up to +50% ns/op
+//
+// With fewer than two snapshots available the command reports that there
+// is nothing to compare and exits 0 — the first snapshot of a trajectory
+// is never a failure.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("benchcompare", flag.ContinueOnError)
+	var (
+		threshold = fs.Float64("threshold", 1.2, "maximum allowed new/old ns-per-op ratio")
+		// The Makefile's SMOKE variable is the single definition of the
+		// gated set and is passed in by `make bench-compare`; the empty
+		// default gates every benchmark the snapshots share, so a bare
+		// invocation is strictly stricter, never stale.
+		smoke = fs.String("smoke", "", "regexp selecting the gated benchmarks (matched after stripping Benchmark and -procs; empty gates all)")
+		dir   = fs.String("dir", ".", "directory to glob BENCH_*.json from")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	re, err := regexp.Compile(*smoke)
+	if err != nil {
+		return fmt.Errorf("-smoke: %w", err)
+	}
+
+	files := fs.Args()
+	if len(files) != 0 {
+		// Explicit arguments must name exactly a baseline and a candidate;
+		// a lone file is a usage error (typo, unexpanded glob), not the
+		// empty-trajectory case.
+		if len(files) != 2 {
+			return fmt.Errorf("pass exactly two files (baseline, candidate), have %d", len(files))
+		}
+	} else {
+		files, err = newestSnapshots(*dir)
+		if err != nil {
+			return err
+		}
+		if len(files) < 2 {
+			// The first snapshot of a trajectory is never a failure.
+			fmt.Fprintf(w, "benchcompare: %d snapshot(s) found — nothing to compare\n", len(files))
+			return nil
+		}
+	}
+	oldFile, newFile := files[0], files[1]
+	oldNs, err := parseBench(oldFile)
+	if err != nil {
+		return err
+	}
+	newNs, err := parseBench(newFile)
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(newNs))
+	for name := range newNs {
+		if _, ok := oldNs[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("no common benchmarks between %s and %s", oldFile, newFile)
+	}
+
+	fmt.Fprintf(w, "baseline  %s\ncandidate %s\n\n", oldFile, newFile)
+	fmt.Fprintf(w, "%-28s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	var failed []string
+	for _, name := range names {
+		o, n := oldNs[name], newNs[name]
+		ratio := n / o
+		gated := re.MatchString(name)
+		mark := ""
+		if gated && ratio > *threshold {
+			mark = "  REGRESSION"
+			failed = append(failed, name)
+		} else if gated {
+			mark = "  (gated)"
+		}
+		fmt.Fprintf(w, "%-28s %14.0f %14.0f %7.2fx%s\n", name, o, n, ratio, mark)
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("%d smoke benchmark(s) regressed beyond %.0f%%: %s",
+			len(failed), (*threshold-1)*100, strings.Join(failed, ", "))
+	}
+	fmt.Fprintf(w, "\nOK: no gated benchmark regressed beyond %.0f%%\n", (*threshold-1)*100)
+	return nil
+}
+
+// newestSnapshots returns the two most recent BENCH_*.json files (by
+// modification time, then name), oldest first; fewer if not available.
+func newestSnapshots(dir string) ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	type f struct {
+		path string
+		mod  int64
+	}
+	infos := make([]f, 0, len(matches))
+	for _, m := range matches {
+		st, err := os.Stat(m)
+		if err != nil {
+			return nil, err
+		}
+		infos = append(infos, f{m, st.ModTime().UnixNano()})
+	}
+	sort.Slice(infos, func(i, j int) bool {
+		if infos[i].mod != infos[j].mod {
+			return infos[i].mod < infos[j].mod
+		}
+		return infos[i].path < infos[j].path
+	})
+	if len(infos) > 2 {
+		infos = infos[len(infos)-2:]
+	}
+	out := make([]string, len(infos))
+	for i, inf := range infos {
+		out[i] = inf.path
+	}
+	return out, nil
+}
+
+// benchLine matches a benchmark result line inside a test2json Output
+// field, e.g. "BenchmarkFig3a-4   1   123456789 ns/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench extracts name → ns/op from a `go test -json -bench` stream.
+// The testing package prints a benchmark's name before running it and its
+// numbers after, so test2json usually splits one result line across
+// several output events; the events are therefore reassembled into a flat
+// text stream before line-wise matching. Benchmarks appearing multiple
+// times keep their last value.
+func parseBench(path string) (map[string]float64, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	var text strings.Builder
+	sc := bufio.NewScanner(file)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev struct {
+			Action string `json:"Action"`
+			Output string `json:"Output"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // tolerate non-JSON noise in the stream
+		}
+		if ev.Action == "output" {
+			text.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(text.String(), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		out[strings.TrimPrefix(m[1], "Benchmark")] = ns
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return out, nil
+}

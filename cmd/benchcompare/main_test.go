@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// snapshot writes a minimal go-test-json bench stream.
+func snapshot(t *testing.T, dir, name string, ns map[string]float64) string {
+	t.Helper()
+	var sb strings.Builder
+	for bench, v := range ns {
+		line := fmt.Sprintf("Benchmark%s-4 \t       1\t%10.0f ns/op\n", bench, v)
+		b, err := json.Marshal(map[string]string{"Action": "output", "Output": line})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.Write(b)
+		sb.WriteByte('\n')
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// smokeSet mirrors the Makefile's SMOKE variable for tests that exercise
+// the narrowed gate.
+const smokeSet = `^(Fig3a|Fig4[abcd]|Weights|DegreeLargeC|WeightsLargeC)$`
+
+func TestComparePasses(t *testing.T) {
+	dir := t.TempDir()
+	old := snapshot(t, dir, "BENCH_20260101_aaaa.json", map[string]float64{
+		"Fig3a": 1000, "Weights": 500, "Other": 100,
+	})
+	new := snapshot(t, dir, "BENCH_20260102_bbbb.json", map[string]float64{
+		"Fig3a": 1100, "Weights": 450, "Other": 1000, // Other is outside the smoke set
+	})
+	var sb strings.Builder
+	if err := run([]string{"-smoke", smokeSet, old, new}, &sb); err != nil {
+		t.Fatalf("unexpected failure: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "OK: no gated benchmark regressed") {
+		t.Errorf("output:\n%s", sb.String())
+	}
+	// Without -smoke every common benchmark is gated, so the Other
+	// regression now fails the comparison.
+	sb.Reset()
+	if err := run([]string{old, new}, &sb); err == nil || !strings.Contains(err.Error(), "Other") {
+		t.Errorf("default gate-all: err = %v", err)
+	}
+}
+
+func TestCompareFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := snapshot(t, dir, "BENCH_20260101_aaaa.json", map[string]float64{"Fig3a": 1000})
+	new := snapshot(t, dir, "BENCH_20260102_bbbb.json", map[string]float64{"Fig3a": 1500})
+	var sb strings.Builder
+	err := run([]string{old, new}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "Fig3a") {
+		t.Fatalf("err = %v\n%s", err, sb.String())
+	}
+	// A looser threshold tolerates the same delta.
+	sb.Reset()
+	if err := run([]string{"-threshold", "1.6", old, new}, &sb); err != nil {
+		t.Fatalf("threshold 1.6: %v", err)
+	}
+}
+
+func TestCompareGlobNewestTwo(t *testing.T) {
+	dir := t.TempDir()
+	oldest := snapshot(t, dir, "BENCH_20260101_aaaa.json", map[string]float64{"Fig3a": 99999})
+	mid := snapshot(t, dir, "BENCH_20260102_bbbb.json", map[string]float64{"Fig3a": 1000})
+	newest := snapshot(t, dir, "BENCH_20260103_cccc.json", map[string]float64{"Fig3a": 1050})
+	for i, p := range []string{oldest, mid, newest} {
+		mt := time.Now().Add(time.Duration(i-3) * time.Hour)
+		if err := os.Chtimes(p, mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	if err := run([]string{"-dir", dir}, &sb); err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if strings.Contains(out, "aaaa") || !strings.Contains(out, "bbbb") || !strings.Contains(out, "cccc") {
+		t.Errorf("wrong snapshot pair:\n%s", out)
+	}
+}
+
+func TestCompareNothingToCompare(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-dir", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "nothing to compare") {
+		t.Errorf("output:\n%s", sb.String())
+	}
+	snapshot(t, dir, "BENCH_20260101_aaaa.json", map[string]float64{"Fig3a": 1})
+	sb.Reset()
+	if err := run([]string{"-dir", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "nothing to compare") {
+		t.Errorf("output:\n%s", sb.String())
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-smoke", "("}, &sb); err == nil {
+		t.Error("bad regexp accepted")
+	}
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "BENCH_20260101_x.json")
+	if err := os.WriteFile(empty, []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ok := snapshot(t, dir, "BENCH_20260102_y.json", map[string]float64{"Fig3a": 1})
+	if err := run([]string{empty, ok}, &sb); err == nil {
+		t.Error("empty snapshot accepted")
+	}
+}
+
+func TestCompareSingleExplicitFileRejected(t *testing.T) {
+	dir := t.TempDir()
+	one := snapshot(t, dir, "BENCH_20260101_aaaa.json", map[string]float64{"Fig3a": 1})
+	var sb strings.Builder
+	if err := run([]string{one}, &sb); err == nil {
+		t.Error("single explicit file accepted")
+	}
+}

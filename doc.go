@@ -11,18 +11,60 @@
 // the entropy-based anonymity degree H*(S), and derives the path-length
 // distribution maximizing it.
 //
-// The library lives under internal/ (importable within this module):
+// # Architecture
 //
-//   - internal/core — the public facade (System, strategies, optimum)
+// Every way of computing the paper's one headline quantity — the
+// anonymity degree H*(S) — hangs off a single scenario layer:
+//
+//   - internal/scenario — the unification seam. A Config declares a run
+//     (population N, adversary, strategy, protocol substrate, workload);
+//     scenario.Run(cfg) executes it on any registered Backend: "exact"
+//     (closed form), "mc" (sampling estimator), or "testbed" (discrete-
+//     event network simulation). Backends refuse what they cannot express
+//     with a shared capability error type (internal/scenario/capability),
+//     so callers switch backends on errors.Is instead of string-matching.
+//     The scenario layer also owns the process-wide engine cache; a
+//     cross-backend agreement test pins exact == Monte-Carlo == testbed
+//     within sampling error across strategies and receiver modes.
+//
+// The analysis stack underneath:
+//
 //   - internal/events — the exact Bayesian anonymity-degree engine
+//     (counted shape buckets, polynomial in C)
 //   - internal/theory — closed forms for the paper's Theorems 1–3
 //   - internal/optimize — the §5.4 optimal-distribution solvers
-//   - internal/dist, internal/pathsel — length distributions & strategies
-//   - internal/simnet, internal/onion, internal/crowds, internal/mixbatch
-//     — the goroutine testbed and protocol substrates
+//   - internal/dist, internal/pathsel — length distributions & strategies;
+//     pathsel.Lookup resolves name-addressable specs ("crowds:0.75,20",
+//     "uniform:0,10") from a registry shared by every CLI
 //   - internal/adversary, internal/trace, internal/montecarlo — the threat
 //     model pipeline and the sampling estimator
-//   - internal/figures — regenerates every figure of the paper's §6
+//   - internal/figures — regenerates every figure of the paper's §6, plus
+//     ablations and the cross-backend comparison figure
+//   - internal/core — the library facade (System, strategies, optimum)
+//
+// The simulation stack:
+//
+//   - internal/simnet — the testbed, built on a sharded discrete-event
+//     kernel: nodes are virtual, events ("packet arrives at node v at
+//     logical time t") live in per-shard binary heaps, and one goroutine
+//     per shard (pool.Workers(), never per node) drains them. Goroutines
+//     and memory scale with in-flight traffic, not with N, so a
+//     1,000,000-node system runs a 1,000-message workload in a few
+//     megabytes of heap and a handful of milliseconds. Per-hop delays are
+//     a pure function of (seed, message, hop), keeping runs reproducible
+//     under any shard scheduling; an optional threshold-mix batching
+//     stage holds packets per node and flushes full (or quiescent)
+//     batches in shuffled order with a shared release time.
+//   - internal/onion, internal/crowds, internal/mixbatch — protocol
+//     substrates plugged into the kernel through the Forwarder interface
+//     (layered encryption, coin-flip jondo routing, batch linkage
+//     analysis).
+//
+// The three commands are thin shells over the scenario layer: anonsim
+// runs one scenario on any backend (-backend, -strategy, -protocol),
+// anonopt solves the design problem and ranks named strategies against
+// the optimum, anonbench regenerates figures. None of them constructs a
+// network or an estimator directly.
 //
 // The benchmarks in bench_test.go regenerate every figure and theorem of
 // the evaluation section; EXPERIMENTS.md records paper-vs-measured for
@@ -57,8 +99,9 @@
 //     of the path-length distribution. ClassStats, StatsFor, Weights, and
 //     AnonymityDegree never compute a (class, distribution) pair twice,
 //     and class enumerations are shared per (C, receiver) across engines.
-//     Engines are safe for concurrent use; internal/figures additionally
-//     shares one engine per (N, C, inference mode) across all generators.
+//     Engines are safe for concurrent use; scenario.Engine additionally
+//     shares one engine per configuration process-wide, so figures, CLIs,
+//     the estimator, and the testbed adversary all hit one cache.
 //
 //   - internal/pool is a bounded worker pool (GOMAXPROCS-sized by
 //     default) behind every fan-out loop: per-class statistics in events,

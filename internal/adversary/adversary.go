@@ -93,18 +93,30 @@ type Observation struct {
 	Identified bool
 }
 
-// Classify reconstructs the observable class of a message trace.
-// The receiver is assumed compromised (the paper's default); traces missing
-// the receiver report are rejected.
+// Classify reconstructs the observable class of a message trace. With a
+// compromised receiver (the paper's default) traces missing the receiver
+// report are rejected; with an uncompromised-receiver engine the receiver
+// fields of the trace are ignored — the adversary does not have them — and
+// the tail is classified from run-successor adjacency alone
+// (events.TailUnobserved).
 func (a *Analyst) Classify(mt *trace.MessageTrace) (Observation, error) {
 	if mt == nil {
 		return Observation{}, fmt.Errorf("%w: nil trace", ErrCorruptTrace)
 	}
-	if !mt.ReceiverSeen {
+	receiver := a.engine.ReceiverCompromised()
+	if receiver && !mt.ReceiverSeen {
 		return Observation{}, trace.ErrNoReceiverReport
 	}
 	obs := Observation{Witnessed: make(map[trace.NodeID]bool)}
 	if len(mt.Reports) == 0 {
+		if !receiver {
+			// No compromised node on the path and no receiver report: the
+			// adversary observes nothing. The posterior is uniform over
+			// the uncompromised nodes (the empty class of the
+			// uncompromised-receiver engine); there is no candidate.
+			obs.Candidate = trace.Receiver
+			return obs, nil
+		}
 		obs.Candidate = mt.ReceiverPred
 		obs.Witnessed[mt.ReceiverPred] = true
 		if a.compromised[mt.ReceiverPred] {
@@ -160,6 +172,13 @@ func (a *Analyst) Classify(mt *trace.MessageTrace) (Observation, error) {
 	switch {
 	case last.Succ == trace.Receiver:
 		tail = events.TailZero
+	case !receiver:
+		// Without the receiver's report only "last run forwarded straight
+		// to the receiver" (TailZero above) is distinguishable; any other
+		// tail collapses into TailUnobserved, with the run's successor as
+		// its single witnessed identity.
+		tail = events.TailUnobserved
+		obs.Witnessed[last.Succ] = true
 	case last.Succ == mt.ReceiverPred:
 		tail = events.TailOne
 		obs.Witnessed[last.Succ] = true
@@ -246,6 +265,34 @@ func (a *Analyst) Posterior(mt *trace.MessageTrace) (Posterior, error) {
 	}
 	post.H = entropy.Bits(post.P)
 	return post, nil
+}
+
+// Entropy returns the posterior entropy (bits) of one message trace
+// without materializing the N-entry posterior vector: it classifies the
+// trace, looks up the class statistics, and cross-checks the slab count
+// arithmetically. Cost is O(reports) rather than O(N), which is what makes
+// adversarial analysis of million-node testbed runs affordable. The value
+// equals Posterior(mt).H up to floating-point association order.
+func (a *Analyst) Entropy(mt *trace.MessageTrace) (float64, error) {
+	obs, err := a.Classify(mt)
+	if err != nil {
+		return 0, err
+	}
+	if obs.Identified {
+		return 0, nil
+	}
+	st, err := a.engine.StatsFor(obs.Class, a.length)
+	if err != nil {
+		return 0, err
+	}
+	// Witnessed holds the observed uncompromised identities (the candidate
+	// included), which are exactly the nodes Posterior excludes from the
+	// slab — so the expected slab size follows by counting.
+	if rest := a.engine.N() - a.engine.C() - len(obs.Witnessed); rest != st.Rest {
+		return 0, fmt.Errorf("%w: %d slab candidates reconstructed, engine expects %d",
+			ErrCorruptTrace, rest, st.Rest)
+	}
+	return st.H, nil
 }
 
 // AnalyzeAll collates a raw tuple stream (as collected from a live network

@@ -11,23 +11,28 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 
 	"anonmix/internal/dist"
 	"anonmix/internal/entropy"
 	"anonmix/internal/events"
-	"anonmix/internal/montecarlo"
 	"anonmix/internal/optimize"
 	"anonmix/internal/pathsel"
+	"anonmix/internal/scenario"
+	"anonmix/internal/scenario/capability"
 	"anonmix/internal/trace"
 )
 
 // ErrComplicated reports a request for exact analysis of a cyclic-route
 // strategy; exact analysis covers simple paths (use package crowds for the
-// predecessor analysis of cyclic routes).
-var ErrComplicated = errors.New("core: exact analysis requires simple paths")
+// predecessor analysis of cyclic routes, or the testbed backend).
+//
+// It is an alias of the scenario layer's canonical capability sentinel, so
+// errors.Is(err, core.ErrComplicated),
+// errors.Is(err, montecarlo.ErrComplicatedPaths), and
+// errors.Is(err, capability.ErrComplicatedPaths) are interchangeable.
+var ErrComplicated = capability.ErrComplicatedPaths
 
 // System models an anonymous communication system of N nodes, C of which
 // are compromised, plus a compromised receiver — the paper's default
@@ -38,8 +43,11 @@ type System struct {
 
 // NewSystem builds a system with the given node and compromised counts.
 // Engine options (inference mode, receiver assumptions) are forwarded.
+// Engines come from the scenario layer's process-wide cache, so every
+// System, figure generator, and CLI sharing a configuration shares one
+// memoizing engine.
 func NewSystem(n, c int, opts ...events.Option) (*System, error) {
-	e, err := events.New(n, c, opts...)
+	e, err := scenario.Engine(n, c, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -175,16 +183,19 @@ func (s *System) CompareStrategies(strats []pathsel.Strategy, compromised []trac
 			// simple-path strategy that shares their length distribution;
 			// the difference (cycles) is documented in DESIGN.md §5.
 			approx := pathsel.Strategy{Name: st.Name, Length: st.Length, Kind: pathsel.Simple}
-			res, err := montecarlo.EstimateH(montecarlo.Config{
-				N:           s.N(),
-				Compromised: compromised,
-				Strategy:    approx,
-				Trials:      trials,
-				Seed:        seed,
-				// The estimate is a pure function of (Seed, Trials,
-				// Workers); pin the width so a caller-supplied seed means
-				// the same numbers on every machine.
-				Workers: 4,
+			res, err := scenario.Run(scenario.Config{
+				N:         s.N(),
+				Backend:   scenario.BackendMonteCarlo,
+				Strategy:  approx,
+				Adversary: scenario.Adversary{Compromised: compromised},
+				Workload: scenario.Workload{
+					Messages: trials,
+					Seed:     seed,
+					// The estimate is a pure function of (Seed, Trials,
+					// Workers); pin the width so a caller-supplied seed
+					// means the same numbers on every machine.
+					Workers: 4,
+				},
 			})
 			if err != nil {
 				return nil, fmt.Errorf("core: estimating %s: %w", st.Name, err)
@@ -193,7 +204,8 @@ func (s *System) CompareStrategies(strats []pathsel.Strategy, compromised []trac
 			cmp.Estimated = true
 			cmp.CI95 = res.CI95
 		default:
-			return nil, fmt.Errorf("%w: %s (pass trials > 0 to estimate)", ErrComplicated, st.Name)
+			return nil, fmt.Errorf("core: comparing %s: %w",
+				st.Name, capability.Unsupported("exact", ErrComplicated, "pass trials > 0 to estimate"))
 		}
 		cmp.Normalized = entropy.Normalized(cmp.H, s.N())
 		out = append(out, cmp)

@@ -204,7 +204,7 @@ func TestOnPathProb(t *testing.T) {
 		// Direct product: miss = Π_{i<l} (n-1-c-i)/(n-1-i).
 		miss := 1.0
 		for i := 0; i < tc.l; i++ {
-			miss *= float64(tc.n - 1 - tc.c - i) / float64(tc.n - 1 - i)
+			miss *= float64(tc.n-1-tc.c-i) / float64(tc.n-1-i)
 		}
 		if math.Abs(got-(1-miss)) > 1e-12 {
 			t.Errorf("n=%d c=%d l=%d: %v, want %v", tc.n, tc.c, tc.l, got, 1-miss)

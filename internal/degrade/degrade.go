@@ -29,9 +29,9 @@ import (
 	"anonmix/internal/adversary"
 	"anonmix/internal/crowds"
 	"anonmix/internal/entropy"
-	"anonmix/internal/events"
 	"anonmix/internal/montecarlo"
 	"anonmix/internal/pathsel"
+	"anonmix/internal/scenario"
 	"anonmix/internal/stats"
 	"anonmix/internal/trace"
 )
@@ -338,13 +338,15 @@ func newAnalystFactory(cfg Config) (func() (*Accumulator, *pathsel.Selector, err
 	return mk, nil
 }
 
-// newAnalyst builds the adversary for a configuration.
+// newAnalyst builds the adversary for a configuration through the
+// scenario layer, so repeated-communication experiments share the
+// process-wide memoizing engine with every other consumer.
 func newAnalyst(cfg Config) (*adversary.Analyst, error) {
-	engine, err := events.New(cfg.N, len(cfg.Compromised))
-	if err != nil {
-		return nil, err
-	}
-	return adversary.NewAnalyst(engine, cfg.Strategy.Length, cfg.Compromised)
+	return scenario.NewAnalyst(scenario.Config{
+		N:         cfg.N,
+		Strategy:  cfg.Strategy,
+		Adversary: scenario.Adversary{Compromised: cfg.Compromised},
+	})
 }
 
 // compromisedIn reports membership of id in the compromised list.

@@ -376,6 +376,14 @@ func (e *Engine) C() int { return e.c }
 // Mode returns the adversary inference mode.
 func (e *Engine) Mode() InferenceMode { return e.mode }
 
+// ReceiverCompromised reports whether the receiver is part of the
+// adversary (the paper's default; see WithUncompromisedReceiver).
+func (e *Engine) ReceiverCompromised() bool { return e.receiver }
+
+// SenderSelfReport reports whether a compromised sender identifies itself
+// (the paper's local-eavesdropper default; see WithoutSenderSelfReport).
+func (e *Engine) SenderSelfReport() bool { return e.selfReport }
+
 // MaxAnonymity returns the upper bound log2(N) on the anonymity degree
 // (paper §5.1 and conclusion 4).
 func (e *Engine) MaxAnonymity() float64 { return entropy.Max(e.n) }

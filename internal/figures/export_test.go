@@ -1,7 +1,8 @@
 package figures
 
-import "sync"
+import "anonmix/internal/scenario"
 
-// ResetEnginesForTest drops the process-wide shared engines so a test can
-// force cold caches on both sides of a parallel-vs-serial comparison.
-func ResetEnginesForTest() { engines = sync.Map{} }
+// ResetEnginesForTest drops the process-wide shared engines (now owned by
+// the scenario layer) so a test can force cold caches on both sides of a
+// parallel-vs-serial comparison.
+func ResetEnginesForTest() { scenario.ResetEngines() }

@@ -13,12 +13,12 @@ import (
 	"math"
 	"sort"
 	"strings"
-	"sync"
 
 	"anonmix/internal/dist"
 	"anonmix/internal/events"
 	"anonmix/internal/optimize"
 	"anonmix/internal/pool"
+	"anonmix/internal/scenario"
 )
 
 // Errors returned by generators.
@@ -112,31 +112,15 @@ func (f Figure) Peak(label string) (x, y float64, err error) {
 	return 0, 0, fmt.Errorf("%w: series %q", ErrUnknownFigure, label)
 }
 
-// engines shares one exact engine per (n, c, inference mode) across every
-// figure regeneration in the process. Engines are safe for concurrent use
-// and memoize their per-class posteriors, so sharing them is what turns a
+// sharedEngine returns the process-wide engine for the configuration from
+// the scenario layer's cache. Engines are safe for concurrent use and
+// memoize their per-class posteriors, so sharing them is what turns a
 // repeated figure build (benchmark iterations, anonbench sweeps over many
-// figures with common configurations) into cache hits.
-var engines sync.Map // engineCfg → *events.Engine
-
-type engineCfg struct {
-	n, c int
-	mode events.InferenceMode
-}
-
-// sharedEngine returns the process-wide engine for the configuration,
-// creating it on first use.
+// figures with common configurations) into cache hits — and the cache now
+// being scenario's, those hits are shared with every CLI and the library
+// facade too.
 func sharedEngine(n, c int, mode events.InferenceMode) (*events.Engine, error) {
-	cfg := engineCfg{n, c, mode}
-	if v, ok := engines.Load(cfg); ok {
-		return v.(*events.Engine), nil
-	}
-	e, err := events.New(n, c, events.WithInference(mode))
-	if err != nil {
-		return nil, err
-	}
-	v, _ := engines.LoadOrStore(cfg, e)
-	return v.(*events.Engine), nil
+	return scenario.Engine(n, c, events.WithInference(mode))
 }
 
 // engine builds the paper-configuration engine.
@@ -451,6 +435,8 @@ func ByName(name string) (Figure, error) {
 		return AblationCrowdsPf()
 	case "ablation-largec":
 		return AblationLargeC()
+	case "ablation-backends":
+		return AblationBackends()
 	default:
 		return Figure{}, fmt.Errorf("%w: %q", ErrUnknownFigure, name)
 	}
@@ -462,6 +448,6 @@ func Names() []string {
 	return []string{
 		"3a", "3b", "4a", "4b", "4c", "4d", "5a", "5b", "5c", "5d", "6",
 		"ablation-c", "ablation-n", "ablation-inference", "ablation-crowds",
-		"ablation-largec",
+		"ablation-largec", "ablation-backends",
 	}
 }

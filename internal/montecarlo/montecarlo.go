@@ -18,6 +18,7 @@ import (
 	"anonmix/internal/events"
 	"anonmix/internal/pathsel"
 	"anonmix/internal/pool"
+	"anonmix/internal/scenario/capability"
 	"anonmix/internal/stats"
 	"anonmix/internal/trace"
 )
@@ -28,8 +29,12 @@ var (
 	ErrBadConfig = errors.New("montecarlo: invalid configuration")
 	// ErrComplicatedPaths reports a strategy with cyclic routes, which the
 	// simple-path posterior model does not cover; use package crowds for
-	// the predecessor analysis of cyclic routes.
-	ErrComplicatedPaths = errors.New("montecarlo: strategy uses complicated paths")
+	// the predecessor analysis of cyclic routes, or the testbed backend.
+	//
+	// It is an alias of the scenario layer's canonical capability sentinel
+	// (see internal/scenario/capability), so errors.Is treats it, core's
+	// ErrComplicated, and capability.ErrComplicatedPaths as one error.
+	ErrComplicatedPaths = capability.ErrComplicatedPaths
 )
 
 // Config parameterizes an estimation run.
@@ -53,6 +58,11 @@ type Config struct {
 	// EngineOptions are forwarded to the exact engine (inference mode,
 	// receiver assumptions).
 	EngineOptions []events.Option
+	// Engine, when non-nil, is used instead of constructing a fresh
+	// engine; the scenario layer passes its process-shared engine here so
+	// estimator runs hit warm posterior caches. It must match N,
+	// len(Compromised), and EngineOptions.
+	Engine *events.Engine
 }
 
 // Result summarizes an estimation run.
@@ -79,11 +89,33 @@ func EstimateH(cfg Config) (Result, error) {
 		cfg.Workers = pool.Workers()
 	}
 	if cfg.Strategy.Kind == pathsel.Complicated {
-		return Result{}, ErrComplicatedPaths
+		return Result{}, capability.Unsupported("montecarlo", ErrComplicatedPaths, cfg.Strategy.Name)
 	}
-	engine, err := events.New(cfg.N, len(cfg.Compromised), cfg.EngineOptions...)
+	// The reference engine the configuration describes. When the caller
+	// injects a shared engine it must match the reference on every axis —
+	// N, C, inference mode, receiver assumption, self-report — or the
+	// estimate would silently run under a different adversary model.
+	ref, err := events.New(cfg.N, len(cfg.Compromised), cfg.EngineOptions...)
 	if err != nil {
 		return Result{}, err
+	}
+	engine := cfg.Engine
+	if engine == nil {
+		engine = ref
+	} else if engine.N() != ref.N() || engine.C() != ref.C() || engine.Mode() != ref.Mode() ||
+		engine.ReceiverCompromised() != ref.ReceiverCompromised() ||
+		engine.SenderSelfReport() != ref.SenderSelfReport() {
+		return Result{}, fmt.Errorf("%w: supplied engine (N=%d, C=%d, %v, receiver=%v, selfReport=%v) does not match config (N=%d, C=%d, %v, receiver=%v, selfReport=%v)",
+			ErrBadConfig,
+			engine.N(), engine.C(), engine.Mode(), engine.ReceiverCompromised(), engine.SenderSelfReport(),
+			ref.N(), ref.C(), ref.Mode(), ref.ReceiverCompromised(), ref.SenderSelfReport())
+	}
+	if !engine.SenderSelfReport() {
+		// The sampling loop hardcodes the local-eavesdropper branch
+		// (compromised senders contribute zero entropy); the
+		// no-self-report ablation is exact-engine-only.
+		return Result{}, capability.Unsupported("montecarlo", capability.ErrInference,
+			"no-sender-self-report ablation is exact-only")
 	}
 	if err := dist.Validate(cfg.Strategy.Length); err != nil {
 		return Result{}, err
@@ -134,12 +166,15 @@ func EstimateH(cfg Config) (Result, error) {
 				return
 			}
 			mt := Synthesize(1, sender, path, analyst.Compromised)
-			post, err := analyst.Posterior(mt)
+			// Entropy is the O(reports) fast path: it skips the N-entry
+			// posterior vector, which is what keeps million-node
+			// estimation linear in the path length rather than in N.
+			h, err := analyst.Entropy(mt)
 			if err != nil {
 				p.err = err
 				return
 			}
-			p.sum.Add(post.H)
+			p.sum.Add(h)
 		}
 	})
 

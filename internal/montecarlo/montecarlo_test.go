@@ -149,3 +149,33 @@ func TestSynthesize(t *testing.T) {
 		t.Errorf("direct send trace: %+v", mt)
 	}
 }
+
+// TestEngineInjectionValidation: a supplied shared engine must match the
+// configuration on every adversary-model axis, not just N and C.
+func TestEngineInjectionValidation(t *testing.T) {
+	strat, err := pathsel.UniformLength(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatched, err := events.New(10, 2, events.WithUncompromisedReceiver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = montecarlo.EstimateH(montecarlo.Config{
+		N: 10, Compromised: []trace.NodeID{0, 1}, Strategy: strat,
+		Trials: 10, Seed: 1, Workers: 1, Engine: mismatched,
+	})
+	if !errors.Is(err, montecarlo.ErrBadConfig) {
+		t.Errorf("mismatched engine err = %v", err)
+	}
+	matching, err := events.New(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := montecarlo.EstimateH(montecarlo.Config{
+		N: 10, Compromised: []trace.NodeID{0, 1}, Strategy: strat,
+		Trials: 100, Seed: 1, Workers: 1, Engine: matching,
+	}); err != nil {
+		t.Errorf("matching engine rejected: %v", err)
+	}
+}

@@ -138,8 +138,26 @@ func (s *Selector) SelectPath(rng *rand.Rand, sender trace.NodeID) ([]trace.Node
 }
 
 // simplePath samples l distinct intermediates uniformly from the n−1 nodes
-// other than the sender via a partial Fisher–Yates shuffle.
+// other than the sender. Sparse draws (l ≪ n) use rejection sampling so
+// selection is O(l) — a million-node system must not allocate a
+// million-entry pool per message; dense draws fall back to a partial
+// Fisher–Yates shuffle. Both produce the same distribution: each next hop
+// is uniform over the not-yet-used nodes.
 func (s *Selector) simplePath(rng *rand.Rand, sender trace.NodeID, l int) []trace.NodeID {
+	if l*16 <= s.n {
+		path := make([]trace.NodeID, 0, l)
+		seen := make(map[trace.NodeID]bool, l+1)
+		seen[sender] = true
+		for len(path) < l {
+			v := trace.NodeID(rng.Intn(s.n))
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			path = append(path, v)
+		}
+		return path
+	}
 	pool := make([]trace.NodeID, 0, s.n-1)
 	for v := 0; v < s.n; v++ {
 		if trace.NodeID(v) != sender {

@@ -1,0 +1,152 @@
+package pathsel
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"anonmix/internal/stats"
+	"anonmix/internal/trace"
+)
+
+func TestLookupPresets(t *testing.T) {
+	cases := []struct {
+		spec string
+		name string
+		kind PathKind
+		mean float64
+	}{
+		{"anonymizer", "Anonymizer", Simple, 1},
+		{"lpwa", "LPWA", Simple, 1},
+		{"freedom", "Freedom", Simple, 3},
+		{"onionrouting1", "Onion Routing I", Simple, 5},
+		{"pipenet", "PipeNet", Simple, 3.5},
+		{"fixed:5", "F(5)", Simple, 5},
+		{" Fixed:5 ", "F(5)", Simple, 5}, // case/space-insensitive
+		{"uniform:0,10", "U(0,10)", Simple, 5},
+		{"remailer:4", "Anonymous Remailer", Simple, 4},
+	}
+	for _, tc := range cases {
+		s, err := Lookup(tc.spec)
+		if err != nil {
+			t.Errorf("%q: %v", tc.spec, err)
+			continue
+		}
+		if s.Name != tc.name || s.Kind != tc.kind {
+			t.Errorf("%q: got %s/%v, want %s/%v", tc.spec, s.Name, s.Kind, tc.name, tc.kind)
+		}
+		if math.Abs(s.Length.Mean()-tc.mean) > 1e-12 {
+			t.Errorf("%q: mean %v, want %v", tc.spec, s.Length.Mean(), tc.mean)
+		}
+	}
+}
+
+func TestLookupGeometricFamilies(t *testing.T) {
+	s, err := Lookup("crowds:0.75,20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "Crowds" || s.Kind != Complicated {
+		t.Errorf("crowds: %+v", s)
+	}
+	if _, hi := s.Length.Support(); hi != 20 {
+		t.Errorf("crowds maxLen = %d", hi)
+	}
+	// Omitted maxLen falls back to the documented default.
+	s, err = Lookup("onionrouting2:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, hi := s.Length.Support(); hi != DefaultGeometricMax {
+		t.Errorf("default maxLen = %d, want %d", hi, DefaultGeometricMax)
+	}
+	if _, err := Lookup("hordes:0.7,15"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	for _, spec := range []string{
+		"bogus", "", "fixed", "fixed:x", "fixed:1,2", "uniform:3",
+		"crowds", "crowds:1.5", "pipenet:3", "uniform:5,2",
+	} {
+		if _, err := Lookup(spec); err == nil {
+			t.Errorf("%q accepted", spec)
+		} else if !errors.Is(err, ErrBadStrategy) {
+			t.Errorf("%q: err %v not ErrBadStrategy", spec, err)
+		}
+	}
+	if _, err := Lookup("nope:1"); !errors.Is(err, ErrUnknownStrategy) {
+		t.Errorf("unknown name err = %v", err)
+	}
+}
+
+func TestRegisterCustomEntry(t *testing.T) {
+	err := Register(Entry{Name: "testonly", Usage: "testonly", Parse: func([]string) (Strategy, error) {
+		return FixedLength(2)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("testonly"); err != nil {
+		t.Error(err)
+	}
+	found := false
+	for _, e := range Specs() {
+		if e.Name == "testonly" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("registered entry missing from Specs")
+	}
+	if err := Register(Entry{}); err == nil {
+		t.Error("empty entry accepted")
+	}
+}
+
+// TestSparsePathFastPath: the rejection-sampling path must produce valid
+// simple paths (distinct intermediates, never the sender) on a large
+// system without O(N) work per draw.
+func TestSparsePathFastPath(t *testing.T) {
+	const n = 500_000
+	s, err := Lookup("uniform:0,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := NewSelector(n, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRand(42)
+	for trial := 0; trial < 200; trial++ {
+		sender := trace.NodeID(rng.Intn(n))
+		path, err := sel.SelectPath(rng, sender)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[trace.NodeID]bool{sender: true}
+		for _, v := range path {
+			if seen[v] {
+				t.Fatalf("trial %d: repeated node %v in %v", trial, v, path)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSplitSpecs(t *testing.T) {
+	got := SplitSpecs(" freedom ; uniform:1,5 ;; fixed:7 ")
+	want := []string{"freedom", "uniform:1,5", "fixed:7"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if SplitSpecs("") != nil {
+		t.Error("empty list should be nil")
+	}
+}

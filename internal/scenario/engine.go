@@ -1,0 +1,73 @@
+package scenario
+
+// The process-wide engine cache. Exact engines are concurrency-safe and
+// memoize every posterior they compute, so sharing one engine per
+// configuration across figures, CLIs, the Monte-Carlo estimator, and the
+// testbed adversary turns repeated work into cache hits. This cache used
+// to live in internal/figures; the scenario layer owns it now so every
+// consumer shares the same engines.
+
+import (
+	"sync"
+
+	"anonmix/internal/adversary"
+	"anonmix/internal/events"
+)
+
+// engineKey is the comparable identity of an engine configuration,
+// reconstructed from the built engine's accessors (events.Option values
+// are functions and cannot key a map).
+type engineKey struct {
+	n, c       int
+	mode       events.InferenceMode
+	receiver   bool
+	selfReport bool
+}
+
+var engines sync.Map // engineKey → *events.Engine
+
+// Engine returns the process-shared exact engine for the configuration,
+// creating it on first use. Engines are never evicted: they hold memoized
+// posteriors whose whole point is to outlive individual runs.
+func Engine(n, c int, opts ...events.Option) (*events.Engine, error) {
+	e, err := events.New(n, c, opts...)
+	if err != nil {
+		return nil, err
+	}
+	key := engineKey{
+		n:          e.N(),
+		c:          e.C(),
+		mode:       e.Mode(),
+		receiver:   e.ReceiverCompromised(),
+		selfReport: e.SenderSelfReport(),
+	}
+	v, _ := engines.LoadOrStore(key, e)
+	return v.(*events.Engine), nil
+}
+
+// ResetEngines drops every cached engine. It exists for determinism tests
+// that compare cold-cache parallel runs against cold-cache serial runs;
+// production code has no reason to call it (a stale engine is impossible —
+// engines are pure functions of their configuration).
+func ResetEngines() {
+	engines.Range(func(k, _ any) bool {
+		engines.Delete(k)
+		return true
+	})
+}
+
+// NewAnalyst builds the adversary for a scenario: the shared exact engine
+// plus the strategy's length distribution and the compromised set.
+// Analysts are stateless and safe for concurrent use, so callers may share
+// the returned value across trials.
+func NewAnalyst(cfg Config) (*adversary.Analyst, error) {
+	norm, err := normalize(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e, err := Engine(norm.N, len(norm.Adversary.Compromised), engineOptions(norm)...)
+	if err != nil {
+		return nil, err
+	}
+	return adversary.NewAnalyst(e, norm.Strategy.Length, norm.Adversary.Compromised)
+}

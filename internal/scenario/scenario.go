@@ -1,0 +1,429 @@
+// Package scenario is the unification layer of the repository: one
+// declarative description of an experiment — population, adversary,
+// path-selection strategy, protocol substrate, and workload — that any
+// capable backend can execute through a single entry point:
+//
+//	res, err := scenario.Run(scenario.Config{
+//	        N:         1000,
+//	        Backend:   scenario.BackendTestbed,
+//	        StrategySpec: "crowds:0.75,20",
+//	        Protocol:  scenario.ProtocolCrowds,
+//	        Adversary: scenario.Adversary{Count: 3},
+//	        Workload:  scenario.Workload{Messages: 5000, Seed: 1},
+//	})
+//
+// Three backends ship registered: the exact counted-bucket engine
+// (BackendExact), the sampling estimator (BackendMonteCarlo), and the
+// sharded discrete-event testbed (BackendTestbed). All three compute the
+// same quantity — the anonymity degree H*(S) of Guan et al. (ICDCS 2002)
+// — so any scenario a backend can express must agree with the others
+// within sampling error; the cross-backend agreement test in this package
+// pins that property.
+//
+// When a backend cannot execute a scenario (the exact engine refuses
+// cyclic routes, analytic backends refuse wire protocols with their own
+// routing), it returns a *capability.Error instead of a per-package
+// ad-hoc failure, so callers can switch backends on errors.Is rather than
+// string-matching.
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"anonmix/internal/dist"
+	"anonmix/internal/events"
+	"anonmix/internal/pathsel"
+	"anonmix/internal/scenario/capability"
+	"anonmix/internal/trace"
+)
+
+// ErrBadConfig reports an inconsistent scenario configuration.
+var ErrBadConfig = errors.New("scenario: invalid configuration")
+
+// ErrUnknownBackend reports a backend kind no registry entry claims.
+var ErrUnknownBackend = errors.New("scenario: unknown backend")
+
+// BackendKind names a registered backend.
+type BackendKind string
+
+// The built-in backends.
+const (
+	// BackendExact is the closed-form counted-bucket engine (package
+	// events): exact H*(S), no sampling error, simple paths only.
+	BackendExact BackendKind = "exact"
+	// BackendMonteCarlo is the sampling estimator (package montecarlo):
+	// unbiased H*(S) estimates with confidence intervals.
+	BackendMonteCarlo BackendKind = "mc"
+	// BackendTestbed executes the scenario on the sharded discrete-event
+	// network kernel (package simnet) and measures H*(S) empirically from
+	// the adversary's collected tuples.
+	BackendTestbed BackendKind = "testbed"
+)
+
+// ParseBackend resolves a backend name; it accepts the canonical kinds
+// plus the aliases "montecarlo" and "sim".
+func ParseBackend(s string) (BackendKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "exact", "":
+		return BackendExact, nil
+	case "mc", "montecarlo":
+		return BackendMonteCarlo, nil
+	case "testbed", "sim":
+		return BackendTestbed, nil
+	default:
+		return "", fmt.Errorf("%w: %q (known: %s)", ErrUnknownBackend, s, backendNames())
+	}
+}
+
+// Protocol selects the wire substrate a testbed scenario executes.
+// Analytic backends (exact, Monte-Carlo) model the observable structure
+// directly and accept only substrates whose observations match the
+// simple-path model (plain and onion).
+type Protocol uint8
+
+// The protocol substrates.
+const (
+	// ProtocolPlain routes packets with explicit plain source routes.
+	ProtocolPlain Protocol = iota
+	// ProtocolOnion wraps each route in layered encryption (package
+	// onion); the observable structure is identical to plain routing.
+	ProtocolOnion
+	// ProtocolCrowds runs the coin-flip jondo protocol (package crowds):
+	// routing is per-hop random with cycles, so only the testbed can
+	// execute it.
+	ProtocolCrowds
+	// ProtocolMix routes plainly but batches packets at every node in
+	// threshold mixes (simnet.Config.BatchThreshold), exercising
+	// mix-network timing; testbed only.
+	ProtocolMix
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolPlain:
+		return "plain"
+	case ProtocolOnion:
+		return "onion"
+	case ProtocolCrowds:
+		return "crowds"
+	case ProtocolMix:
+		return "mix"
+	default:
+		return fmt.Sprintf("Protocol(%d)", uint8(p))
+	}
+}
+
+// ParseProtocol resolves a protocol name.
+func ParseProtocol(s string) (Protocol, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "plain", "":
+		return ProtocolPlain, nil
+	case "onion":
+		return ProtocolOnion, nil
+	case "crowds":
+		return ProtocolCrowds, nil
+	case "mix", "mixbatch":
+		return ProtocolMix, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown protocol %q (known: plain, onion, crowds, mix)", ErrBadConfig, s)
+	}
+}
+
+// Adversary describes the threat model of a scenario.
+type Adversary struct {
+	// Compromised lists the adversary's nodes explicitly. When nil, the
+	// first Count nodes are compromised (the convention of the paper's
+	// figures and of every cmd).
+	Compromised []trace.NodeID
+	// Count is the number of compromised nodes when Compromised is nil.
+	Count int
+	// UncompromisedReceiver drops the receiver's report from the
+	// adversary's view (the paper's default has the receiver compromised).
+	UncompromisedReceiver bool
+	// NoSenderSelfReport disables the local-eavesdropper branch in which
+	// a compromised sender identifies itself (ablation).
+	NoSenderSelfReport bool
+}
+
+// nodes resolves the compromised set for an n-node system.
+func (a Adversary) nodes(n int) ([]trace.NodeID, error) {
+	if a.Compromised != nil {
+		seen := make(map[trace.NodeID]bool, len(a.Compromised))
+		for _, id := range a.Compromised {
+			if int(id) < 0 || int(id) >= n {
+				return nil, fmt.Errorf("%w: compromised node %v outside [0,%d)", ErrBadConfig, id, n)
+			}
+			if seen[id] {
+				return nil, fmt.Errorf("%w: duplicate compromised node %v", ErrBadConfig, id)
+			}
+			seen[id] = true
+		}
+		return a.Compromised, nil
+	}
+	if a.Count < 0 || a.Count > n {
+		return nil, fmt.Errorf("%w: %d compromised of %d nodes", ErrBadConfig, a.Count, n)
+	}
+	out := make([]trace.NodeID, a.Count)
+	for i := range out {
+		out[i] = trace.NodeID(i)
+	}
+	return out, nil
+}
+
+// Workload describes how much traffic a scenario generates and how.
+type Workload struct {
+	// Messages is the number of messages (testbed) or sampling trials
+	// (Monte-Carlo). Ignored by the exact backend.
+	Messages int
+	// Seed makes randomized backends reproducible.
+	Seed int64
+	// Workers bounds Monte-Carlo sampling parallelism (0 = pool width).
+	Workers int
+	// MaxHopDelay adds random logical per-hop delay on the testbed.
+	MaxHopDelay time.Duration
+	// BatchThreshold sets the testbed threshold-mix batch size for
+	// ProtocolMix (default 8).
+	BatchThreshold int
+}
+
+// Config is the declarative description of one run.
+type Config struct {
+	// N is the system population.
+	N int
+	// Backend selects the execution engine (default BackendExact).
+	Backend BackendKind
+	// Strategy is the path-selection strategy. Leave zero and set
+	// StrategySpec to resolve it from the pathsel registry. Scenarios on
+	// ProtocolCrowds may omit both (the protocol routes by itself).
+	Strategy pathsel.Strategy
+	// StrategySpec is a pathsel registry spec ("uniform:0,10",
+	// "crowds:0.75,20"), used when Strategy is zero.
+	StrategySpec string
+	// Protocol is the wire substrate (testbed; analytic backends accept
+	// plain and onion, whose observable structure they model).
+	Protocol Protocol
+	// CrowdsPf is the Crowds forwarding probability for ProtocolCrowds.
+	// When zero it is recovered from a geometric Strategy.Length.
+	CrowdsPf float64
+	// Adversary is the threat model.
+	Adversary Adversary
+	// Workload is the traffic description.
+	Workload Workload
+	// EngineOptions are forwarded to the exact engine in addition to the
+	// options derived from Adversary (e.g. events.WithInference).
+	EngineOptions []events.Option
+}
+
+// CrowdsReport carries the Crowds-specific outcome of a testbed run: the
+// Reiter–Rubin predecessor statistics the paper's §2 survey cites.
+type CrowdsReport struct {
+	// Pf is the forwarding probability used.
+	Pf float64
+	// Observed is the number of messages any collaborator saw.
+	Observed int
+	// Hits is the number of observed messages whose first collaborator's
+	// predecessor was the true initiator.
+	Hits int
+	// PredecessorProb is the Reiter–Rubin closed form P(H1 | H1+).
+	PredecessorProb float64
+	// ProbableInnocence reports whether the probable-innocence condition
+	// holds for (n, c, pf).
+	ProbableInnocence bool
+	// EventEntropy is the posterior entropy of the observed event.
+	EventEntropy float64
+}
+
+// KernelStats snapshots the testbed kernel after a run.
+type KernelStats struct {
+	// Shards is the number of event-kernel shards (worker goroutines).
+	Shards int
+	// Events is the number of node-arrival events processed.
+	Events uint64
+	// BatchFlushes counts threshold-mix flushes.
+	BatchFlushes uint64
+	// Goroutines is the number of goroutines the run added over the
+	// process baseline captured before the network started — the kernel's
+	// shard goroutines (measured after injection, before the settle
+	// waiter spawns), never O(N).
+	Goroutines int
+	// EventsPerSec is Events divided by the settle time.
+	EventsPerSec float64
+}
+
+// Result is the outcome of a run, whatever the backend.
+type Result struct {
+	// Backend is the backend that produced the result.
+	Backend BackendKind
+	// Strategy echoes the resolved strategy (zero for protocol-routed
+	// scenarios).
+	Strategy pathsel.Strategy
+	// H is the anonymity degree in bits: exact, estimated, or empirical.
+	H float64
+	// StdErr and CI95 quantify sampling error (zero for exact).
+	StdErr float64
+	CI95   float64
+	// Estimated marks sampled results (Monte-Carlo, testbed).
+	Estimated bool
+	// Trials is the number of samples behind an estimate (0 for exact).
+	Trials int
+	// MaxH is log2(N), the upper bound.
+	MaxH float64
+	// Normalized is H / log2(N).
+	Normalized float64
+	// CompromisedSenderShare is the fraction of trials with a compromised
+	// sender (identified outright; the C/N branch).
+	CompromisedSenderShare float64
+	// Deanonymized counts messages whose posterior entropy was ≈ 0.
+	Deanonymized int
+	// Elapsed is the wall-clock backend runtime.
+	Elapsed time.Duration
+	// Kernel reports testbed kernel counters (nil elsewhere).
+	Kernel *KernelStats
+	// Crowds carries the Crowds predecessor statistics (nil elsewhere).
+	Crowds *CrowdsReport
+}
+
+// Backend executes scenarios. Implementations receive a normalized config:
+// Strategy resolved from its spec, Adversary.Compromised materialized, and
+// Backend set to their own kind.
+type Backend interface {
+	// Kind names the backend.
+	Kind() BackendKind
+	// Run executes the scenario or returns a *capability.Error.
+	Run(cfg Config) (Result, error)
+}
+
+var (
+	backendMu sync.RWMutex
+	backends  = map[BackendKind]Backend{}
+)
+
+// Register adds a backend to the registry (later registrations replace
+// earlier ones of the same kind).
+func Register(b Backend) {
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	backends[b.Kind()] = b
+}
+
+// Backends lists the registered backend kinds, sorted.
+func Backends() []BackendKind {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	out := make([]BackendKind, 0, len(backends))
+	for k := range backends {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func backendNames() string {
+	kinds := Backends()
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = string(k)
+	}
+	return strings.Join(names, ", ")
+}
+
+// Run normalizes the configuration and dispatches it to its backend. This
+// is the single entry point every CLI and library facade routes through:
+// switching backend, strategy, protocol, or threat model is a field
+// change, not a different code path.
+func Run(cfg Config) (Result, error) {
+	norm, err := normalize(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	backendMu.RLock()
+	b, ok := backends[norm.Backend]
+	backendMu.RUnlock()
+	if !ok {
+		return Result{}, fmt.Errorf("%w: %q (known: %s)", ErrUnknownBackend, norm.Backend, backendNames())
+	}
+	start := time.Now()
+	res, err := b.Run(norm)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Backend = norm.Backend
+	res.Strategy = norm.Strategy
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// normalize validates the config and resolves every symbolic field.
+func normalize(cfg Config) (Config, error) {
+	if cfg.N < 2 {
+		return Config{}, fmt.Errorf("%w: n = %d", ErrBadConfig, cfg.N)
+	}
+	if cfg.Backend == "" {
+		cfg.Backend = BackendExact
+	}
+	comp, err := cfg.Adversary.nodes(cfg.N)
+	if err != nil {
+		return Config{}, err
+	}
+	cfg.Adversary.Compromised = comp
+	cfg.Adversary.Count = len(comp)
+
+	if cfg.Strategy.Length == nil && cfg.StrategySpec != "" {
+		s, err := pathsel.Lookup(cfg.StrategySpec)
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.Strategy = s
+	}
+	if cfg.Strategy.Length != nil {
+		if err := cfg.Strategy.Validate(cfg.N); err != nil {
+			return Config{}, err
+		}
+	} else if cfg.Protocol != ProtocolCrowds {
+		return Config{}, fmt.Errorf("%w: no strategy (set Strategy or StrategySpec)", ErrBadConfig)
+	}
+	// A strategy that routes hop-by-hop with cycles is the Crowds family;
+	// promote the protocol so the testbed picks the right substrate.
+	if cfg.Strategy.Kind == pathsel.Complicated && cfg.Protocol == ProtocolPlain {
+		cfg.Protocol = ProtocolCrowds
+	}
+	if cfg.Protocol == ProtocolCrowds && cfg.CrowdsPf == 0 {
+		if g, ok := cfg.Strategy.Length.(dist.Geometric); ok {
+			cfg.CrowdsPf = g.Pf
+		}
+		if cfg.CrowdsPf == 0 {
+			// pf = 0 degenerates to direct sends (zero anonymity) and is
+			// indistinguishable from "forgot to set it" — refuse rather
+			// than silently produce meaningless predecessor statistics.
+			return Config{}, fmt.Errorf("%w: crowds substrate needs a forwarding probability (set CrowdsPf or use a crowds:<pf> strategy)", ErrBadConfig)
+		}
+	}
+	return cfg, nil
+}
+
+// engineOptions derives the exact-engine options of a scenario.
+func engineOptions(cfg Config) []events.Option {
+	var opts []events.Option
+	if cfg.Adversary.UncompromisedReceiver {
+		opts = append(opts, events.WithUncompromisedReceiver())
+	}
+	if cfg.Adversary.NoSenderSelfReport {
+		opts = append(opts, events.WithoutSenderSelfReport())
+	}
+	return append(opts, cfg.EngineOptions...)
+}
+
+// analyticProtocol reports whether the protocol's observable structure is
+// the simple-path model the analytic backends compute on.
+func analyticProtocol(p Protocol) bool {
+	return p == ProtocolPlain || p == ProtocolOnion
+}
+
+// Interface compliance for the capability error (documentation aid).
+var _ error = (*capability.Error)(nil)

@@ -1,0 +1,302 @@
+package scenario_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"anonmix/internal/core"
+	"anonmix/internal/montecarlo"
+	"anonmix/internal/scenario"
+	"anonmix/internal/scenario/capability"
+	"anonmix/internal/trace"
+)
+
+// TestCrossBackendAgreement is the property the scenario layer exists to
+// guarantee: the same scenario produces the same anonymity degree on every
+// backend that can execute it — exact == Monte-Carlo (within CI) ==
+// testbed-empirical (within CI) — across strategies and both receiver
+// modes.
+func TestCrossBackendAgreement(t *testing.T) {
+	const n = 14
+	adversaries := []struct {
+		name string
+		adv  scenario.Adversary
+	}{
+		{"receiver-compromised", scenario.Adversary{Compromised: []trace.NodeID{2, 7, 11}}},
+		{"receiver-uncompromised", scenario.Adversary{Compromised: []trace.NodeID{2, 7, 11}, UncompromisedReceiver: true}},
+	}
+	specs := []string{"fixed:3", "uniform:0,6", "pipenet", "remailer:2"}
+
+	for _, adv := range adversaries {
+		for _, spec := range specs {
+			t.Run(adv.name+"/"+spec, func(t *testing.T) {
+				base := scenario.Config{
+					N:            n,
+					StrategySpec: spec,
+					Adversary:    adv.adv,
+				}
+
+				exactCfg := base
+				exactCfg.Backend = scenario.BackendExact
+				exact, err := scenario.Run(exactCfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if exact.Estimated || exact.CI95 != 0 {
+					t.Errorf("exact result carries sampling error: %+v", exact)
+				}
+
+				mcCfg := base
+				mcCfg.Backend = scenario.BackendMonteCarlo
+				mcCfg.Workload = scenario.Workload{Messages: 30000, Seed: 7, Workers: 4}
+				mc, err := scenario.Run(mcCfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !mc.Estimated || mc.Trials != 30000 {
+					t.Errorf("mc result: %+v", mc)
+				}
+				if d := math.Abs(mc.H - exact.H); d > 4*mc.StdErr+1e-3 {
+					t.Errorf("MC H = %v ± %v, exact H = %v (Δ=%v)", mc.H, mc.StdErr, exact.H, d)
+				}
+
+				tbCfg := base
+				tbCfg.Backend = scenario.BackendTestbed
+				tbCfg.Workload = scenario.Workload{Messages: 4000, Seed: 11}
+				tb, err := scenario.Run(tbCfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !tb.Estimated || tb.Kernel == nil || tb.Kernel.Events == 0 {
+					t.Errorf("testbed result lacks kernel stats: %+v", tb)
+				}
+				if d := math.Abs(tb.H - exact.H); d > 4*tb.StdErr+1e-3 {
+					t.Errorf("testbed H = %v ± %v, exact H = %v (Δ=%v)", tb.H, tb.StdErr, exact.H, d)
+				}
+			})
+		}
+	}
+}
+
+// TestProtocolSubstratesAgree: onion layering and threshold-mix batching
+// change the wire format and the timing, not the observable structure — so
+// the measured anonymity degree must still match the exact engine.
+func TestProtocolSubstratesAgree(t *testing.T) {
+	base := scenario.Config{
+		N:            16,
+		StrategySpec: "uniform:1,5",
+		Adversary:    scenario.Adversary{Count: 3},
+	}
+	exactCfg := base
+	exactCfg.Backend = scenario.BackendExact
+	exact, err := scenario.Run(exactCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, proto := range []scenario.Protocol{scenario.ProtocolOnion, scenario.ProtocolMix} {
+		t.Run(proto.String(), func(t *testing.T) {
+			cfg := base
+			cfg.Backend = scenario.BackendTestbed
+			cfg.Protocol = proto
+			cfg.Workload = scenario.Workload{Messages: 3000, Seed: 5}
+			res, err := scenario.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := math.Abs(res.H - exact.H); d > 4*res.StdErr+1e-3 {
+				t.Errorf("%s H = %v ± %v, exact H = %v", proto, res.H, res.StdErr, exact.H)
+			}
+			if proto == scenario.ProtocolMix && res.Kernel.BatchFlushes == 0 {
+				t.Error("mix protocol ran without batch flushes")
+			}
+		})
+	}
+}
+
+// TestCrowdsSubstrate: a cyclic-route spec on the testbed is promoted to
+// the Crowds substrate and reports the Reiter–Rubin predecessor
+// statistics.
+func TestCrowdsSubstrate(t *testing.T) {
+	res, err := scenario.Run(scenario.Config{
+		N:            20,
+		Backend:      scenario.BackendTestbed,
+		StrategySpec: "crowds:0.7",
+		Adversary:    scenario.Adversary{Count: 2},
+		Workload:     scenario.Workload{Messages: 4000, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := res.Crowds
+	if cr == nil {
+		t.Fatal("no crowds report")
+	}
+	if cr.Pf != 0.7 {
+		t.Errorf("pf = %v (not recovered from the geometric strategy)", cr.Pf)
+	}
+	if cr.Observed == 0 {
+		t.Fatal("no observed paths")
+	}
+	emp := float64(cr.Hits) / float64(cr.Observed)
+	if math.Abs(emp-cr.PredecessorProb) > 0.05 {
+		t.Errorf("empirical predecessor rate %v, closed form %v", emp, cr.PredecessorProb)
+	}
+}
+
+// TestCapabilityErrors: every backend refuses what it cannot run with the
+// one shared capability error, matchable through all three legacy
+// vocabularies.
+func TestCapabilityErrors(t *testing.T) {
+	cyclic := scenario.Config{
+		N:            12,
+		StrategySpec: "crowds:0.7",
+		Adversary:    scenario.Adversary{Count: 1},
+		Workload:     scenario.Workload{Messages: 100, Seed: 1},
+	}
+	for _, backend := range []scenario.BackendKind{scenario.BackendExact, scenario.BackendMonteCarlo} {
+		cfg := cyclic
+		cfg.Backend = backend
+		// On ProtocolPlain a cyclic strategy is promoted to the Crowds
+		// substrate; pin the onion protocol so the analytic backends see
+		// the cyclic strategy itself.
+		cfg.Protocol = scenario.ProtocolOnion
+		_, err := scenario.Run(cfg)
+		if err == nil {
+			t.Fatalf("%s accepted a cyclic strategy", backend)
+		}
+		for name, sentinel := range map[string]error{
+			"capability.ErrComplicatedPaths": capability.ErrComplicatedPaths,
+			"core.ErrComplicated":            core.ErrComplicated,
+			"montecarlo.ErrComplicatedPaths": montecarlo.ErrComplicatedPaths,
+		} {
+			if !errors.Is(err, sentinel) {
+				t.Errorf("%s: err %v does not match %s", backend, err, name)
+			}
+		}
+		wantLabel := map[scenario.BackendKind]string{
+			scenario.BackendExact:      "exact",
+			scenario.BackendMonteCarlo: "montecarlo", // the estimator labels itself
+		}[backend]
+		var capErr *capability.Error
+		if !errors.As(err, &capErr) {
+			t.Errorf("%s: err %v is not a *capability.Error", backend, err)
+		} else if capErr.Backend != wantLabel {
+			t.Errorf("refusing backend = %q, want %q", capErr.Backend, wantLabel)
+		}
+	}
+
+	// Analytic backends refuse wire protocols with their own routing.
+	cfg := scenario.Config{
+		N:            12,
+		Backend:      scenario.BackendExact,
+		StrategySpec: "fixed:3",
+		Protocol:     scenario.ProtocolMix,
+		Adversary:    scenario.Adversary{Count: 1},
+	}
+	if _, err := scenario.Run(cfg); !errors.Is(err, capability.ErrProtocol) {
+		t.Errorf("exact×mix err = %v", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := scenario.Run(scenario.Config{N: 1}); !errors.Is(err, scenario.ErrBadConfig) {
+		t.Errorf("n=1 err = %v", err)
+	}
+	if _, err := scenario.Run(scenario.Config{N: 10}); !errors.Is(err, scenario.ErrBadConfig) {
+		t.Errorf("missing strategy err = %v", err)
+	}
+	if _, err := scenario.Run(scenario.Config{
+		N: 10, StrategySpec: "fixed:3", Backend: "quantum",
+	}); !errors.Is(err, scenario.ErrUnknownBackend) {
+		t.Errorf("unknown backend err = %v", err)
+	}
+	if _, err := scenario.Run(scenario.Config{
+		N: 10, StrategySpec: "fixed:3",
+		Adversary: scenario.Adversary{Compromised: []trace.NodeID{3, 3}},
+	}); !errors.Is(err, scenario.ErrBadConfig) {
+		t.Errorf("duplicate compromised err = %v", err)
+	}
+	if _, err := scenario.Run(scenario.Config{N: 10, StrategySpec: "warp:9"}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	for in, want := range map[string]scenario.BackendKind{
+		"exact": scenario.BackendExact, "": scenario.BackendExact,
+		"mc": scenario.BackendMonteCarlo, "montecarlo": scenario.BackendMonteCarlo,
+		"testbed": scenario.BackendTestbed, "SIM": scenario.BackendTestbed,
+	} {
+		got, err := scenario.ParseBackend(in)
+		if err != nil || got != want {
+			t.Errorf("ParseBackend(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := scenario.ParseBackend("nope"); err == nil {
+		t.Error("bad backend accepted")
+	}
+	for in, want := range map[string]scenario.Protocol{
+		"plain": scenario.ProtocolPlain, "onion": scenario.ProtocolOnion,
+		"crowds": scenario.ProtocolCrowds, "mix": scenario.ProtocolMix,
+	} {
+		got, err := scenario.ParseProtocol(in)
+		if err != nil || got != want {
+			t.Errorf("ParseProtocol(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := scenario.ParseProtocol("pigeon"); err == nil {
+		t.Error("bad protocol accepted")
+	}
+	kinds := scenario.Backends()
+	if len(kinds) != 3 {
+		t.Errorf("backends = %v", kinds)
+	}
+}
+
+// TestEngineShared: the process-wide engine cache returns the same engine
+// for the same configuration and distinct engines for distinct ones.
+func TestEngineShared(t *testing.T) {
+	e1, err := scenario.Engine(33, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := scenario.Engine(33, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Error("same configuration produced distinct engines")
+	}
+	e3, err := scenario.Engine(33, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3 == e1 {
+		t.Error("distinct configurations share an engine")
+	}
+}
+
+// TestNoSelfReportIsExactOnly: the sampling backends hardcode the
+// local-eavesdropper branch, so the no-self-report ablation must be
+// refused with a capability error rather than silently biasing H.
+func TestNoSelfReportIsExactOnly(t *testing.T) {
+	base := scenario.Config{
+		N:            12,
+		StrategySpec: "fixed:3",
+		Adversary:    scenario.Adversary{Count: 2, NoSenderSelfReport: true},
+		Workload:     scenario.Workload{Messages: 100, Seed: 1},
+	}
+	exactCfg := base
+	exactCfg.Backend = scenario.BackendExact
+	if _, err := scenario.Run(exactCfg); err != nil {
+		t.Errorf("exact backend refused the ablation: %v", err)
+	}
+	for _, kind := range []scenario.BackendKind{scenario.BackendMonteCarlo, scenario.BackendTestbed} {
+		cfg := base
+		cfg.Backend = kind
+		if _, err := scenario.Run(cfg); !errors.Is(err, capability.ErrInference) {
+			t.Errorf("%s: err = %v, want capability.ErrInference", kind, err)
+		}
+	}
+}

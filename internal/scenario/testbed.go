@@ -1,0 +1,312 @@
+package scenario
+
+// The testbed backend: executes scenarios on the sharded discrete-event
+// network kernel (package simnet) with the protocol substrate the config
+// names — plain source routes, onion layers, Crowds coin-flips, or
+// threshold-mix batching — and measures the anonymity degree empirically
+// by running the adversary's inference over the collected tuples.
+
+import (
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"time"
+
+	"anonmix/internal/adversary"
+	"anonmix/internal/crowds"
+	"anonmix/internal/entropy"
+	"anonmix/internal/events"
+	"anonmix/internal/onion"
+	"anonmix/internal/pathsel"
+	"anonmix/internal/scenario/capability"
+	"anonmix/internal/simnet"
+	"anonmix/internal/stats"
+	"anonmix/internal/trace"
+)
+
+// defaultMixBatch is the threshold-mix batch size when ProtocolMix is
+// selected without an explicit Workload.BatchThreshold.
+const defaultMixBatch = 8
+
+// settleTimeout bounds how long a testbed run may take to drain.
+const settleTimeout = 5 * time.Minute
+
+type testbedBackend struct{}
+
+func (testbedBackend) Kind() BackendKind { return BackendTestbed }
+
+func (testbedBackend) Run(cfg Config) (Result, error) {
+	if cfg.Workload.Messages <= 0 {
+		return Result{}, fmt.Errorf("%w: testbed needs Workload.Messages > 0", ErrBadConfig)
+	}
+	if cfg.Protocol == ProtocolCrowds {
+		return runCrowds(cfg)
+	}
+	if cfg.Strategy.Kind != pathsel.Simple {
+		return Result{}, capability.Unsupported(string(BackendTestbed),
+			capability.ErrComplicatedPaths, cfg.Strategy.Name+" (run it on the crowds substrate)")
+	}
+	return runRouted(cfg)
+}
+
+// runRouted executes the source-routed substrates (plain, onion, mix):
+// paths come from the strategy's selector, the network carries them, and
+// the adversary's empirical mean posterior entropy is the measured H*(S).
+func runRouted(cfg Config) (Result, error) {
+	engine, err := Engine(cfg.N, len(cfg.Adversary.Compromised), engineOptions(cfg)...)
+	if err != nil {
+		return Result{}, err
+	}
+	if engine.Mode() != events.InferenceStandard {
+		return Result{}, capability.Unsupported(string(BackendTestbed),
+			capability.ErrInference, engine.Mode().String())
+	}
+	if !engine.SenderSelfReport() {
+		// The empirical pipeline hardcodes the local-eavesdropper branch
+		// (a compromised sender is identified outright); running the
+		// no-self-report ablation here would silently bias H low.
+		return Result{}, capability.Unsupported(string(BackendTestbed),
+			capability.ErrInference, "no-sender-self-report ablation is exact-only")
+	}
+	// The config arrives normalized from Run, and the engine is already in
+	// hand — build the analyst directly.
+	analyst, err := adversary.NewAnalyst(engine, cfg.Strategy.Length, cfg.Adversary.Compromised)
+	if err != nil {
+		return Result{}, err
+	}
+	sel, err := pathsel.NewSelector(cfg.N, cfg.Strategy)
+	if err != nil {
+		return Result{}, err
+	}
+
+	nwCfg := simnet.Config{
+		N:           cfg.N,
+		Compromised: cfg.Adversary.Compromised,
+		Seed:        cfg.Workload.Seed,
+		MaxHopDelay: cfg.Workload.MaxHopDelay,
+	}
+	var ring *onion.KeyRing
+	if cfg.Protocol == ProtocolOnion {
+		var secret [8]byte
+		binary.LittleEndian.PutUint64(secret[:], uint64(cfg.Workload.Seed)+0x517cc1b727220a95)
+		ring, err = onion.NewKeyRing(secret[:], cfg.N)
+		if err != nil {
+			return Result{}, err
+		}
+		fwd, err := onion.NewForwarder(ring)
+		if err != nil {
+			return Result{}, err
+		}
+		nwCfg.Forwarder = fwd
+	}
+	if cfg.Protocol == ProtocolMix {
+		nwCfg.BatchThreshold = cfg.Workload.BatchThreshold
+		if nwCfg.BatchThreshold < 2 {
+			nwCfg.BatchThreshold = defaultMixBatch
+		}
+		// Batch composition follows arrival order, which is scheduling-
+		// dependent across shards; one shard keeps mix scenarios
+		// bit-reproducible for a fixed seed (plain/onion runs stay
+		// parallel — their analysis is order-independent).
+		nwCfg.Shards = 1
+	}
+	baseGoroutines := runtime.NumGoroutine()
+	nw, err := simnet.New(nwCfg)
+	if err != nil {
+		return Result{}, err
+	}
+	nw.Start()
+	defer nw.Close()
+
+	start := time.Now()
+	rng := stats.NewRand(cfg.Workload.Seed)
+	senders := make(map[trace.MessageID]trace.NodeID, cfg.Workload.Messages)
+	for i := 0; i < cfg.Workload.Messages; i++ {
+		sender := trace.NodeID(rng.Intn(cfg.N))
+		path, err := sel.SelectPath(rng, sender)
+		if err != nil {
+			return Result{}, err
+		}
+		var id trace.MessageID
+		if cfg.Protocol == ProtocolOnion && len(path) > 0 {
+			blob, err := onion.Build(ring, path, nil, cryptorand.Reader)
+			if err != nil {
+				return Result{}, err
+			}
+			id, err = nw.Inject(sender, path[0], simnet.Packet{Onion: blob})
+			if err != nil {
+				return Result{}, err
+			}
+		} else {
+			id, err = nw.SendRoute(sender, path, nil)
+			if err != nil {
+				return Result{}, err
+			}
+		}
+		senders[id] = sender
+	}
+	goroutines := max(runtime.NumGoroutine()-baseGoroutines, 0)
+	if err := nw.WaitSettled(settleTimeout); err != nil {
+		return Result{}, err
+	}
+	elapsed := time.Since(start)
+	if drops := nw.Dropped(); len(drops) > 0 {
+		return Result{}, fmt.Errorf("scenario: testbed dropped %d packets: %w", len(drops), drops[0])
+	}
+
+	var sum stats.Summary
+	var compSenders, deanonymized int
+	tuples := nw.Tuples()
+	for id, mt := range trace.Collate(tuples) {
+		sender := senders[id]
+		if analyst.Compromised(sender) {
+			// Local-eavesdropper branch: the adversary's agent at the
+			// sender identifies it outright.
+			sum.Add(0)
+			compSenders++
+			deanonymized++
+			continue
+		}
+		h, err := analyst.Entropy(mt)
+		if err != nil {
+			return Result{}, fmt.Errorf("scenario: message %d: %w", id, err)
+		}
+		if h < 1e-9 {
+			deanonymized++
+		}
+		sum.Add(h)
+	}
+	if sum.N() != cfg.Workload.Messages {
+		return Result{}, fmt.Errorf("scenario: analyzed %d of %d messages", sum.N(), cfg.Workload.Messages)
+	}
+
+	res := Result{
+		H:                      sum.Mean(),
+		StdErr:                 sum.StdErr(),
+		CI95:                   sum.CI95(),
+		Estimated:              true,
+		Trials:                 sum.N(),
+		MaxH:                   entropy.Max(cfg.N),
+		Normalized:             entropy.Normalized(sum.Mean(), cfg.N),
+		CompromisedSenderShare: float64(compSenders) / float64(sum.N()),
+		Deanonymized:           deanonymized,
+		Kernel:                 kernelStats(nw, goroutines, elapsed),
+	}
+	return res, nil
+}
+
+// runCrowds executes the coin-flip jondo substrate: routing is the
+// protocol's own (no strategy selector), honest jondos originate, and the
+// result carries the Reiter–Rubin predecessor statistics next to the
+// posterior entropy of the observed event.
+func runCrowds(cfg Config) (Result, error) {
+	n, comp := cfg.N, cfg.Adversary.Compromised
+	c := len(comp)
+	pf := cfg.CrowdsPf
+	theo, err := crowds.PredecessorProb(n, c, pf)
+	if err != nil {
+		return Result{}, fmt.Errorf("%w: crowds substrate: %w", ErrBadConfig, err)
+	}
+	fwd, err := crowds.NewForwarder(n, pf, cfg.Workload.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	baseGoroutines := runtime.NumGoroutine()
+	nw, err := simnet.New(simnet.Config{
+		N:           n,
+		Compromised: comp,
+		Forwarder:   fwd,
+		Seed:        cfg.Workload.Seed,
+		MaxHopDelay: cfg.Workload.MaxHopDelay,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	nw.Start()
+	defer nw.Close()
+
+	compromised := make(map[trace.NodeID]bool, c)
+	for _, id := range comp {
+		compromised[id] = true
+	}
+	start := time.Now()
+	rng := stats.NewRand(cfg.Workload.Seed)
+	senders := make(map[trace.MessageID]trace.NodeID, cfg.Workload.Messages)
+	for i := 0; i < cfg.Workload.Messages; i++ {
+		// Honest initiators only: the predecessor analysis conditions on
+		// an uncompromised originator.
+		sender := trace.NodeID(rng.Intn(n))
+		for compromised[sender] {
+			sender = trace.NodeID(rng.Intn(n))
+		}
+		id, err := nw.Inject(sender, fwd.FirstHop(sender), simnet.Packet{})
+		if err != nil {
+			return Result{}, err
+		}
+		senders[id] = sender
+	}
+	goroutines := max(runtime.NumGoroutine()-baseGoroutines, 0)
+	if err := nw.WaitSettled(settleTimeout); err != nil {
+		return Result{}, err
+	}
+	elapsed := time.Since(start)
+
+	var exposed, hits int
+	tuples := nw.Tuples()
+	for id, mt := range trace.Collate(tuples) {
+		if len(mt.Reports) == 0 {
+			continue
+		}
+		exposed++
+		if mt.Reports[0].Pred == senders[id] {
+			hits++
+		}
+	}
+	okPI, err := crowds.ProbableInnocence(n, c, pf)
+	if err != nil {
+		return Result{}, err
+	}
+	hEvent, err := crowds.EventEntropy(n, c, pf)
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := Result{
+		// H carries the posterior entropy of the predecessor event — the
+		// quantity the paper's §2 survey quotes for Crowds.
+		H:          hEvent,
+		Estimated:  true,
+		Trials:     cfg.Workload.Messages,
+		MaxH:       entropy.Max(n),
+		Normalized: entropy.Normalized(hEvent, n),
+		Kernel:     kernelStats(nw, goroutines, elapsed),
+		Crowds: &CrowdsReport{
+			Pf:                pf,
+			Observed:          exposed,
+			Hits:              hits,
+			PredecessorProb:   theo,
+			ProbableInnocence: okPI,
+			EventEntropy:      hEvent,
+		},
+	}
+	return res, nil
+}
+
+// kernelStats snapshots the network's kernel counters into the Result
+// form shared by every testbed substrate.
+func kernelStats(nw *simnet.Network, goroutines int, elapsed time.Duration) *KernelStats {
+	m := nw.Metrics()
+	k := &KernelStats{
+		Shards:       m.Shards,
+		Events:       m.Events,
+		BatchFlushes: m.BatchFlushes,
+		Goroutines:   goroutines,
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		k.EventsPerSec = float64(m.Events) / s
+	}
+	return k
+}
+
+func init() { Register(testbedBackend{}) }

@@ -1,23 +1,35 @@
-// Package simnet is an in-process rerouting network testbed: every node of
-// the anonymous communication system runs as a goroutine with an inbox
-// channel, the transport graph is the clique of §3.1, and a monotone
-// logical clock timestamps every forwarding step. Compromised nodes tap
-// the traffic and report (time, predecessor, successor) tuples — exactly
-// the threat model of §4 — into a collector the adversary reads.
+// Package simnet is an in-process rerouting network testbed built on a
+// sharded discrete-event kernel: the transport graph is the clique of
+// §3.1, a logical clock timestamps every forwarding step, and compromised
+// nodes tap the traffic and report (time, predecessor, successor) tuples —
+// exactly the threat model of §4 — into a collector the adversary reads.
+//
+// Nodes are *virtual*: the kernel spawns one goroutine per shard (default
+// pool.Workers()), never one per node, and keeps no per-node state unless
+// a node is actively holding traffic. Events — "packet arrives at node v
+// at logical time t" — live in per-shard binary heaps keyed by (time, seq)
+// and are routed to the shard owning the destination node. Memory and
+// goroutine count therefore scale with the number of in-flight messages,
+// not with N, which makes million-node systems with sparse traffic cheap.
 //
 // Forwarding behavior is pluggable (plain source routes, onion layers,
 // Crowds coin-flip), so the same testbed executes all protocol substrates
-// surveyed in §2 of the paper. Integration tests verify that the empirical
-// anonymity degree measured on this testbed matches the exact engine.
+// surveyed in §2 of the paper; an optional threshold-mix batching stage
+// (Config.BatchThreshold) holds packets at every node until a batch fills,
+// reproducing mix-network timing. Integration tests verify that the
+// empirical anonymity degree measured on this testbed matches the exact
+// engine.
 package simnet
 
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"anonmix/internal/pool"
 	"anonmix/internal/stats"
 	"anonmix/internal/trace"
 )
@@ -48,11 +60,18 @@ type Packet struct {
 	Onion []byte
 	// Payload is the application data.
 	Payload []byte
+
+	// hops counts forwarding steps taken, indexing the deterministic
+	// per-hop delay stream.
+	hops uint64
 }
 
 // Forwarder decides, at each node, where a packet goes next. Implementations
 // mutate the packet's routing state (slicing the route, peeling a layer)
-// and return the next hop, or trace.Receiver to deliver.
+// and return the next hop, or trace.Receiver to deliver. The kernel may
+// invoke Next from several shard goroutines concurrently, so stateful
+// forwarders must be safe for concurrent use (the in-tree implementations
+// are).
 type Forwarder interface {
 	Next(self trace.NodeID, pkt *Packet) (trace.NodeID, error)
 }
@@ -93,16 +112,125 @@ type Config struct {
 	// Forwarder is the per-node forwarding behavior (default plain
 	// source routing).
 	Forwarder Forwarder
-	// Buffer is the per-node inbox capacity (default 1024). Sends into a
-	// full inbox block, providing backpressure; keep the number of
-	// messages in flight below this bound.
+	// Buffer is retained for compatibility with the channel-based testbed.
+	// The event kernel has unbounded shard queues, so it no longer bounds
+	// anything; it is accepted and ignored.
 	Buffer int
-	// MaxHopDelay, when positive, adds a uniform random delay up to this
-	// bound at every hop, exercising asynchrony. Timestamps stay causally
-	// ordered along each path regardless.
+	// MaxHopDelay, when positive, adds a random logical delay of up to
+	// this many nanoseconds-as-ticks at every hop, exercising asynchrony.
+	// Delays are a pure function of (Seed, message, hop), so runs are
+	// reproducible, and timestamps stay causally ordered along each path
+	// regardless.
 	MaxHopDelay time.Duration
-	// Seed drives the per-node delay generators.
+	// Seed drives the per-hop delay stream and the per-shard batch
+	// shuffles. Per-hop delays (and hence every plain/onion run) are
+	// reproducible for a fixed seed under any shard count; threshold-mix
+	// *batch composition* additionally depends on event arrival order,
+	// which is scheduling-dependent when Shards > 1 — pin Shards to 1 for
+	// bit-reproducible mix experiments.
 	Seed int64
+	// Shards is the number of event-kernel shards (worker goroutines).
+	// Defaults to pool.Workers().
+	Shards int
+	// BatchThreshold, when ≥ 2, makes every node a threshold mix: arriving
+	// packets are held until BatchThreshold of them are queued at that
+	// node, then flushed together in shuffled order with identical release
+	// times. Partial batches keep accumulating while the injector is
+	// active and are released on kernel quiescence only after WaitSettled
+	// or Close declares injection over, so the wait terminates without
+	// the mixes degenerating mid-run. Batch composition follows
+	// arrival order, so multi-shard mix runs vary with scheduling (see
+	// Seed); use Shards = 1 to reproduce exact tuple streams.
+	BatchThreshold int
+}
+
+// Metrics is a snapshot of kernel counters.
+type Metrics struct {
+	// Shards is the number of kernel shards (worker goroutines).
+	Shards int
+	// Events is the number of node-arrival events processed so far.
+	Events uint64
+	// BatchFlushes counts threshold-mix batch flushes (full or quiescent).
+	BatchFlushes uint64
+}
+
+// event is one kernel work item: a packet arriving at a node at a logical
+// time. seq breaks heap ties so per-shard processing order is stable.
+type event struct {
+	time uint64
+	seq  uint64
+	node trace.NodeID
+	pkt  Packet
+}
+
+// eventHeap is a binary min-heap on (time, seq).
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = event{} // release packet references
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && old.less(l, small) {
+			small = l
+		}
+		if r < n && old.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		old[i], old[small] = old[small], old[i]
+		i = small
+	}
+	return top
+}
+
+// shard owns a partition of the node space: its inbox receives events for
+// its nodes from any goroutine, its heap orders them by logical time, and
+// its batches hold threshold-mix queues for its nodes.
+type shard struct {
+	id int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	inbox   []event
+	heap    eventHeap
+	seq     uint64
+	stop    bool
+	flushed bool // a quiescence flush has been requested
+
+	// batches maps node → held events, allocated lazily so an idle
+	// million-node system costs nothing. Only the owning shard touches a
+	// node's queue, outside the shard lock.
+	batches map[trace.NodeID][]event
+	rng     *rand.Rand
 }
 
 // Network is a running testbed. Create with New, start with Start, and
@@ -111,21 +239,34 @@ type Network struct {
 	cfg         Config
 	fwd         Forwarder
 	compromised map[trace.NodeID]bool
+	jitter      uint64 // MaxHopDelay in ticks (0 = no jitter)
 
-	clock   atomic.Uint64
 	nextMsg atomic.Uint64
+	injTime atomic.Uint64 // injection logical clock
 
-	inboxes []chan Packet
-	rcvBox  chan Packet
+	shards  []*shard
+	shardWG sync.WaitGroup
+
+	// pending counts events in inboxes and heaps; buffered counts packets
+	// held in mix batches. Once draining is set (the caller entered
+	// WaitSettled or Close, i.e. injection is over), pending hitting zero
+	// with buffered packets remaining triggers a quiescence flush — that
+	// is what lets WaitSettled terminate with partial batches. Before
+	// draining, partial batches keep accumulating: a transient lull while
+	// the injector is still producing must not fire the mixes.
+	pending  atomic.Int64
+	buffered atomic.Int64
+	draining atomic.Bool
+
+	events  atomic.Uint64
+	flushes atomic.Uint64
 
 	mu         sync.Mutex
-	cond       *sync.Cond
 	tuples     []trace.Tuple
 	deliveries []Delivery
 	dropped    []error
 
-	msgWG  sync.WaitGroup // in-flight messages
-	nodeWG sync.WaitGroup // node + receiver goroutines
+	msgWG sync.WaitGroup // in-flight messages
 
 	started bool
 	closed  bool
@@ -146,27 +287,43 @@ func New(cfg Config) (*Network, error) {
 		}
 		comp[id] = true
 	}
-	if cfg.Buffer <= 0 {
-		cfg.Buffer = 1024
+	if cfg.MaxHopDelay < 0 {
+		// A negative duration would wrap through the uint64 tick
+		// conversion into a ~2^64 jitter bound and scramble timestamps.
+		return nil, fmt.Errorf("%w: MaxHopDelay %v", ErrBadConfig, cfg.MaxHopDelay)
 	}
 	if cfg.Forwarder == nil {
 		cfg.Forwarder = PlainForwarder{}
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = pool.Workers()
+	}
+	if cfg.Shards > cfg.N {
+		cfg.Shards = cfg.N
+	}
+	if cfg.BatchThreshold < 2 {
+		cfg.BatchThreshold = 0
 	}
 	nw := &Network{
 		cfg:         cfg,
 		fwd:         cfg.Forwarder,
 		compromised: comp,
-		inboxes:     make([]chan Packet, cfg.N),
-		rcvBox:      make(chan Packet, cfg.Buffer),
+		jitter:      uint64(cfg.MaxHopDelay),
+		shards:      make([]*shard, cfg.Shards),
 	}
-	nw.cond = sync.NewCond(&nw.mu)
-	for i := range nw.inboxes {
-		nw.inboxes[i] = make(chan Packet, cfg.Buffer)
+	for i := range nw.shards {
+		s := &shard{id: i}
+		s.cond = sync.NewCond(&s.mu)
+		if cfg.BatchThreshold > 0 {
+			s.batches = make(map[trace.NodeID][]event)
+			s.rng = stats.Fork(cfg.Seed, int64(1_000_003+i))
+		}
+		nw.shards[i] = s
 	}
 	return nw, nil
 }
 
-// Start launches one goroutine per node plus the receiver.
+// Start launches the shard goroutines (one per shard, not per node).
 func (nw *Network) Start() {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
@@ -174,46 +331,168 @@ func (nw *Network) Start() {
 		return
 	}
 	nw.started = true
-	for i := 0; i < nw.cfg.N; i++ {
-		id := trace.NodeID(i)
-		rng := stats.Fork(nw.cfg.Seed, int64(i))
-		nw.nodeWG.Add(1)
-		go func() {
-			defer nw.nodeWG.Done()
-			for pkt := range nw.inboxes[id] {
-				nw.hop(id, pkt, func() {
-					if nw.cfg.MaxHopDelay > 0 {
-						time.Sleep(time.Duration(rng.Int63n(int64(nw.cfg.MaxHopDelay))))
-					}
-				})
-			}
-		}()
+	for _, s := range nw.shards {
+		nw.shardWG.Add(1)
+		go nw.runShard(s)
 	}
-	nw.nodeWG.Add(1)
-	go func() {
-		defer nw.nodeWG.Done()
-		for pkt := range nw.rcvBox {
-			t := nw.clock.Add(1)
-			nw.mu.Lock()
-			// The receiver is compromised: it reports its predecessor.
-			nw.tuples = append(nw.tuples, trace.Tuple{
-				Time: t, Observer: trace.Receiver, Msg: pkt.Msg,
-				Pred: pkt.From, Succ: trace.Receiver,
-			})
-			nw.deliveries = append(nw.deliveries, Delivery{
-				Msg: pkt.Msg, Pred: pkt.From, Payload: pkt.Payload, Time: t,
-			})
-			nw.cond.Broadcast()
-			nw.mu.Unlock()
-			nw.msgWG.Done()
-		}
-	}()
 }
 
-// hop processes one packet at one node.
-func (nw *Network) hop(self trace.NodeID, pkt Packet, delay func()) {
-	delay()
-	t := nw.clock.Add(1)
+// shardFor maps a node to its owning shard.
+func (nw *Network) shardFor(id trace.NodeID) *shard {
+	return nw.shards[int(id)%len(nw.shards)]
+}
+
+// schedule enqueues an event into the owning shard's inbox.
+func (nw *Network) schedule(ev event) {
+	nw.pending.Add(1)
+	s := nw.shardFor(ev.node)
+	s.mu.Lock()
+	s.seq++
+	ev.seq = s.seq
+	s.inbox = append(s.inbox, ev)
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// chunk bounds how many heap events a shard processes per lock acquisition.
+const chunk = 256
+
+// runShard is the shard main loop: drain the inbox into the heap, pop a
+// chunk of locally-oldest events, process it outside the lock.
+//
+// Without batching, processing order within a chunk is irrelevant —
+// messages are independent and per-path causality is carried by the event
+// times themselves. With threshold-mix batching the chunk shrinks to one
+// event so that a processed event's successors are merged into the heap
+// before the next pop: on a single shard that makes processing order
+// globally nondecreasing in logical time (every successor's time exceeds
+// its parent's), i.e. batches fill strictly in arrival-time order, which
+// is the mix model.
+func (nw *Network) runShard(s *shard) {
+	defer nw.shardWG.Done()
+	maxChunk := chunk
+	if nw.cfg.BatchThreshold > 0 {
+		maxChunk = 1
+	}
+	var local []event
+	for {
+		s.mu.Lock()
+		for !s.stop && !s.flushed && len(s.inbox) == 0 && s.heap.Len() == 0 {
+			s.cond.Wait()
+		}
+		if s.stop && len(s.inbox) == 0 && s.heap.Len() == 0 {
+			s.mu.Unlock()
+			return
+		}
+		flush := s.flushed
+		s.flushed = false
+		for i := range s.inbox {
+			s.heap.push(s.inbox[i])
+			// Zero the drained slot so the retained backing array does not
+			// pin packet payloads after a traffic burst (pop does the same
+			// for heap slots).
+			s.inbox[i] = event{}
+		}
+		s.inbox = s.inbox[:0]
+		local = local[:0]
+		for s.heap.Len() > 0 && len(local) < maxChunk {
+			local = append(local, s.heap.pop())
+		}
+		s.mu.Unlock()
+		if flush {
+			nw.flushShard(s)
+		}
+		for _, ev := range local {
+			nw.process(s, ev)
+		}
+	}
+}
+
+func (h eventHeap) Len() int { return len(h) }
+
+// process handles one node-arrival event.
+func (nw *Network) process(s *shard, ev event) {
+	nw.events.Add(1)
+	if nw.cfg.BatchThreshold > 0 {
+		// Threshold mix: hold the packet at this node until the batch
+		// fills. Only the owning shard touches the queue, so no lock.
+		q := append(s.batches[ev.node], ev)
+		if len(q) >= nw.cfg.BatchThreshold {
+			delete(s.batches, ev.node)
+			nw.buffered.Add(int64(1 - len(q)))
+			nw.flushBatch(s, q)
+		} else {
+			s.batches[ev.node] = q
+			nw.buffered.Add(1)
+		}
+		nw.eventDone()
+		return
+	}
+	nw.hopAt(ev.node, ev.pkt, ev.time)
+	nw.eventDone()
+}
+
+// eventDone retires one event and triggers the quiescence flush when the
+// kernel has drained, injection is over, and packets are still held in
+// partial batches.
+func (nw *Network) eventDone() {
+	if nw.pending.Add(-1) == 0 && nw.draining.Load() && nw.buffered.Load() > 0 {
+		nw.requestFlush()
+	}
+}
+
+// requestFlush asks every shard to release its partial batches.
+func (nw *Network) requestFlush() {
+	for _, s := range nw.shards {
+		s.mu.Lock()
+		s.flushed = true
+		s.cond.Signal()
+		s.mu.Unlock()
+	}
+}
+
+// drain marks the end of injection and arms the quiescence flush. The
+// draining store and the pending check cross the eventDone decrement from
+// the other side, so whichever of the two observes the quiescent state
+// fires the flush — it cannot be lost between them.
+func (nw *Network) drain() {
+	nw.draining.Store(true)
+	if nw.pending.Load() == 0 && nw.buffered.Load() > 0 {
+		nw.requestFlush()
+	}
+}
+
+// flushShard releases every partial batch the shard holds (quiescence
+// flush — the mix "fires on timeout").
+func (nw *Network) flushShard(s *shard) {
+	for node, q := range s.batches {
+		delete(s.batches, node)
+		nw.buffered.Add(int64(-len(q)))
+		nw.flushBatch(s, q)
+	}
+}
+
+// flushBatch releases a batch: the packets leave in shuffled order with a
+// common release time (the batch's latest arrival), which is what unlinks
+// arrival from departure order in a threshold mix.
+func (nw *Network) flushBatch(s *shard, q []event) {
+	nw.flushes.Add(1)
+	release := uint64(0)
+	for _, ev := range q {
+		if ev.time > release {
+			release = ev.time
+		}
+	}
+	s.rng.Shuffle(len(q), func(i, j int) { q[i], q[j] = q[j], q[i] })
+	for _, ev := range q {
+		nw.hopAt(ev.node, ev.pkt, release)
+	}
+}
+
+// hopAt executes the forwarding step of a packet at a node at logical time
+// t: asks the forwarder for the next hop, taps the traffic if the node is
+// compromised, and schedules the next arrival (or delivers).
+func (nw *Network) hopAt(self trace.NodeID, pkt Packet, t uint64) {
 	next, err := nw.fwd.Next(self, &pkt)
 	if err == nil && next != trace.Receiver && (int(next) < 0 || int(next) >= nw.cfg.N) {
 		err = fmt.Errorf("%w: %v at node %v", ErrBadHop, next, self)
@@ -221,7 +500,6 @@ func (nw *Network) hop(self trace.NodeID, pkt Packet, delay func()) {
 	if err != nil {
 		nw.mu.Lock()
 		nw.dropped = append(nw.dropped, fmt.Errorf("simnet: drop msg %d at %v: %w", pkt.Msg, self, err))
-		nw.cond.Broadcast()
 		nw.mu.Unlock()
 		nw.msgWG.Done()
 		return
@@ -234,11 +512,44 @@ func (nw *Network) hop(self trace.NodeID, pkt Packet, delay func()) {
 		nw.mu.Unlock()
 	}
 	pkt.From = self
+	pkt.hops++
+	t2 := t + 1 + nw.hopJitter(pkt.Msg, pkt.hops)
 	if next == trace.Receiver {
-		nw.rcvBox <- pkt
+		nw.deliver(pkt, t2)
 		return
 	}
-	nw.inboxes[next] <- pkt
+	nw.schedule(event{time: t2, node: next, pkt: pkt})
+}
+
+// deliver records the receiver's tap and the delivery, and retires the
+// message. The receiver is always compromised (the paper's default threat
+// model); whether the adversary *uses* its report is the analyst's choice.
+func (nw *Network) deliver(pkt Packet, t uint64) {
+	nw.mu.Lock()
+	nw.tuples = append(nw.tuples, trace.Tuple{
+		Time: t, Observer: trace.Receiver, Msg: pkt.Msg,
+		Pred: pkt.From, Succ: trace.Receiver,
+	})
+	nw.deliveries = append(nw.deliveries, Delivery{
+		Msg: pkt.Msg, Pred: pkt.From, Payload: pkt.Payload, Time: t,
+	})
+	nw.mu.Unlock()
+	nw.msgWG.Done()
+}
+
+// hopJitter returns the deterministic extra delay for a given (message,
+// hop) pair: a SplitMix64 hash of the seed and the pair, reduced to
+// [0, MaxHopDelay). Being a pure function, it is reproducible regardless
+// of shard scheduling.
+func (nw *Network) hopJitter(msg trace.MessageID, hop uint64) uint64 {
+	if nw.jitter == 0 {
+		return 0
+	}
+	z := uint64(nw.cfg.Seed) + uint64(msg)*0x9E3779B97F4A7C15 + hop*0xD1B54A32D192ED03
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return z % nw.jitter
 }
 
 // Inject introduces a message at the sender and forwards it to first
@@ -263,10 +574,13 @@ func (nw *Network) Inject(sender, first trace.NodeID, pkt Packet) (trace.Message
 	nw.mu.Unlock()
 	pkt.Msg = trace.MessageID(nw.nextMsg.Add(1))
 	pkt.From = sender
+	pkt.hops = 0
+	t0 := nw.injTime.Add(1)
+	t := t0 + nw.hopJitter(pkt.Msg, 0)
 	if first == trace.Receiver {
-		nw.rcvBox <- pkt
+		nw.deliver(pkt, t+1)
 	} else {
-		nw.inboxes[first] <- pkt
+		nw.schedule(event{time: t, node: first, pkt: pkt})
 	}
 	return pkt.Msg, nil
 }
@@ -284,8 +598,12 @@ func (nw *Network) SendRoute(sender trace.NodeID, route []trace.NodeID, payload 
 }
 
 // WaitSettled blocks until every injected message has been delivered or
-// dropped, or the timeout expires.
+// dropped, or the timeout expires. Calling it declares injection finished:
+// with batching enabled, partial threshold-mix batches are released on
+// kernel quiescence from this point on (the mix "fires on timeout"), so
+// the wait terminates.
 func (nw *Network) WaitSettled(timeout time.Duration) error {
+	nw.drain()
 	done := make(chan struct{})
 	go func() {
 		nw.msgWG.Wait()
@@ -321,8 +639,17 @@ func (nw *Network) Dropped() []error {
 	return append([]error(nil), nw.dropped...)
 }
 
-// Close waits for in-flight messages, then stops all goroutines. It is
-// idempotent. The network cannot be restarted.
+// Metrics returns a snapshot of the kernel counters.
+func (nw *Network) Metrics() Metrics {
+	return Metrics{
+		Shards:       len(nw.shards),
+		Events:       nw.events.Load(),
+		BatchFlushes: nw.flushes.Load(),
+	}
+}
+
+// Close waits for in-flight messages, then stops the shard goroutines. It
+// is idempotent. The network cannot be restarted.
 func (nw *Network) Close() {
 	nw.mu.Lock()
 	if nw.closed {
@@ -334,15 +661,19 @@ func (nw *Network) Close() {
 	nw.mu.Unlock()
 
 	if started {
-		// After msgWG drains, no node is mid-hop (the in-flight count is
-		// released only at delivery or drop), so every goroutine is idle
-		// on its inbox and the channels can be closed safely.
+		// After msgWG drains, no event is pending anywhere (the in-flight
+		// count is released only at delivery or drop, and partial batches
+		// flush on quiescence once drain() arms it), so the shards can be
+		// stopped safely.
+		nw.drain()
 		nw.msgWG.Wait()
-		for _, ch := range nw.inboxes {
-			close(ch)
+		for _, s := range nw.shards {
+			s.mu.Lock()
+			s.stop = true
+			s.cond.Signal()
+			s.mu.Unlock()
 		}
-		close(nw.rcvBox)
-		nw.nodeWG.Wait()
+		nw.shardWG.Wait()
 	}
 }
 
