@@ -654,6 +654,30 @@ func BenchmarkDegradation(b *testing.B) {
 	b.ReportMetric(rounds, "mean_rounds_to_id")
 }
 
+// BenchmarkDegradationRounds measures the scenario layer's multi-round
+// degradation path (Workload.Rounds) on the Monte-Carlo backend — the hot
+// path behind the degradation figure and the degrade façade — and reports
+// the first- and final-round anonymity of the curve.
+func BenchmarkDegradationRounds(b *testing.B) {
+	var h1, hk float64
+	for i := 0; i < b.N; i++ {
+		res, err := scenario.Run(scenario.Config{
+			N:            50,
+			Backend:      scenario.BackendMonteCarlo,
+			StrategySpec: "uniform:1,7",
+			Adversary:    scenario.Adversary{Count: 3},
+			Workload:     scenario.Workload{Messages: 1500, Rounds: 16, Seed: 1, Workers: 4},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		h1, hk = res.HRounds[0], res.HRounds[15]
+	}
+	b.ReportMetric(h1, "H1_bits")
+	b.ReportMetric(hk, "H16_bits")
+	b.ReportMetric(h1-hk, "decay_bits")
+}
+
 // BenchmarkCrowdsDegradation measures the predecessor-counting attack
 // across path reformations.
 func BenchmarkCrowdsDegradation(b *testing.B) {

@@ -50,6 +50,12 @@ func run(args []string, stdout io.Writer) error {
 		backendsMsgs = fs.Int("backends-messages", 4000, "messages/trials per sampled point for ablation-backends")
 		backendsStr  = fs.String("backends-strategies", "", "semicolon-separated pathsel specs for ablation-backends, e.g. 'freedom;uniform:1,5' (default set if empty)")
 		backendsSeed = fs.Int64("backends-seed", 1, "seed for ablation-backends sampling")
+		degradeN     = fs.Int("degrade-n", figures.PaperN, "system size for degradation-rounds")
+		degradeC     = fs.Int("degrade-c", 3, "compromised count for degradation-rounds")
+		degradeSess  = fs.Int("degrade-sessions", 2000, "sampled sessions per curve for degradation-rounds")
+		degradeK     = fs.Int("degrade-rounds", 16, "rounds per session for degradation-rounds")
+		degradeStr   = fs.String("degrade-strategies", "", "semicolon-separated pathsel specs for degradation-rounds (default set if empty)")
+		degradeSeed  = fs.Int64("degrade-seed", 1, "seed for degradation-rounds sampling")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,6 +83,15 @@ func run(args []string, stdout io.Writer) error {
 		// identically (no stale-literal guard to drift).
 		f, err := figures.AblationBackendsSweep(*backendsN, *backendsC, *backendsMsgs, *backendsSeed,
 			pathsel.SplitSpecs(*backendsStr))
+		if err != nil {
+			return err
+		}
+		figs = []figures.Figure{f}
+	case *figure == "degradation-rounds":
+		// Like ablation-backends, always the parameterized sweep: the
+		// -degrade-* defaults match the named figure.
+		f, err := figures.DegradationRoundsSweep(*degradeN, *degradeC, *degradeSess, *degradeK,
+			*degradeSeed, pathsel.SplitSpecs(*degradeStr))
 		if err != nil {
 			return err
 		}

@@ -112,6 +112,37 @@ func TestRunBackendsSweep(t *testing.T) {
 	}
 }
 
+func TestRunDegradationSweep(t *testing.T) {
+	var sb strings.Builder
+	args := []string{
+		"-figure", "degradation-rounds", "-degrade-n", "20", "-degrade-c", "2",
+		"-degrade-sessions", "300", "-degrade-rounds", "4",
+		"-degrade-strategies", "freedom;uniform:1,5",
+	}
+	if err := run(args, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# Figure degradation-rounds") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "freedom\tuniform:1,5\tfreedom (recv honest)\tuniform:1,5 (recv honest)") {
+		t.Errorf("missing series labels:\n%s", out)
+	}
+	// Header plus one row per round.
+	if got := strings.Count(out, "\n"); got < 6 {
+		t.Errorf("want ≥ 6 lines, got %d:\n%s", got, out)
+	}
+}
+
+func TestRunDegradationSweepBadSpec(t *testing.T) {
+	var sb strings.Builder
+	args := []string{"-figure", "degradation-rounds", "-degrade-strategies", "warp:9"}
+	if err := run(args, &sb); err == nil {
+		t.Error("bad spec accepted")
+	}
+}
+
 func TestRunBackendsSweepBadSpec(t *testing.T) {
 	var sb strings.Builder
 	args := []string{"-figure", "ablation-backends", "-backends-strategies", "warp:9"}

@@ -10,6 +10,7 @@
 //	anonsim -backend testbed -n 1000000 -c 1000 -strategy uniform:1,7 -messages 1000
 //	anonsim -n 50 -c 2 -strategy crowds:0.7        # predecessor analysis
 //	anonsim -protocol mix -batch 8 -strategy fixed:5
+//	anonsim -rounds 16 -messages 2000              # repeated-communication degradation
 //
 // Strategy specs come from the pathsel registry (see -strategies); the
 // legacy flags -l, -a, -b, -pf still modify the bare names "fixed",
@@ -49,7 +50,8 @@ func run(args []string, w io.Writer) error {
 		a          = fs.Int("a", 0, "uniform strategy: lower bound")
 		b          = fs.Int("b", 10, "uniform strategy: upper bound")
 		pf         = fs.Float64("pf", 0.7, "crowds strategy: forwarding probability")
-		messages   = fs.Int("messages", 5000, "messages to send (testbed) / trials (mc)")
+		messages   = fs.Int("messages", 5000, "messages to send (testbed) / trials (mc); sessions when -rounds > 1")
+		rounds     = fs.Int("rounds", 1, "messages per sender session (repeated-communication degradation when > 1)")
 		seed       = fs.Int64("seed", 1, "random seed")
 		noReceiver = fs.Bool("uncompromised-receiver", false, "drop the receiver's report from the adversary's view")
 		list       = fs.Bool("strategies", false, "list registered strategy specs")
@@ -90,6 +92,7 @@ func run(args []string, w io.Writer) error {
 		Adversary:    scenario.Adversary{Count: *c, UncompromisedReceiver: *noReceiver},
 		Workload: scenario.Workload{
 			Messages:       *messages,
+			Rounds:         *rounds,
 			Seed:           *seed,
 			BatchThreshold: *batch,
 		},
@@ -129,13 +132,32 @@ func legacySpec(strategy string, l, a, b int, pf float64) string {
 	}
 }
 
-// exactReference computes the exact H*(S) for the scenario's strategy (the
-// shared engine makes this nearly free). It returns NaN when the exact
-// backend cannot express the scenario.
+// printDegradation renders the multi-round degradation curve H_1..H_k and
+// the identification statistics of a repeated-communication run.
+func printDegradation(w io.Writer, res scenario.Result) {
+	if res.Rounds <= 1 || len(res.HRounds) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nDegradation over %d rounds (%d sessions):\n", res.Rounds, res.Trials)
+	fmt.Fprintf(w, "%8s %14s\n", "round k", "H_k (bits)")
+	for k, h := range res.HRounds {
+		fmt.Fprintf(w, "%8d %14.4f\n", k+1, h)
+	}
+	if res.IdentifiedShare > 0 {
+		fmt.Fprintf(w, "Sessions identified: %.1f%% (mean round %.1f)\n",
+			100*res.IdentifiedShare, res.MeanRoundsToIdentify)
+	}
+}
+
+// exactReference computes the exact single-shot H*(S) for the scenario's
+// strategy (the shared engine makes this nearly free). It returns NaN when
+// the exact backend cannot express the scenario.
 func exactReference(cfg scenario.Config) float64 {
 	ref := cfg
 	ref.Backend = scenario.BackendExact
 	ref.Protocol = scenario.ProtocolPlain
+	ref.Workload.Rounds = 1
+	ref.Workload.Confidence = 0
 	res, err := scenario.Run(ref)
 	if err != nil {
 		return math.NaN()
@@ -145,12 +167,13 @@ func exactReference(cfg scenario.Config) float64 {
 
 // printTestbed renders a routed testbed run next to the exact engine.
 func printTestbed(w io.Writer, cfg scenario.Config, res scenario.Result) error {
+	msgs := res.Trials * res.Rounds
 	fmt.Fprintf(w, "Testbed: N=%d, C=%d, strategy %s, %d messages\n",
-		cfg.N, cfg.Adversary.Count, res.Strategy, res.Trials)
+		cfg.N, cfg.Adversary.Count, res.Strategy, msgs)
 	fmt.Fprintf(w, "Protocol: %s\n", cfg.Protocol)
 	fmt.Fprintf(w, "Delivered %d messages in %v (%.0f msg/s)\n",
-		res.Trials, res.Elapsed.Round(time.Millisecond),
-		float64(res.Trials)/res.Elapsed.Seconds())
+		msgs, res.Elapsed.Round(time.Millisecond),
+		float64(msgs)/res.Elapsed.Seconds())
 	if k := res.Kernel; k != nil {
 		fmt.Fprintf(w, "Kernel: %d shards, %d events (%.0f events/s), +%d goroutines\n",
 			k.Shards, k.Events, k.EventsPerSec, k.Goroutines)
@@ -163,13 +186,14 @@ func printTestbed(w io.Writer, cfg scenario.Config, res scenario.Result) error {
 	fmt.Fprintf(w, "Maximum log2(N)            = %.4f bits\n", res.MaxH)
 	fmt.Fprintf(w, "Messages fully deanonymized: %d (%.1f%%)\n",
 		res.Deanonymized, 100*float64(res.Deanonymized)/float64(res.Trials))
-	if !math.IsNaN(exact) {
+	if res.Rounds <= 1 && !math.IsNaN(exact) {
 		if d := math.Abs(res.H - exact); d <= 4*res.StdErr+1e-3 {
 			fmt.Fprintf(w, "Agreement: |empirical - exact| = %.5f (within 4σ) ✓\n", d)
 		} else {
 			fmt.Fprintf(w, "Agreement: |empirical - exact| = %.5f (OUTSIDE 4σ) ✗\n", d)
 		}
 	}
+	printDegradation(w, res)
 	return nil
 }
 
@@ -177,13 +201,14 @@ func printTestbed(w io.Writer, cfg scenario.Config, res scenario.Result) error {
 // predecessor statistics.
 func printCrowds(w io.Writer, cfg scenario.Config, res scenario.Result) error {
 	cr := res.Crowds
+	msgs := res.Trials * res.Rounds
 	fmt.Fprintf(w, "Crowds testbed: N=%d, C=%d, pf=%.2f, %d messages from honest jondos\n",
-		cfg.N, cfg.Adversary.Count, cr.Pf, res.Trials)
+		cfg.N, cfg.Adversary.Count, cr.Pf, msgs)
 	if k := res.Kernel; k != nil {
 		fmt.Fprintf(w, "Kernel: %d shards, %d events (%.0f events/s)\n",
 			k.Shards, k.Events, k.EventsPerSec)
 	}
-	fmt.Fprintf(w, "Paths observed by a collaborator: %d of %d\n", cr.Observed, res.Trials)
+	fmt.Fprintf(w, "Paths observed by a collaborator: %d of %d\n", cr.Observed, msgs)
 	if cr.Observed > 0 {
 		fmt.Fprintf(w, "Empirical P(pred = initiator | observed) = %.4f\n",
 			float64(cr.Hits)/float64(cr.Observed))
@@ -191,6 +216,11 @@ func printCrowds(w io.Writer, cfg scenario.Config, res scenario.Result) error {
 	fmt.Fprintf(w, "Reiter–Rubin closed form                 = %.4f\n", cr.PredecessorProb)
 	fmt.Fprintf(w, "Posterior entropy of that event          = %.4f bits\n", cr.EventEntropy)
 	fmt.Fprintf(w, "Probable innocence: %v\n", cr.ProbableInnocence)
+	if res.Rounds > 1 {
+		fmt.Fprintf(w, "Initiators with top predecessor count: %.1f%% of %d sessions (%.1f observed rounds/session)\n",
+			100*cr.TopCountIdentifiedShare, res.Trials, cr.MeanObservedRounds)
+	}
+	printDegradation(w, res)
 	return nil
 }
 
@@ -201,13 +231,16 @@ func printAnalytic(w io.Writer, cfg scenario.Config, res scenario.Result) error 
 	if res.Estimated {
 		fmt.Fprintf(w, "Estimated H*(S) = %.4f ± %.4f bits (95%% CI, %d trials)\n",
 			res.H, res.CI95, res.Trials)
-		exact := exactReference(cfg)
-		if !math.IsNaN(exact) {
-			fmt.Fprintf(w, "Exact engine H*(S)         = %.4f bits\n", exact)
+		if res.Rounds <= 1 {
+			exact := exactReference(cfg)
+			if !math.IsNaN(exact) {
+				fmt.Fprintf(w, "Exact engine H*(S)         = %.4f bits\n", exact)
+			}
 		}
 	} else {
 		fmt.Fprintf(w, "Exact H*(S)     = %.6f bits\n", res.H)
 	}
 	fmt.Fprintf(w, "Maximum log2(N) = %.4f bits (normalized %.2f%%)\n", res.MaxH, 100*res.Normalized)
+	printDegradation(w, res)
 	return nil
 }

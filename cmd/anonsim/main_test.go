@@ -64,6 +64,48 @@ func TestRunCrowds(t *testing.T) {
 	}
 }
 
+func TestRunRoundsDegradation(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-n", "20", "-c", "2", "-backend", "mc", "-strategy", "uniform", "-a", "1", "-b", "5",
+		"-messages", "600", "-rounds", "5", "-seed", "3",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Degradation over 5 rounds (600 sessions)",
+		"round k",
+		"H_k (bits)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCrowdsRounds(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-n", "16", "-c", "2", "-strategy", "crowds", "-pf", "0.7",
+		"-messages", "300", "-rounds", "4", "-seed", "2",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"1200 messages from honest jondos",
+		"top predecessor count",
+		"Degradation over 4 rounds (300 sessions)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-strategy", "bogus"}, &sb); err == nil {
@@ -74,5 +116,11 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-zzz"}, &sb); err == nil {
 		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-rounds", "-2"}, &sb); err == nil {
+		t.Error("negative rounds accepted")
+	}
+	if err := run([]string{"-strategy", "crowds", "-pf", "1.5"}, &sb); err == nil {
+		t.Error("pf=1.5 accepted")
 	}
 }

@@ -27,6 +27,22 @@
 //     cross-backend agreement test pins exact == Monte-Carlo == testbed
 //     within sampling error across strategies and receiver modes.
 //
+//     Workloads have a second dimension beyond message count: Rounds.
+//     With Workload.Rounds > 1 a scenario becomes a set of persistent
+//     sender→receiver sessions — one initiator re-forming its path every
+//     round — and every backend implements the repeated-communication
+//     attack of Wright et al. ([23] in the paper): the exact backend
+//     accumulates exact per-round posteriors by Bayesian log-posterior
+//     multiplication (adversary.Accumulator), the Monte-Carlo backend
+//     folds sampled multi-round sessions through the shared engine, and
+//     the testbed runs the sessions on the event kernel — intersection
+//     accumulation on the routed substrates, Reiter–Rubin predecessor
+//     counting on Crowds. Results carry the degradation curve H_1..H_k
+//     (Result.HRounds) and, with Workload.Confidence set, identification
+//     statistics; a second agreement test pins the three backends' curves
+//     against each other at k ∈ {1, 4, 16}. internal/degrade is a thin
+//     façade over this machinery.
+//
 // The analysis stack underneath:
 //
 //   - internal/events — the exact Bayesian anonymity-degree engine

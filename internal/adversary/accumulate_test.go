@@ -1,0 +1,103 @@
+package adversary_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"anonmix/internal/adversary"
+	"anonmix/internal/dist"
+	"anonmix/internal/events"
+	"anonmix/internal/montecarlo"
+	"anonmix/internal/pathsel"
+	"anonmix/internal/stats"
+	"anonmix/internal/trace"
+)
+
+func accumAnalyst(t *testing.T, n int, compromised []trace.NodeID, d dist.Length) *adversary.Analyst {
+	t.Helper()
+	e, err := events.New(n, len(compromised))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := adversary.NewAnalyst(e, d, compromised)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	if _, err := adversary.NewAccumulator(nil); !errors.Is(err, adversary.ErrBadConfig) {
+		t.Errorf("nil analyst err = %v", err)
+	}
+	u, err := dist.NewUniform(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := adversary.NewAccumulator(accumAnalyst(t, 10, []trace.NodeID{0}, u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acc.Posterior(); !errors.Is(err, adversary.ErrNoObservations) {
+		t.Errorf("empty posterior err = %v", err)
+	}
+	if _, _, _, err := acc.Snapshot(); !errors.Is(err, adversary.ErrNoObservations) {
+		t.Errorf("empty snapshot err = %v", err)
+	}
+}
+
+// TestSnapshotMatchesEntropyAndTop: Snapshot is the fused fast path of
+// Entropy + Top and must return exactly their values.
+func TestSnapshotMatchesEntropyAndTop(t *testing.T) {
+	const n = 12
+	compromised := []trace.NodeID{1, 5}
+	u, err := dist.NewUniform(1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := accumAnalyst(t, n, compromised, u)
+	acc, err := adversary.NewAccumulator(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat := pathsel.Strategy{Name: "u", Length: u, Kind: pathsel.Simple}
+	sel, err := pathsel.NewSelector(n, strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRand(9)
+	sender := trace.NodeID(7)
+	for r := 0; r < 25; r++ {
+		path, err := sel.SelectPath(rng, sender)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mt := montecarlo.Synthesize(trace.MessageID(r+1), sender, path, a.Compromised)
+		if err := acc.Observe(mt); err != nil {
+			t.Fatal(err)
+		}
+		h, top, mass, err := acc.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantH, err := acc.Entropy()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantTop, wantMass, err := acc.Top()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != wantH || top != wantTop || mass != wantMass {
+			t.Fatalf("round %d: snapshot (%v, %v, %v) != (%v, %v, %v)",
+				r+1, h, top, mass, wantH, wantTop, wantMass)
+		}
+		if math.IsNaN(h) || h < 0 {
+			t.Fatalf("round %d: bad entropy %v", r+1, h)
+		}
+	}
+	if acc.Rounds() != 25 {
+		t.Errorf("rounds = %d", acc.Rounds())
+	}
+}

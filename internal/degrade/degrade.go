@@ -5,34 +5,30 @@
 // receiver over many rounds, each round's rerouting path leaks a little,
 // and the adversary accumulates.
 //
-// Two accumulation attacks are implemented:
+// Since the scenario layer gained Workload.Rounds, this package is a thin
+// façade: Run maps a repeated-communication experiment onto the exact
+// scenario backend (fixed sender, multi-round sessions, confidence
+// tracking), and CrowdsDegradation maps the predecessor-counting attack
+// onto the Crowds substrate of the discrete-event testbed. No analysis
+// path here bypasses scenario.Run, so every experiment shares the
+// process-wide engines, the backends' capability vocabulary, and the
+// cross-backend agreement guarantees. The Bayesian accumulator itself
+// lives in package adversary now (adversary.Accumulator); the aliases
+// below keep the historical API working.
 //
-//   - Accumulator: exact Bayesian accumulation for simple-path strategies.
-//     Round posteriors from the exact engine are combined by likelihood
-//     multiplication (valid because the per-round prior is uniform and
-//     paths are drawn independently); the entropy of the running posterior
-//     is the sender's remaining anonymity after k messages.
-//
-//   - Crowds predecessor counting: across path reformations the initiator
-//     appears as the first collaborator's predecessor at rate
-//     P(H1|H1+) = 1 − pf(n−c−1)/n, while any other honest jondo appears at
-//     the strictly smaller rate (1 − P)/(n−c−1); counting identifies the
-//     initiator, and a Chernoff-style bound predicts how fast.
+// CrowdsRoundsBound remains a closed form: a Chernoff-style prediction of
+// how many observed rounds predecessor counting needs.
 package degrade
 
 import (
 	"errors"
 	"fmt"
 	"math"
-	"sync"
 
 	"anonmix/internal/adversary"
 	"anonmix/internal/crowds"
-	"anonmix/internal/entropy"
-	"anonmix/internal/montecarlo"
 	"anonmix/internal/pathsel"
 	"anonmix/internal/scenario"
-	"anonmix/internal/stats"
 	"anonmix/internal/trace"
 )
 
@@ -41,99 +37,22 @@ var (
 	// ErrBadConfig reports an invalid configuration.
 	ErrBadConfig = errors.New("degrade: invalid configuration")
 	// ErrNoObservations reports a query on an accumulator that has seen
-	// nothing yet.
-	ErrNoObservations = errors.New("degrade: no observations accumulated")
+	// nothing yet. It aliases adversary.ErrNoObservations.
+	ErrNoObservations = adversary.ErrNoObservations
 )
 
-// Accumulator combines per-message sender posteriors across rounds.
-// It is not safe for concurrent use.
-type Accumulator struct {
-	analyst *adversary.Analyst
-	logPost []float64
-	rounds  int
-}
+// Accumulator combines per-message sender posteriors across rounds. It is
+// an alias of adversary.Accumulator, its home since the scenario layer
+// learned to run multi-round workloads on every backend.
+type Accumulator = adversary.Accumulator
 
 // NewAccumulator returns an accumulator over the analyst's system.
 func NewAccumulator(a *adversary.Analyst) (*Accumulator, error) {
-	if a == nil {
-		return nil, fmt.Errorf("%w: nil analyst", ErrBadConfig)
+	acc, err := adversary.NewAccumulator(a)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
-	n := a.Engine().N()
-	acc := &Accumulator{analyst: a, logPost: make([]float64, n)}
 	return acc, nil
-}
-
-// Observe folds one message trace into the running posterior. Because the
-// per-round prior is uniform, multiplying round posteriors (adding logs)
-// yields the correct joint posterior up to normalization.
-func (acc *Accumulator) Observe(mt *trace.MessageTrace) error {
-	post, err := acc.analyst.Posterior(mt)
-	if err != nil {
-		return err
-	}
-	for i, p := range post.P {
-		if p <= 0 {
-			acc.logPost[i] = math.Inf(-1)
-			continue
-		}
-		acc.logPost[i] += math.Log(p)
-	}
-	acc.rounds++
-	return nil
-}
-
-// Rounds returns the number of observations folded in.
-func (acc *Accumulator) Rounds() int { return acc.rounds }
-
-// Posterior returns the normalized joint posterior over the N nodes.
-func (acc *Accumulator) Posterior() ([]float64, error) {
-	if acc.rounds == 0 {
-		return nil, ErrNoObservations
-	}
-	out := make([]float64, len(acc.logPost))
-	maxLog := math.Inf(-1)
-	for _, lp := range acc.logPost {
-		if lp > maxLog {
-			maxLog = lp
-		}
-	}
-	if math.IsInf(maxLog, -1) {
-		return nil, fmt.Errorf("degrade: joint posterior vanished (inconsistent observations)")
-	}
-	var sum float64
-	for i, lp := range acc.logPost {
-		out[i] = math.Exp(lp - maxLog)
-		sum += out[i]
-	}
-	for i := range out {
-		out[i] /= sum
-	}
-	return out, nil
-}
-
-// Entropy returns the Shannon entropy (bits) of the joint posterior —
-// the sender's remaining anonymity after Rounds messages.
-func (acc *Accumulator) Entropy() (float64, error) {
-	p, err := acc.Posterior()
-	if err != nil {
-		return 0, err
-	}
-	return entropy.Bits(p), nil
-}
-
-// Top returns the argmax node of the joint posterior and its probability.
-func (acc *Accumulator) Top() (trace.NodeID, float64, error) {
-	p, err := acc.Posterior()
-	if err != nil {
-		return 0, 0, err
-	}
-	best, arg := -1.0, 0
-	for i, v := range p {
-		if v > best {
-			best, arg = v, i
-		}
-	}
-	return trace.NodeID(arg), best, nil
 }
 
 // Config parameterizes a repeated-communication experiment: one fixed
@@ -157,7 +76,9 @@ type Config struct {
 	Trials int
 	// Seed makes runs reproducible.
 	Seed int64
-	// Workers sets sampling parallelism (default 4).
+	// Workers is retained for API compatibility. The exact scenario
+	// backend accumulates serially (its output is a pure function of Seed
+	// alone), so the field is accepted and ignored.
 	Workers int
 }
 
@@ -200,163 +121,37 @@ type Result struct {
 	Trials int
 }
 
-// Run executes the repeated-communication experiment: per trial, the fixed
-// sender sends up to MaxRounds messages over fresh paths; the accumulated
-// posterior is tracked until the confidence threshold is reached.
+// Run executes the repeated-communication experiment through the scenario
+// layer: the exact backend runs Trials fixed-sender sessions of MaxRounds
+// messages each, accumulating exact per-round posteriors until the
+// confidence threshold is reached.
 func Run(cfg Config) (Result, error) {
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
 	}
-	if cfg.Workers <= 0 {
-		cfg.Workers = 4
-	}
-	eng, err := newAnalystFactory(cfg)
+	res, err := scenario.Run(scenario.Config{
+		N:         cfg.N,
+		Backend:   scenario.BackendExact,
+		Strategy:  cfg.Strategy,
+		Adversary: scenario.Adversary{Compromised: cfg.Compromised},
+		Workload: scenario.Workload{
+			Messages:    cfg.Trials,
+			Rounds:      cfg.MaxRounds,
+			Confidence:  cfg.Confidence,
+			FixedSender: true,
+			Sender:      cfg.Sender,
+			Seed:        cfg.Seed,
+		},
+	})
 	if err != nil {
 		return Result{}, err
 	}
-
-	type part struct {
-		identified  int
-		roundsSum   int
-		entropySums []float64
-		counts      []int
-		err         error
-	}
-	parts := make([]part, cfg.Workers)
-	per := cfg.Trials / cfg.Workers
-	extra := cfg.Trials % cfg.Workers
-
-	var wg sync.WaitGroup
-	for w := 0; w < cfg.Workers; w++ {
-		trials := per
-		if w < extra {
-			trials++
-		}
-		if trials == 0 {
-			continue
-		}
-		wg.Add(1)
-		go func(w, trials int) {
-			defer wg.Done()
-			p := &parts[w]
-			p.entropySums = make([]float64, cfg.MaxRounds)
-			p.counts = make([]int, cfg.MaxRounds)
-			rng := stats.Fork(cfg.Seed, int64(w))
-			for t := 0; t < trials; t++ {
-				acc, sel, err := eng()
-				if err != nil {
-					p.err = err
-					return
-				}
-				identified := false
-				for r := 0; r < cfg.MaxRounds; r++ {
-					path, err := sel.SelectPath(rng, cfg.Sender)
-					if err != nil {
-						p.err = err
-						return
-					}
-					mt := montecarlo.Synthesize(trace.MessageID(r+1), cfg.Sender, path,
-						func(id trace.NodeID) bool { return compromisedIn(cfg.Compromised, id) })
-					if err := acc.Observe(mt); err != nil {
-						p.err = err
-						return
-					}
-					h, err := acc.Entropy()
-					if err != nil {
-						p.err = err
-						return
-					}
-					p.entropySums[r] += h
-					p.counts[r]++
-					if identified {
-						continue
-					}
-					top, mass, err := acc.Top()
-					if err != nil {
-						p.err = err
-						return
-					}
-					if top == cfg.Sender && mass >= cfg.Confidence {
-						identified = true
-						p.identified++
-						p.roundsSum += r + 1
-					}
-				}
-			}
-		}(w, trials)
-	}
-	wg.Wait()
-
-	res := Result{Trials: cfg.Trials, MeanEntropyAfter: make([]float64, cfg.MaxRounds)}
-	counts := make([]int, cfg.MaxRounds)
-	var identified, roundsSum int
-	for i := range parts {
-		if parts[i].err != nil {
-			return Result{}, parts[i].err
-		}
-		identified += parts[i].identified
-		roundsSum += parts[i].roundsSum
-		for r := range parts[i].entropySums {
-			res.MeanEntropyAfter[r] += parts[i].entropySums[r]
-			counts[r] += parts[i].counts[r]
-		}
-	}
-	for r := range res.MeanEntropyAfter {
-		if counts[r] > 0 {
-			res.MeanEntropyAfter[r] /= float64(counts[r])
-		}
-	}
-	res.IdentifiedShare = float64(identified) / float64(cfg.Trials)
-	if identified > 0 {
-		res.MeanRounds = float64(roundsSum) / float64(identified)
-	}
-	return res, nil
-}
-
-// newAnalystFactory pre-validates the configuration and returns a factory
-// producing a fresh accumulator and selector per trial.
-func newAnalystFactory(cfg Config) (func() (*Accumulator, *pathsel.Selector, error), error) {
-	// Validate once up front by constructing a throwaway pair.
-	mk := func() (*Accumulator, *pathsel.Selector, error) {
-		analyst, err := newAnalyst(cfg)
-		if err != nil {
-			return nil, nil, err
-		}
-		acc, err := NewAccumulator(analyst)
-		if err != nil {
-			return nil, nil, err
-		}
-		sel, err := pathsel.NewSelector(cfg.N, cfg.Strategy)
-		if err != nil {
-			return nil, nil, err
-		}
-		return acc, sel, nil
-	}
-	if _, _, err := mk(); err != nil {
-		return nil, err
-	}
-	return mk, nil
-}
-
-// newAnalyst builds the adversary for a configuration through the
-// scenario layer, so repeated-communication experiments share the
-// process-wide memoizing engine with every other consumer.
-func newAnalyst(cfg Config) (*adversary.Analyst, error) {
-	return scenario.NewAnalyst(scenario.Config{
-		N:         cfg.N,
-		Strategy:  cfg.Strategy,
-		Adversary: scenario.Adversary{Compromised: cfg.Compromised},
-	})
-}
-
-// compromisedIn reports membership of id in the compromised list.
-func compromisedIn(list []trace.NodeID, id trace.NodeID) bool {
-	for _, c := range list {
-		if c == id {
-			return true
-		}
-	}
-	return false
+	return Result{
+		IdentifiedShare:  res.IdentifiedShare,
+		MeanRounds:       res.MeanRoundsToIdentify,
+		MeanEntropyAfter: res.HRounds,
+		Trials:           res.Trials,
+	}, nil
 }
 
 // CrowdsResult summarizes the predecessor-counting attack on Crowds.
@@ -370,56 +165,35 @@ type CrowdsResult struct {
 }
 
 // CrowdsDegradation simulates the predecessor-counting attack across path
-// reformations: each round a fresh Crowds path forms; if a collaborator is
-// on it, the first collaborator's predecessor gets one count; after rounds
-// reformations the adversary accuses the highest count.
+// reformations on the discrete-event testbed's Crowds substrate: each
+// round a fresh Crowds path forms; if a collaborator is on it, the first
+// collaborator's predecessor gets one count; after rounds reformations the
+// adversary accuses the highest count.
 func CrowdsDegradation(n, c int, pf float64, rounds, trials int, seed int64) (CrowdsResult, error) {
 	if _, err := crowds.PredecessorProb(n, c, pf); err != nil {
-		return CrowdsResult{}, err
+		return CrowdsResult{}, fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
 	if rounds < 1 || trials < 1 {
 		return CrowdsResult{}, fmt.Errorf("%w: rounds %d, trials %d", ErrBadConfig, rounds, trials)
 	}
-	rng := stats.NewRand(seed)
-	var identified int
-	var observedSum int
-	for t := 0; t < trials; t++ {
-		initiator := c + rng.Intn(n-c)
-		counts := make(map[int]int)
-		observed := 0
-		for r := 0; r < rounds; r++ {
-			pred := initiator
-			cur := rng.Intn(n)
-			for {
-				if cur < c {
-					counts[pred]++
-					observed++
-					break
-				}
-				if rng.Float64() >= pf {
-					break
-				}
-				pred = cur
-				cur = rng.Intn(n)
-			}
-		}
-		observedSum += observed
-		best, bestCount, unique := -1, -1, false
-		for node, k := range counts {
-			switch {
-			case k > bestCount:
-				best, bestCount, unique = node, k, true
-			case k == bestCount:
-				unique = false
-			}
-		}
-		if unique && best == initiator {
-			identified++
-		}
+	res, err := scenario.Run(scenario.Config{
+		N:         n,
+		Backend:   scenario.BackendTestbed,
+		Protocol:  scenario.ProtocolCrowds,
+		CrowdsPf:  pf,
+		Adversary: scenario.Adversary{Count: c},
+		Workload: scenario.Workload{
+			Messages: trials,
+			Rounds:   rounds,
+			Seed:     seed,
+		},
+	})
+	if err != nil {
+		return CrowdsResult{}, err
 	}
 	return CrowdsResult{
-		IdentifiedShare:    float64(identified) / float64(trials),
-		MeanObservedRounds: float64(observedSum) / float64(trials),
+		IdentifiedShare:    res.Crowds.TopCountIdentifiedShare,
+		MeanObservedRounds: res.Crowds.MeanObservedRounds,
 	}, nil
 }
 

@@ -437,6 +437,8 @@ func ByName(name string) (Figure, error) {
 		return AblationLargeC()
 	case "ablation-backends":
 		return AblationBackends()
+	case "degradation-rounds":
+		return DegradationRounds()
 	default:
 		return Figure{}, fmt.Errorf("%w: %q", ErrUnknownFigure, name)
 	}
@@ -448,6 +450,6 @@ func Names() []string {
 	return []string{
 		"3a", "3b", "4a", "4b", "4c", "4d", "5a", "5b", "5c", "5d", "6",
 		"ablation-c", "ablation-n", "ablation-inference", "ablation-crowds",
-		"ablation-largec", "ablation-backends",
+		"ablation-largec", "ablation-backends", "degradation-rounds",
 	}
 }

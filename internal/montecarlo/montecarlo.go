@@ -12,6 +12,7 @@ package montecarlo
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 
 	"anonmix/internal/adversary"
 	"anonmix/internal/dist"
@@ -46,8 +47,24 @@ type Config struct {
 	Compromised []trace.NodeID
 	// Strategy is the path-selection policy to evaluate (simple paths).
 	Strategy pathsel.Strategy
-	// Trials is the number of sampled messages.
+	// Trials is the number of sampled messages (Rounds ≤ 1) or sampled
+	// repeated-communication sessions (Rounds > 1).
 	Trials int
+	// Rounds is the number of messages each sampled session sends from one
+	// fixed sender (the repeated-communication attack of Wright et al.).
+	// Zero or one means the classical single-shot estimate; larger values
+	// fold every session's per-round posteriors through an
+	// adversary.Accumulator and report the degradation curve H_1..H_k.
+	Rounds int
+	// Confidence, when in (0,1), tracks identification: a session counts as
+	// identified at the first round where the accumulated posterior's top
+	// node is the true sender with at least this mass.
+	Confidence float64
+	// FixedSender pins every trial's (or session's) initiator to Sender
+	// instead of drawing senders uniformly.
+	FixedSender bool
+	// Sender is the pinned initiator when FixedSender is set.
+	Sender trace.NodeID
 	// Seed makes the run reproducible.
 	Seed int64
 	// Workers sets the number of sampling goroutines; it defaults to the
@@ -78,12 +95,35 @@ type Result struct {
 	// CompromisedSenderShare is the fraction of trials whose sender was a
 	// compromised node (those contribute zero entropy, the C/N branch).
 	CompromisedSenderShare float64
+	// HRounds is the degradation curve of a multi-round run: HRounds[r] is
+	// the mean accumulated posterior entropy after round r+1, averaged over
+	// sessions (nil for single-shot runs). H, StdErr, and CI95 describe the
+	// final round.
+	HRounds []float64
+	// IdentifiedShare is the fraction of sessions identified within Rounds
+	// at the configured Confidence (0 when Confidence is unset).
+	IdentifiedShare float64
+	// MeanRoundsToIdentify is the mean identification round among
+	// identified sessions (0 when none were identified).
+	MeanRoundsToIdentify float64
 }
 
 // EstimateH runs the sampled estimation of H*(S).
 func EstimateH(cfg Config) (Result, error) {
 	if cfg.Trials <= 0 {
 		return Result{}, fmt.Errorf("%w: trials = %d", ErrBadConfig, cfg.Trials)
+	}
+	if cfg.Rounds < 0 {
+		return Result{}, fmt.Errorf("%w: rounds = %d", ErrBadConfig, cfg.Rounds)
+	}
+	if cfg.Rounds == 0 {
+		cfg.Rounds = 1
+	}
+	if cfg.Confidence < 0 || cfg.Confidence >= 1 {
+		return Result{}, fmt.Errorf("%w: confidence = %v", ErrBadConfig, cfg.Confidence)
+	}
+	if cfg.FixedSender && (int(cfg.Sender) < 0 || int(cfg.Sender) >= cfg.N) {
+		return Result{}, fmt.Errorf("%w: fixed sender %v outside [0,%d)", ErrBadConfig, cfg.Sender, cfg.N)
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = pool.Workers()
@@ -128,6 +168,9 @@ func EstimateH(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	if cfg.Rounds > 1 || cfg.Confidence > 0 {
+		return estimateRounds(cfg, analyst, selector)
+	}
 
 	type part struct {
 		sum        stats.Summary
@@ -153,7 +196,10 @@ func EstimateH(cfg Config) (Result, error) {
 		rng := stats.Fork(cfg.Seed, int64(w))
 		p := &parts[w]
 		for t := 0; t < trials; t++ {
-			sender := trace.NodeID(rng.Intn(cfg.N))
+			sender := cfg.Sender
+			if !cfg.FixedSender {
+				sender = trace.NodeID(rng.Intn(cfg.N))
+			}
 			if analyst.Compromised(sender) {
 				// Local-eavesdropper branch: sender identified.
 				p.sum.Add(0)
@@ -194,6 +240,137 @@ func EstimateH(cfg Config) (Result, error) {
 		Trials:                 total.N(),
 		CompromisedSenderShare: float64(compSenders) / float64(total.N()),
 	}, nil
+}
+
+// Session runs one repeated-communication session: the fixed sender sends
+// `rounds` messages over fresh paths drawn from the selector, each
+// synthesized trace is folded into an adversary.Accumulator, and the
+// accumulated posterior entropy after every round is returned. When
+// confidence ∈ (0,1), identifiedAt is the first round (1-based) at which
+// the accumulated posterior put at least that mass on the true sender
+// (0 when the threshold was never reached or tracking is off). The exact
+// and Monte-Carlo scenario backends both fold their sessions through this
+// function, so the two sampled degradation estimates share one definition
+// of a round.
+func Session(analyst *adversary.Analyst, sel *pathsel.Selector, rng *rand.Rand,
+	sender trace.NodeID, rounds int, confidence float64) (entropies []float64, identifiedAt int, err error) {
+	acc, err := adversary.NewAccumulator(analyst)
+	if err != nil {
+		return nil, 0, err
+	}
+	entropies = make([]float64, rounds)
+	for r := 0; r < rounds; r++ {
+		path, err := sel.SelectPath(rng, sender)
+		if err != nil {
+			return nil, 0, err
+		}
+		mt := Synthesize(trace.MessageID(r+1), sender, path, analyst.Compromised)
+		if err := acc.Observe(mt); err != nil {
+			return nil, 0, err
+		}
+		h, top, mass, err := acc.Snapshot()
+		if err != nil {
+			return nil, 0, err
+		}
+		entropies[r] = h
+		if identifiedAt == 0 && confidence > 0 && top == sender && mass >= confidence {
+			identifiedAt = r + 1
+		}
+	}
+	return entropies, identifiedAt, nil
+}
+
+// estimateRounds is the multi-round estimation path: each trial is one
+// repeated-communication session, and the merged result carries the
+// degradation curve next to the final-round summary. Like the single-shot
+// path it is a pure function of (Seed, Trials, Workers).
+func estimateRounds(cfg Config, analyst *adversary.Analyst, selector *pathsel.Selector) (Result, error) {
+	type part struct {
+		sum         stats.Summary
+		entropySums []float64
+		compSender  int
+		identified  int
+		roundsSum   int
+		err         error
+	}
+	parts := make([]part, cfg.Workers)
+	per := cfg.Trials / cfg.Workers
+	extra := cfg.Trials % cfg.Workers
+
+	pool.ForEach(cfg.Workers, func(w int) {
+		trials := per
+		if w < extra {
+			trials++
+		}
+		if trials == 0 {
+			return
+		}
+		rng := stats.Fork(cfg.Seed, int64(w))
+		p := &parts[w]
+		p.entropySums = make([]float64, cfg.Rounds)
+		for t := 0; t < trials; t++ {
+			sender := cfg.Sender
+			if !cfg.FixedSender {
+				sender = trace.NodeID(rng.Intn(cfg.N))
+			}
+			if analyst.Compromised(sender) {
+				// Local-eavesdropper branch: the session is identified at
+				// its first message and contributes zero entropy throughout.
+				p.sum.Add(0)
+				p.compSender++
+				if cfg.Confidence > 0 {
+					p.identified++
+					p.roundsSum++
+				}
+				continue
+			}
+			entropies, identifiedAt, err := Session(analyst, selector, rng, sender, cfg.Rounds, cfg.Confidence)
+			if err != nil {
+				p.err = err
+				return
+			}
+			for r, h := range entropies {
+				p.entropySums[r] += h
+			}
+			p.sum.Add(entropies[cfg.Rounds-1])
+			if identifiedAt > 0 {
+				p.identified++
+				p.roundsSum += identifiedAt
+			}
+		}
+	})
+
+	var total stats.Summary
+	var compSenders, identified, roundsSum int
+	hRounds := make([]float64, cfg.Rounds)
+	for i := range parts {
+		if parts[i].err != nil {
+			return Result{}, parts[i].err
+		}
+		total.Merge(parts[i].sum)
+		compSenders += parts[i].compSender
+		identified += parts[i].identified
+		roundsSum += parts[i].roundsSum
+		for r, s := range parts[i].entropySums {
+			hRounds[r] += s
+		}
+	}
+	for r := range hRounds {
+		hRounds[r] /= float64(cfg.Trials)
+	}
+	res := Result{
+		H:                      total.Mean(),
+		StdErr:                 total.StdErr(),
+		CI95:                   total.CI95(),
+		Trials:                 total.N(),
+		CompromisedSenderShare: float64(compSenders) / float64(total.N()),
+		HRounds:                hRounds,
+		IdentifiedShare:        float64(identified) / float64(total.N()),
+	}
+	if identified > 0 {
+		res.MeanRoundsToIdentify = float64(roundsSum) / float64(identified)
+	}
+	return res, nil
 }
 
 // Synthesize constructs the message trace the adversary would collect for a

@@ -1,13 +1,24 @@
 package scenario
 
 // The exact backend: the closed-form counted-bucket engine of package
-// events. No sampling, no error bars; refuses what the simple-path model
-// cannot express.
+// events. Single-shot runs have no sampling and no error bars. Multi-round
+// (Workload.Rounds > 1) runs keep the inference exact — every per-round
+// posterior comes from the engine and rounds are accumulated by exact
+// Bayesian log-posterior multiplication (adversary.Accumulator) — but the
+// rerouting paths themselves are sampled, serially and deterministically
+// from Workload.Seed, so the degradation curve carries a confidence
+// interval like any sampled estimate. The backend refuses what the
+// simple-path model cannot express.
 
 import (
+	"anonmix/internal/adversary"
 	"anonmix/internal/entropy"
+	"anonmix/internal/events"
+	"anonmix/internal/montecarlo"
 	"anonmix/internal/pathsel"
 	"anonmix/internal/scenario/capability"
+	"anonmix/internal/stats"
+	"anonmix/internal/trace"
 )
 
 type exactBackend struct{}
@@ -27,17 +38,126 @@ func (exactBackend) Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	if cfg.Workload.degradation() {
+		return runExactRounds(cfg, e)
+	}
 	h, err := e.AnonymityDegree(cfg.Strategy.Length)
 	if err != nil {
 		return Result{}, err
 	}
+	compShare := float64(len(cfg.Adversary.Compromised)) / float64(cfg.N)
+	if cfg.Workload.FixedSender {
+		// H*(S) averages over a uniform sender including the C/N
+		// local-eavesdropper branch, which contributes zero entropy; the
+		// pinned sender is honest (normalize rejects compromised ones), so
+		// its expected single-shot entropy is the honest-conditional value.
+		// Under the no-self-report ablation the engine already conditions
+		// on that branch being absent, so there is nothing to rescale.
+		if e.SenderSelfReport() {
+			h *= float64(cfg.N) / float64(cfg.N-len(cfg.Adversary.Compromised))
+		}
+		compShare = 0
+	}
 	return Result{
-		H:          h,
-		MaxH:       e.MaxAnonymity(),
-		Normalized: entropy.Normalized(h, cfg.N),
-		CompromisedSenderShare: float64(len(cfg.Adversary.Compromised)) /
-			float64(cfg.N),
+		H:                      h,
+		MaxH:                   e.MaxAnonymity(),
+		Normalized:             entropy.Normalized(h, cfg.N),
+		CompromisedSenderShare: compShare,
 	}, nil
+}
+
+// runExactRounds executes the repeated-communication regime on the exact
+// engine: Workload.Messages independent sessions, each sending
+// Workload.Rounds messages from one sender over freshly drawn simple
+// paths, with the adversary accumulating exact per-round posteriors. The
+// loop is intentionally serial (one RNG stream, Workers ignored): it is
+// the reference implementation the parallel Monte-Carlo backend is
+// cross-validated against, and its output is a pure function of
+// (Seed, Messages, Rounds) alone.
+func runExactRounds(cfg Config, e *events.Engine) (Result, error) {
+	if e.Mode() != events.InferenceStandard {
+		return Result{}, capability.Unsupported(string(BackendExact),
+			capability.ErrInference, "multi-round accumulation requires the standard inference mode")
+	}
+	if !e.SenderSelfReport() {
+		// Sessions hardcode the local-eavesdropper branch (a compromised
+		// sender is identified at its first message); accumulating under
+		// the no-self-report ablation would silently bias H_k low.
+		return Result{}, capability.Unsupported(string(BackendExact),
+			capability.ErrInference, "no-sender-self-report ablation is single-shot-only")
+	}
+	analyst, err := adversary.NewAnalyst(e, cfg.Strategy.Length, cfg.Adversary.Compromised)
+	if err != nil {
+		return Result{}, err
+	}
+	sel, err := pathsel.NewSelector(cfg.N, cfg.Strategy)
+	if err != nil {
+		return Result{}, err
+	}
+	var (
+		rounds   = cfg.Workload.Rounds
+		sessions = cfg.Workload.Messages
+		rng      = stats.NewRand(cfg.Workload.Seed)
+		hSums    = make([]float64, rounds)
+		sum      stats.Summary
+		comp     int
+		deanon   int
+		idCount  int
+		idRounds int
+		conf     = cfg.Workload.Confidence
+	)
+	for s := 0; s < sessions; s++ {
+		sender := cfg.Workload.Sender
+		if !cfg.Workload.FixedSender {
+			sender = trace.NodeID(rng.Intn(cfg.N))
+		}
+		if analyst.Compromised(sender) {
+			sum.Add(0)
+			comp++
+			deanon++
+			if conf > 0 {
+				idCount++
+				idRounds++
+			}
+			continue
+		}
+		entropies, identifiedAt, err := montecarlo.Session(analyst, sel, rng, sender, rounds, conf)
+		if err != nil {
+			return Result{}, err
+		}
+		for r, h := range entropies {
+			hSums[r] += h
+		}
+		final := entropies[rounds-1]
+		sum.Add(final)
+		if final < 1e-9 {
+			deanon++
+		}
+		if identifiedAt > 0 {
+			idCount++
+			idRounds += identifiedAt
+		}
+	}
+	for r := range hSums {
+		hSums[r] /= float64(sessions)
+	}
+	res := Result{
+		H:                      sum.Mean(),
+		StdErr:                 sum.StdErr(),
+		CI95:                   sum.CI95(),
+		Estimated:              true,
+		Trials:                 sessions,
+		MaxH:                   e.MaxAnonymity(),
+		Normalized:             entropy.Normalized(sum.Mean(), cfg.N),
+		CompromisedSenderShare: float64(comp) / float64(sessions),
+		Deanonymized:           deanon,
+		HRounds:                hSums,
+		IdentifiedShare:        float64(idCount) / float64(sessions),
+	}
+	if idCount > 0 {
+		res.MeanRoundsToIdentify = float64(idRounds) / float64(idCount)
+	}
+	return res, nil
 }
 
 func init() { Register(exactBackend{}) }

@@ -29,6 +29,10 @@ func (mcBackend) Run(cfg Config) (Result, error) {
 		Compromised:   cfg.Adversary.Compromised,
 		Strategy:      cfg.Strategy,
 		Trials:        cfg.Workload.Messages,
+		Rounds:        cfg.Workload.Rounds,
+		Confidence:    cfg.Workload.Confidence,
+		FixedSender:   cfg.Workload.FixedSender,
+		Sender:        cfg.Workload.Sender,
 		Seed:          cfg.Workload.Seed,
 		Workers:       cfg.Workload.Workers,
 		EngineOptions: engineOptions(cfg),
@@ -46,6 +50,9 @@ func (mcBackend) Run(cfg Config) (Result, error) {
 		MaxH:                   entropy.Max(cfg.N),
 		Normalized:             entropy.Normalized(res.H, cfg.N),
 		CompromisedSenderShare: res.CompromisedSenderShare,
+		HRounds:                res.HRounds,
+		IdentifiedShare:        res.IdentifiedShare,
+		MeanRoundsToIdentify:   res.MeanRoundsToIdentify,
 	}, nil
 }
 

@@ -164,7 +164,10 @@ func (a Adversary) nodes(n int) ([]trace.NodeID, error) {
 			}
 			seen[id] = true
 		}
-		return a.Compromised, nil
+		// A defensive copy: backends receive this slice in their normalized
+		// config, and one that sorts or otherwise rearranges it must not
+		// corrupt the caller's Config across reuse on another backend.
+		return append([]trace.NodeID(nil), a.Compromised...), nil
 	}
 	if a.Count < 0 || a.Count > n {
 		return nil, fmt.Errorf("%w: %d compromised of %d nodes", ErrBadConfig, a.Count, n)
@@ -179,8 +182,31 @@ func (a Adversary) nodes(n int) ([]trace.NodeID, error) {
 // Workload describes how much traffic a scenario generates and how.
 type Workload struct {
 	// Messages is the number of messages (testbed) or sampling trials
-	// (Monte-Carlo). Ignored by the exact backend.
+	// (Monte-Carlo); with Rounds > 1 it is the number of
+	// repeated-communication sessions. Ignored by the exact backend for
+	// single-shot runs.
 	Messages int
+	// Rounds is the number of messages each session's fixed sender sends
+	// to the receiver (default 1, the paper's single-shot model). Values
+	// above one switch every backend into the repeated-communication
+	// regime of Wright et al. ([23] in Guan et al.): the adversary
+	// accumulates the per-round posteriors (Bayesian multiplication on the
+	// simple-path substrates, predecessor counting on Crowds) and the
+	// Result carries the degradation curve H_1..H_k. Multi-round analysis
+	// materializes an N-entry posterior per round, so it costs O(N) per
+	// message where single-shot analysis is O(reports).
+	Rounds int
+	// Confidence, when in (0,1), additionally tracks identification in
+	// multi-round runs: a session counts as identified at the first round
+	// where the accumulated posterior puts at least this mass on the true
+	// sender. Zero disables tracking.
+	Confidence float64
+	// FixedSender pins every session's initiator to Sender instead of
+	// drawing senders uniformly (the one-whistleblower workload of the
+	// repeated-communication attack). The pinned sender must be honest.
+	FixedSender bool
+	// Sender is the pinned initiator when FixedSender is set.
+	Sender trace.NodeID
 	// Seed makes randomized backends reproducible.
 	Seed int64
 	// Workers bounds Monte-Carlo sampling parallelism (0 = pool width).
@@ -190,6 +216,13 @@ type Workload struct {
 	// BatchThreshold sets the testbed threshold-mix batch size for
 	// ProtocolMix (default 8).
 	BatchThreshold int
+}
+
+// degradation reports whether the workload asks for the
+// repeated-communication analysis (multi-round accumulation, or
+// identification tracking on top of single rounds).
+func (w Workload) degradation() bool {
+	return w.Rounds > 1 || w.Confidence > 0
 }
 
 // Config is the declarative description of one run.
@@ -237,6 +270,13 @@ type CrowdsReport struct {
 	ProbableInnocence bool
 	// EventEntropy is the posterior entropy of the observed event.
 	EventEntropy float64
+	// TopCountIdentifiedShare is the fraction of sessions whose initiator
+	// ended with the strictly highest predecessor count — the classical
+	// predecessor-counting identification rule across path reformations.
+	TopCountIdentifiedShare float64
+	// MeanObservedRounds is the mean number of rounds per session in which
+	// any collaborator was on the path.
+	MeanObservedRounds float64
 }
 
 // KernelStats snapshots the testbed kernel after a run.
@@ -279,8 +319,22 @@ type Result struct {
 	// CompromisedSenderShare is the fraction of trials with a compromised
 	// sender (identified outright; the C/N branch).
 	CompromisedSenderShare float64
-	// Deanonymized counts messages whose posterior entropy was ≈ 0.
+	// Deanonymized counts messages (sessions, in multi-round runs) whose
+	// posterior entropy was ≈ 0.
 	Deanonymized int
+	// Rounds echoes the normalized Workload.Rounds.
+	Rounds int
+	// HRounds is the degradation curve of a repeated-communication run:
+	// HRounds[r] is the mean accumulated posterior entropy after round
+	// r+1, averaged over sessions. H, StdErr, and CI95 describe the final
+	// round. Nil for single-shot runs without degradation tracking.
+	HRounds []float64
+	// IdentifiedShare is the fraction of sessions identified within Rounds
+	// at Workload.Confidence (0 when tracking is off).
+	IdentifiedShare float64
+	// MeanRoundsToIdentify is the mean identification round among
+	// identified sessions (0 when none).
+	MeanRoundsToIdentify float64
 	// Elapsed is the wall-clock backend runtime.
 	Elapsed time.Duration
 	// Kernel reports testbed kernel counters (nil elsewhere).
@@ -355,6 +409,7 @@ func Run(cfg Config) (Result, error) {
 	}
 	res.Backend = norm.Backend
 	res.Strategy = norm.Strategy
+	res.Rounds = norm.Workload.Rounds
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
@@ -403,6 +458,42 @@ func normalize(cfg Config) (Config, error) {
 			// than silently produce meaningless predecessor statistics.
 			return Config{}, fmt.Errorf("%w: crowds substrate needs a forwarding probability (set CrowdsPf or use a crowds:<pf> strategy)", ErrBadConfig)
 		}
+	}
+	// A set forwarding probability must be a probability: values outside
+	// (0,1) used to flow into the backends unchecked and surface as
+	// backend-internal errors (or, worse, as a geometric distribution
+	// constructed from garbage).
+	if pf := cfg.CrowdsPf; pf != 0 && !(pf > 0 && pf < 1) {
+		return Config{}, fmt.Errorf("%w: crowds forwarding probability %v outside (0,1)", ErrBadConfig, pf)
+	}
+	if cfg.Workload.Rounds < 0 {
+		return Config{}, fmt.Errorf("%w: rounds = %d", ErrBadConfig, cfg.Workload.Rounds)
+	}
+	if cfg.Workload.Rounds == 0 {
+		cfg.Workload.Rounds = 1
+	}
+	if c := cfg.Workload.Confidence; c < 0 || c >= 1 {
+		return Config{}, fmt.Errorf("%w: confidence %v outside [0,1)", ErrBadConfig, c)
+	}
+	if cfg.Workload.FixedSender {
+		if int(cfg.Workload.Sender) < 0 || int(cfg.Workload.Sender) >= cfg.N {
+			return Config{}, fmt.Errorf("%w: fixed sender %v outside [0,%d)", ErrBadConfig, cfg.Workload.Sender, cfg.N)
+		}
+		for _, id := range cfg.Adversary.Compromised {
+			if id == cfg.Workload.Sender {
+				return Config{}, fmt.Errorf("%w: fixed sender %v is compromised (identified at round 0)", ErrBadConfig, id)
+			}
+		}
+	}
+	// Every sampled run needs a positive message budget. Validating here
+	// keeps the error uniformly ErrBadConfig instead of leaking
+	// backend-internal vocabularies (montecarlo used to report its own
+	// "trials = 0", and only the testbed checked at all).
+	sampled := cfg.Backend == BackendMonteCarlo || cfg.Backend == BackendTestbed ||
+		(cfg.Backend == BackendExact && cfg.Workload.degradation())
+	if sampled && cfg.Workload.Messages <= 0 {
+		return Config{}, fmt.Errorf("%w: %s backend needs Workload.Messages > 0 (got %d)",
+			ErrBadConfig, cfg.Backend, cfg.Workload.Messages)
 	}
 	return cfg, nil
 }

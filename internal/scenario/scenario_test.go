@@ -222,6 +222,122 @@ func TestRunValidation(t *testing.T) {
 	}
 }
 
+// TestNormalizeValidation pins the scenario layer's input checks: every
+// malformed field must be rejected up front with ErrBadConfig, uniformly
+// across backends, instead of leaking backend-internal errors.
+func TestNormalizeValidation(t *testing.T) {
+	valid := scenario.Config{
+		N:            12,
+		StrategySpec: "fixed:3",
+		Adversary:    scenario.Adversary{Count: 2},
+		Workload:     scenario.Workload{Messages: 10, Seed: 1},
+	}
+	cases := []struct {
+		name string
+		mut  func(*scenario.Config)
+	}{
+		{"crowds pf above one", func(c *scenario.Config) { c.CrowdsPf = 1.5 }},
+		{"crowds pf exactly one", func(c *scenario.Config) { c.CrowdsPf = 1 }},
+		{"crowds pf negative", func(c *scenario.Config) { c.CrowdsPf = -0.2 }},
+		{"crowds pf NaN", func(c *scenario.Config) { c.CrowdsPf = math.NaN() }},
+		{"crowds pf 1.5 on crowds substrate", func(c *scenario.Config) {
+			c.Backend = scenario.BackendTestbed
+			c.Protocol = scenario.ProtocolCrowds
+			c.CrowdsPf = 1.5
+		}},
+		{"mc zero messages", func(c *scenario.Config) {
+			c.Backend = scenario.BackendMonteCarlo
+			c.Workload.Messages = 0
+		}},
+		{"testbed zero messages", func(c *scenario.Config) {
+			c.Backend = scenario.BackendTestbed
+			c.Workload.Messages = 0
+		}},
+		{"mc negative messages", func(c *scenario.Config) {
+			c.Backend = scenario.BackendMonteCarlo
+			c.Workload.Messages = -5
+		}},
+		{"exact rounds without messages", func(c *scenario.Config) {
+			c.Workload.Rounds = 4
+			c.Workload.Messages = 0
+		}},
+		{"negative rounds", func(c *scenario.Config) { c.Workload.Rounds = -1 }},
+		{"confidence one", func(c *scenario.Config) { c.Workload.Confidence = 1 }},
+		{"confidence negative", func(c *scenario.Config) { c.Workload.Confidence = -0.1 }},
+		{"fixed sender out of range", func(c *scenario.Config) {
+			c.Workload.FixedSender = true
+			c.Workload.Sender = 12
+		}},
+		{"fixed sender compromised", func(c *scenario.Config) {
+			c.Workload.FixedSender = true
+			c.Workload.Sender = 1
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := valid
+			tc.mut(&cfg)
+			if _, err := scenario.Run(cfg); !errors.Is(err, scenario.ErrBadConfig) {
+				t.Errorf("err = %v, want ErrBadConfig", err)
+			}
+		})
+	}
+	// A legal explicit pf passes, and the exact backend still does not
+	// need a message budget for single-shot runs.
+	ok := valid
+	ok.Workload.Messages = 0
+	if _, err := scenario.Run(ok); err != nil {
+		t.Errorf("exact single-shot without messages: %v", err)
+	}
+	crowdsOK := valid
+	crowdsOK.Backend = scenario.BackendTestbed
+	crowdsOK.Protocol = scenario.ProtocolCrowds
+	crowdsOK.CrowdsPf = 0.7
+	crowdsOK.Workload.Messages = 200
+	if _, err := scenario.Run(crowdsOK); err != nil {
+		t.Errorf("pf=0.7 rejected: %v", err)
+	}
+}
+
+// TestConfigNotAliased is the defensive-copy regression test: running the
+// same Config value on two backends must not let either mutate the
+// caller's Compromised slice (normalize hands backends a copy), and the
+// config must keep producing identical results across reuse.
+func TestConfigNotAliased(t *testing.T) {
+	compromised := []trace.NodeID{11, 2, 7} // deliberately unsorted
+	cfg := scenario.Config{
+		N:            14,
+		StrategySpec: "uniform:0,6",
+		Adversary:    scenario.Adversary{Compromised: compromised},
+		Workload:     scenario.Workload{Messages: 800, Seed: 3, Workers: 2},
+	}
+	cfg.Backend = scenario.BackendExact
+	first, err := scenario.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, backend := range []scenario.BackendKind{scenario.BackendTestbed, scenario.BackendMonteCarlo} {
+		cfg.Backend = backend
+		if _, err := scenario.Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []trace.NodeID{11, 2, 7}
+	for i, id := range compromised {
+		if id != want[i] {
+			t.Fatalf("caller's Compromised slice mutated: %v", compromised)
+		}
+	}
+	cfg.Backend = scenario.BackendExact
+	again, err := scenario.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.H != first.H {
+		t.Errorf("config reuse changed the result: %v vs %v", again.H, first.H)
+	}
+}
+
 func TestParseHelpers(t *testing.T) {
 	for in, want := range map[string]scenario.BackendKind{
 		"exact": scenario.BackendExact, "": scenario.BackendExact,

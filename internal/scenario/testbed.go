@@ -5,11 +5,21 @@ package scenario
 // names — plain source routes, onion layers, Crowds coin-flips, or
 // threshold-mix batching — and measures the anonymity degree empirically
 // by running the adversary's inference over the collected tuples.
+//
+// With Workload.Rounds > 1 every scenario becomes a set of persistent
+// sender→receiver sessions: each session's initiator stays fixed while its
+// path re-forms every round, and the adversary accumulates across the
+// session's messages — Bayesian posterior multiplication (the
+// generalized intersection attack: witnessed identities are zeroed, so
+// candidate sets shrink round over round) on the routed substrates, and
+// Reiter–Rubin predecessor counting on Crowds.
 
 import (
 	cryptorand "crypto/rand"
 	"encoding/binary"
 	"fmt"
+	"math"
+	"math/rand"
 	"runtime"
 	"time"
 
@@ -37,9 +47,6 @@ type testbedBackend struct{}
 func (testbedBackend) Kind() BackendKind { return BackendTestbed }
 
 func (testbedBackend) Run(cfg Config) (Result, error) {
-	if cfg.Workload.Messages <= 0 {
-		return Result{}, fmt.Errorf("%w: testbed needs Workload.Messages > 0", ErrBadConfig)
-	}
 	if cfg.Protocol == ProtocolCrowds {
 		return runCrowds(cfg)
 	}
@@ -53,6 +60,8 @@ func (testbedBackend) Run(cfg Config) (Result, error) {
 // runRouted executes the source-routed substrates (plain, onion, mix):
 // paths come from the strategy's selector, the network carries them, and
 // the adversary's empirical mean posterior entropy is the measured H*(S).
+// With Rounds > 1 each of the Workload.Messages sessions injects one
+// message per round from its fixed sender.
 func runRouted(cfg Config) (Result, error) {
 	engine, err := Engine(cfg.N, len(cfg.Adversary.Compromised), engineOptions(cfg)...)
 	if err != nil {
@@ -119,32 +128,42 @@ func runRouted(cfg Config) (Result, error) {
 	nw.Start()
 	defer nw.Close()
 
+	sessions := cfg.Workload.Messages
+	rounds := cfg.Workload.Rounds
+
 	start := time.Now()
 	rng := stats.NewRand(cfg.Workload.Seed)
-	senders := make(map[trace.MessageID]trace.NodeID, cfg.Workload.Messages)
-	for i := 0; i < cfg.Workload.Messages; i++ {
-		sender := trace.NodeID(rng.Intn(cfg.N))
-		path, err := sel.SelectPath(rng, sender)
-		if err != nil {
-			return Result{}, err
+	senders := make([]trace.NodeID, sessions)
+	ids := make([]trace.MessageID, sessions*rounds)
+	for s := 0; s < sessions; s++ {
+		sender := cfg.Workload.Sender
+		if !cfg.Workload.FixedSender {
+			sender = trace.NodeID(rng.Intn(cfg.N))
 		}
-		var id trace.MessageID
-		if cfg.Protocol == ProtocolOnion && len(path) > 0 {
-			blob, err := onion.Build(ring, path, nil, cryptorand.Reader)
+		senders[s] = sender
+		for r := 0; r < rounds; r++ {
+			path, err := sel.SelectPath(rng, sender)
 			if err != nil {
 				return Result{}, err
 			}
-			id, err = nw.Inject(sender, path[0], simnet.Packet{Onion: blob})
-			if err != nil {
-				return Result{}, err
+			var id trace.MessageID
+			if cfg.Protocol == ProtocolOnion && len(path) > 0 {
+				blob, err := onion.Build(ring, path, nil, cryptorand.Reader)
+				if err != nil {
+					return Result{}, err
+				}
+				id, err = nw.Inject(sender, path[0], simnet.Packet{Onion: blob})
+				if err != nil {
+					return Result{}, err
+				}
+			} else {
+				id, err = nw.SendRoute(sender, path, nil)
+				if err != nil {
+					return Result{}, err
+				}
 			}
-		} else {
-			id, err = nw.SendRoute(sender, path, nil)
-			if err != nil {
-				return Result{}, err
-			}
+			ids[s*rounds+r] = id
 		}
-		senders[id] = sender
 	}
 	goroutines := max(runtime.NumGoroutine()-baseGoroutines, 0)
 	if err := nw.WaitSettled(settleTimeout); err != nil {
@@ -155,43 +174,121 @@ func runRouted(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("scenario: testbed dropped %d packets: %w", len(drops), drops[0])
 	}
 
+	traces := trace.Collate(nw.Tuples())
+	res, err := analyzeRouted(cfg, analyst, traces, senders, ids)
+	if err != nil {
+		return Result{}, err
+	}
+	res.MaxH = entropy.Max(cfg.N)
+	res.Normalized = entropy.Normalized(res.H, cfg.N)
+	res.Kernel = kernelStats(nw, goroutines, elapsed)
+	return res, nil
+}
+
+// analyzeRouted runs the adversary over the collected traces, session by
+// session in injection order — a fixed order, so the empirical estimate is
+// bit-reproducible for a fixed seed (ranging over the collated map would
+// reassociate the floating-point mean run to run). Single-shot sessions
+// use the O(reports) entropy fast path; multi-round sessions accumulate
+// full posteriors, which costs O(N) per message.
+func analyzeRouted(cfg Config, analyst *adversary.Analyst,
+	traces map[trace.MessageID]*trace.MessageTrace, senders []trace.NodeID,
+	ids []trace.MessageID) (Result, error) {
+	sessions := len(senders)
+	rounds := cfg.Workload.Rounds
+	conf := cfg.Workload.Confidence
+	degradation := cfg.Workload.degradation()
+
 	var sum stats.Summary
-	var compSenders, deanonymized int
-	tuples := nw.Tuples()
-	for id, mt := range trace.Collate(tuples) {
-		sender := senders[id]
+	var compSenders, deanonymized, idCount, idRounds int
+	var hSums []float64
+	if degradation {
+		hSums = make([]float64, rounds)
+	}
+	for s := 0; s < sessions; s++ {
+		sender := senders[s]
 		if analyst.Compromised(sender) {
 			// Local-eavesdropper branch: the adversary's agent at the
-			// sender identifies it outright.
+			// sender identifies it outright at its first message.
 			sum.Add(0)
 			compSenders++
 			deanonymized++
+			if conf > 0 {
+				idCount++
+				idRounds++
+			}
 			continue
 		}
-		h, err := analyst.Entropy(mt)
-		if err != nil {
-			return Result{}, fmt.Errorf("scenario: message %d: %w", id, err)
+		if !degradation {
+			mt := traces[ids[s]]
+			if mt == nil {
+				return Result{}, fmt.Errorf("scenario: message %d has no trace", ids[s])
+			}
+			h, err := analyst.Entropy(mt)
+			if err != nil {
+				return Result{}, fmt.Errorf("scenario: message %d: %w", ids[s], err)
+			}
+			if h < 1e-9 {
+				deanonymized++
+			}
+			sum.Add(h)
+			continue
 		}
-		if h < 1e-9 {
+		acc, err := adversary.NewAccumulator(analyst)
+		if err != nil {
+			return Result{}, err
+		}
+		identifiedAt := 0
+		final := 0.0
+		for r := 0; r < rounds; r++ {
+			id := ids[s*rounds+r]
+			mt := traces[id]
+			if mt == nil {
+				return Result{}, fmt.Errorf("scenario: message %d has no trace", id)
+			}
+			if err := acc.Observe(mt); err != nil {
+				return Result{}, fmt.Errorf("scenario: message %d: %w", id, err)
+			}
+			h, top, mass, err := acc.Snapshot()
+			if err != nil {
+				return Result{}, fmt.Errorf("scenario: message %d: %w", id, err)
+			}
+			hSums[r] += h
+			final = h
+			if identifiedAt == 0 && conf > 0 && top == sender && mass >= conf {
+				identifiedAt = r + 1
+			}
+		}
+		sum.Add(final)
+		if final < 1e-9 {
 			deanonymized++
 		}
-		sum.Add(h)
+		if identifiedAt > 0 {
+			idCount++
+			idRounds += identifiedAt
+		}
 	}
-	if sum.N() != cfg.Workload.Messages {
-		return Result{}, fmt.Errorf("scenario: analyzed %d of %d messages", sum.N(), cfg.Workload.Messages)
+	if sum.N() != sessions {
+		return Result{}, fmt.Errorf("scenario: analyzed %d of %d sessions", sum.N(), sessions)
 	}
-
+	for r := range hSums {
+		hSums[r] /= float64(sessions)
+	}
 	res := Result{
 		H:                      sum.Mean(),
 		StdErr:                 sum.StdErr(),
 		CI95:                   sum.CI95(),
 		Estimated:              true,
 		Trials:                 sum.N(),
-		MaxH:                   entropy.Max(cfg.N),
-		Normalized:             entropy.Normalized(sum.Mean(), cfg.N),
 		CompromisedSenderShare: float64(compSenders) / float64(sum.N()),
 		Deanonymized:           deanonymized,
-		Kernel:                 kernelStats(nw, goroutines, elapsed),
+		HRounds:                hSums,
+	}
+	if conf > 0 {
+		res.IdentifiedShare = float64(idCount) / float64(sessions)
+		if idCount > 0 {
+			res.MeanRoundsToIdentify = float64(idRounds) / float64(idCount)
+		}
 	}
 	return res, nil
 }
@@ -199,7 +296,9 @@ func runRouted(cfg Config) (Result, error) {
 // runCrowds executes the coin-flip jondo substrate: routing is the
 // protocol's own (no strategy selector), honest jondos originate, and the
 // result carries the Reiter–Rubin predecessor statistics next to the
-// posterior entropy of the observed event.
+// posterior entropy of the observed event. With Rounds > 1 each session is
+// one initiator re-forming its path every round while the collaborators
+// count predecessors — the classical degradation attack on Crowds.
 func runCrowds(cfg Config) (Result, error) {
 	n, comp := cfg.N, cfg.Adversary.Compromised
 	c := len(comp)
@@ -208,18 +307,34 @@ func runCrowds(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("%w: crowds substrate: %w", ErrBadConfig, err)
 	}
-	fwd, err := crowds.NewForwarder(n, pf, cfg.Workload.Seed)
-	if err != nil {
-		return Result{}, err
-	}
-	baseGoroutines := runtime.NumGoroutine()
-	nw, err := simnet.New(simnet.Config{
+	nwCfg := simnet.Config{
 		N:           n,
 		Compromised: comp,
-		Forwarder:   fwd,
 		Seed:        cfg.Workload.Seed,
 		MaxHopDelay: cfg.Workload.MaxHopDelay,
-	})
+	}
+	// Degradation runs must be bit-reproducible for a fixed seed, but the
+	// live Crowds forwarder draws its coin flips from one shared RNG in
+	// event-processing order, which depends on shard scheduling. Multi-round
+	// runs therefore materialize each path at injection time — the same
+	// draws (first hop, then coin-flip continuations), made serially — and
+	// ship it as an explicit route; single-shot runs keep the live
+	// hop-by-hop forwarder, whose aggregate statistics don't depend on the
+	// draw interleaving.
+	var fwd *crowds.Forwarder
+	materialize := cfg.Workload.degradation()
+	var routeRng *rand.Rand
+	if materialize {
+		routeRng = stats.Fork(cfg.Workload.Seed, 1)
+	} else {
+		fwd, err = crowds.NewForwarder(n, pf, cfg.Workload.Seed)
+		if err != nil {
+			return Result{}, err
+		}
+		nwCfg.Forwarder = fwd
+	}
+	baseGoroutines := runtime.NumGoroutine()
+	nw, err := simnet.New(nwCfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -230,21 +345,36 @@ func runCrowds(cfg Config) (Result, error) {
 	for _, id := range comp {
 		compromised[id] = true
 	}
+	sessions := cfg.Workload.Messages
+	rounds := cfg.Workload.Rounds
 	start := time.Now()
 	rng := stats.NewRand(cfg.Workload.Seed)
-	senders := make(map[trace.MessageID]trace.NodeID, cfg.Workload.Messages)
-	for i := 0; i < cfg.Workload.Messages; i++ {
+	senders := make([]trace.NodeID, sessions)
+	ids := make([]trace.MessageID, sessions*rounds)
+	for s := 0; s < sessions; s++ {
 		// Honest initiators only: the predecessor analysis conditions on
 		// an uncompromised originator.
-		sender := trace.NodeID(rng.Intn(n))
-		for compromised[sender] {
+		sender := cfg.Workload.Sender
+		if !cfg.Workload.FixedSender {
 			sender = trace.NodeID(rng.Intn(n))
+			for compromised[sender] {
+				sender = trace.NodeID(rng.Intn(n))
+			}
 		}
-		id, err := nw.Inject(sender, fwd.FirstHop(sender), simnet.Packet{})
-		if err != nil {
-			return Result{}, err
+		senders[s] = sender
+		for r := 0; r < rounds; r++ {
+			var id trace.MessageID
+			var err error
+			if materialize {
+				id, err = nw.SendRoute(sender, crowdsRoute(routeRng, n, pf), nil)
+			} else {
+				id, err = nw.Inject(sender, fwd.FirstHop(sender), simnet.Packet{})
+			}
+			if err != nil {
+				return Result{}, err
+			}
+			ids[s*rounds+r] = id
 		}
-		senders[id] = sender
 	}
 	goroutines := max(runtime.NumGoroutine()-baseGoroutines, 0)
 	if err := nw.WaitSettled(settleTimeout); err != nil {
@@ -252,16 +382,72 @@ func runCrowds(cfg Config) (Result, error) {
 	}
 	elapsed := time.Since(start)
 
-	var exposed, hits int
-	tuples := nw.Tuples()
-	for id, mt := range trace.Collate(tuples) {
-		if len(mt.Reports) == 0 {
-			continue
+	// The predecessor-count likelihood ratio: per observed round the
+	// initiator appears as the first collaborator's predecessor at rate
+	// p1 = P(H1|H1+) while any other honest jondo appears at rate
+	// q = (1−p1)/(n−c−1), so after counts m_v the posterior over honest
+	// jondos is ∝ (p1/q)^{m_v}. Unobserved rounds are uninformative (the
+	// observation event is initiator-independent).
+	honest := n - c
+	var logRatio float64 // ln(p1/q)
+	if honest > 1 {
+		logRatio = math.Log(theo * float64(honest-1) / (1 - theo))
+	}
+	conf := cfg.Workload.Confidence
+	traces := trace.Collate(nw.Tuples())
+	var (
+		exposed, hits      int
+		observedSum        int
+		topCountIdentified int
+		idCount, idRounds  int
+		hSums              = make([]float64, rounds)
+		deanonymized       int
+		sum                stats.Summary
+	)
+	for s := 0; s < sessions; s++ {
+		sender := senders[s]
+		counts := make(map[trace.NodeID]int)
+		// counted fixes the iteration order of the posterior sums (first
+		// observation order), so results are bit-reproducible — ranging
+		// over the counts map would reassociate the floating-point sums.
+		var counted []trace.NodeID
+		identifiedAt := 0
+		final := 0.0
+		for r := 0; r < rounds; r++ {
+			mt := traces[ids[s*rounds+r]]
+			if mt != nil && len(mt.Reports) > 0 {
+				pred := mt.Reports[0].Pred
+				exposed++
+				observedSum++
+				if pred == sender {
+					hits++
+				}
+				if counts[pred] == 0 {
+					counted = append(counted, pred)
+				}
+				counts[pred]++
+			}
+			h, top, mass := countPosterior(counts, counted, honest, logRatio)
+			hSums[r] += h
+			final = h
+			if identifiedAt == 0 && conf > 0 && top == sender && mass >= conf {
+				identifiedAt = r + 1
+			}
 		}
-		exposed++
-		if mt.Reports[0].Pred == senders[id] {
-			hits++
+		sum.Add(final)
+		if final < 1e-9 {
+			deanonymized++
 		}
+		if identifiedAt > 0 {
+			idCount++
+			idRounds += identifiedAt
+		}
+		if topCountUnique(counts) == sender {
+			topCountIdentified++
+		}
+	}
+	for r := range hSums {
+		hSums[r] /= float64(sessions)
 	}
 	okPI, err := crowds.ProbableInnocence(n, c, pf)
 	if err != nil {
@@ -273,24 +459,105 @@ func runCrowds(cfg Config) (Result, error) {
 	}
 
 	res := Result{
-		// H carries the posterior entropy of the predecessor event — the
-		// quantity the paper's §2 survey quotes for Crowds.
-		H:          hEvent,
-		Estimated:  true,
-		Trials:     cfg.Workload.Messages,
-		MaxH:       entropy.Max(n),
-		Normalized: entropy.Normalized(hEvent, n),
-		Kernel:     kernelStats(nw, goroutines, elapsed),
+		Estimated:    true,
+		Trials:       sessions,
+		MaxH:         entropy.Max(n),
+		Deanonymized: deanonymized,
+		Kernel:       kernelStats(nw, goroutines, elapsed),
 		Crowds: &CrowdsReport{
-			Pf:                pf,
-			Observed:          exposed,
-			Hits:              hits,
-			PredecessorProb:   theo,
-			ProbableInnocence: okPI,
-			EventEntropy:      hEvent,
+			Pf:                      pf,
+			Observed:                exposed,
+			Hits:                    hits,
+			PredecessorProb:         theo,
+			ProbableInnocence:       okPI,
+			EventEntropy:            hEvent,
+			TopCountIdentifiedShare: float64(topCountIdentified) / float64(sessions),
+			MeanObservedRounds:      float64(observedSum) / float64(sessions),
 		},
 	}
+	if cfg.Workload.degradation() {
+		// Multi-round runs report the accumulated count-posterior entropy
+		// (mean over sessions), like every other substrate.
+		res.H = sum.Mean()
+		res.StdErr = sum.StdErr()
+		res.CI95 = sum.CI95()
+		res.HRounds = hSums
+		if conf > 0 {
+			res.IdentifiedShare = float64(idCount) / float64(sessions)
+			if idCount > 0 {
+				res.MeanRoundsToIdentify = float64(idRounds) / float64(idCount)
+			}
+		}
+	} else {
+		// H carries the posterior entropy of the predecessor event — the
+		// quantity the paper's §2 survey quotes for Crowds.
+		res.H = hEvent
+	}
+	res.Normalized = entropy.Normalized(res.H, n)
 	return res, nil
+}
+
+// crowdsRoute materializes one Crowds path as an explicit route: the
+// initiator's mandatory first uniform hop, then coin-flip continuations —
+// draw for draw the sequence crowds.Forwarder would make, but taken
+// serially at injection time so multi-round runs are bit-reproducible.
+func crowdsRoute(rng *rand.Rand, n int, pf float64) []trace.NodeID {
+	route := []trace.NodeID{trace.NodeID(rng.Intn(n))}
+	for rng.Float64() < pf {
+		route = append(route, trace.NodeID(rng.Intn(n)))
+	}
+	return route
+}
+
+// countPosterior returns the entropy (bits), argmax node, and argmax mass
+// of the predecessor-count posterior over the honest jondos: a jondo with
+// count m carries weight exp(m·logRatio), uncounted jondos weight 1. The
+// counted slice fixes the summation order. Cost is O(distinct counted
+// nodes), independent of N.
+func countPosterior(counts map[trace.NodeID]int, counted []trace.NodeID, honest int, logRatio float64) (float64, trace.NodeID, float64) {
+	if honest <= 1 {
+		// A single honest jondo is trivially identified.
+		return 0, 0, 1
+	}
+	// W = Σ_v w_v with w_v = exp(m_v·logRatio); uncounted jondos have
+	// w = 1. H = log2(W) − (Σ_v w_v·log2 w_v)/W, and uncounted jondos
+	// contribute nothing to the weighted log sum.
+	w := float64(honest - len(counts))
+	var wLog float64
+	top := trace.NodeID(-1)
+	topW := 1.0 // any uncounted jondo, if every count is below weight 1
+	for _, v := range counted {
+		m := counts[v]
+		wv := math.Exp(float64(m) * logRatio)
+		w += wv
+		wLog += wv * float64(m) * logRatio
+		if wv > topW {
+			topW, top = wv, v
+		}
+	}
+	h := (math.Log(w) - wLog/w) / math.Ln2
+	if h < 0 {
+		h = 0 // guard against negative zero from rounding
+	}
+	return h, top, topW / w
+}
+
+// topCountUnique returns the node with the strictly highest predecessor
+// count, or −1 when the maximum is tied or no observation was made.
+func topCountUnique(counts map[trace.NodeID]int) trace.NodeID {
+	best, bestCount, unique := trace.NodeID(-1), -1, false
+	for v, m := range counts {
+		switch {
+		case m > bestCount:
+			best, bestCount, unique = v, m, true
+		case m == bestCount:
+			unique = false
+		}
+	}
+	if !unique {
+		return trace.NodeID(-1)
+	}
+	return best
 }
 
 // kernelStats snapshots the network's kernel counters into the Result
