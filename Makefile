@@ -6,7 +6,7 @@ DATE := $(shell date +%Y%m%d)
 # stack of PRs landing together) never clobbers an earlier measurement.
 SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo nogit)
 
-.PHONY: all build vet test race bench bench-smoke bench-compare clean
+.PHONY: all build vet test race bench bench-smoke bench-compare cover fuzz-smoke clean
 
 all: build vet test
 
@@ -36,7 +36,7 @@ bench:
 # SMOKE is the single definition of the gated smoke set: bench-smoke,
 # bench-smoke-snapshot, and bench-compare all derive from it, so the run
 # pattern and the regression gate cannot drift apart.
-SMOKE = Fig3a|Fig4[abcd]|Weights|DegreeLargeC|WeightsLargeC|DegradationRounds
+SMOKE = Fig3a|Fig4[abcd]|Weights|DegreeLargeC|WeightsLargeC|DegradationRounds|ChurnSweep
 
 # bench-smoke is the quick acceptance sweep; CI runs exactly this target
 # so the two can never diverge.
@@ -54,6 +54,35 @@ bench-smoke-snapshot:
 # bench-smoke-snapshot, so the committed snapshot is the baseline.
 bench-compare:
 	$(GO) run ./cmd/benchcompare -smoke '^($(SMOKE))$$'
+
+# COVER_FLOOR is the scenario layer's coverage gate: the pre-PR-5 figure.
+# New scenario-layer code must arrive with tests that keep the package at
+# or above it (the differential harness and the timeline suite currently
+# hold it at ~91%).
+COVER_FLOOR = 88.1
+
+# cover measures internal/scenario statement coverage and fails if it
+# drops below the recorded floor.
+cover:
+	@$(GO) test -coverprofile=cover.out ./internal/scenario
+	@$(GO) tool cover -func=cover.out | awk -v floor=$(COVER_FLOOR) '\
+		/^total:/ { sub(/%/, "", $$3); \
+			if ($$3 + 0 < floor + 0) { printf "coverage %s%% below floor %s%%\n", $$3, floor; exit 1 } \
+			else { printf "coverage %s%% (floor %s%%)\n", $$3, floor } }'
+	@rm -f cover.out
+
+# FUZZTIME bounds each fuzz-smoke target; CI runs exactly this target.
+FUZZTIME = 10s
+
+# fuzz-smoke runs every fuzz target briefly (one -fuzz regex per package
+# invocation, as the toolchain requires): the scenario configuration
+# surface, the CLI epoch syntax, the strategy registry, and the onion
+# codec.
+fuzz-smoke:
+	$(GO) test ./internal/scenario -run '^$$' -fuzz '^FuzzNormalize$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/scenario -run '^$$' -fuzz '^FuzzParseTimeline$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/pathsel -run '^$$' -fuzz '^FuzzStrategyLookup$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/onion -run '^$$' -fuzz '^FuzzBuildPeel$$' -fuzztime $(FUZZTIME)
 
 # clean removes only untracked snapshots: committed BENCH_*.json files are
 # the bench-compare trajectory baselines and must survive.

@@ -678,6 +678,33 @@ func BenchmarkDegradationRounds(b *testing.B) {
 	b.ReportMetric(h1-hk, "decay_bits")
 }
 
+// BenchmarkChurnSweep measures the dynamic-population figure: three
+// canonical churn timelines (grow, shrink, creeping compromise) on the
+// Monte-Carlo backend, phased sessions accumulating across epoch
+// boundaries through the union-space accumulator. The reported metrics are
+// the horizon anonymity of the growth and creep dynamics — the spread
+// between them is the cost of a time-phased adversary.
+func BenchmarkChurnSweep(b *testing.B) {
+	var growEnd, creepEnd float64
+	for i := 0; i < b.N; i++ {
+		fig, err := figures.ChurnSweep(30, 3, 400, 1, 4, []string{"uniform:1,7"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range fig.Series {
+			switch s.Label {
+			case "uniform:1,7/grow":
+				growEnd = s.Y[len(s.Y)-1]
+			case "uniform:1,7/creep":
+				creepEnd = s.Y[len(s.Y)-1]
+			}
+		}
+	}
+	b.ReportMetric(growEnd, "grow_H12_bits")
+	b.ReportMetric(creepEnd, "creep_H12_bits")
+	b.ReportMetric(growEnd-creepEnd, "creep_cost_bits")
+}
+
 // BenchmarkCrowdsDegradation measures the predecessor-counting attack
 // across path reformations.
 func BenchmarkCrowdsDegradation(b *testing.B) {

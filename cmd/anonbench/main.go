@@ -7,6 +7,7 @@
 //	anonbench -all -out results/    # every figure into results/<name>.tsv
 //	anonbench -list                 # available figure names
 //	anonbench -figure ablation-largec -largec-n 100,1000 -largec-frac 0.5
+//	anonbench -figure churn-sweep -churn-n 30 -churn-c 3    # dynamic populations
 //
 // The paper figures use its configuration (N = 100 nodes, C = 1
 // compromised node, receiver compromised). The large-C ablation drives
@@ -56,6 +57,12 @@ func run(args []string, stdout io.Writer) error {
 		degradeK     = fs.Int("degrade-rounds", 16, "rounds per session for degradation-rounds")
 		degradeStr   = fs.String("degrade-strategies", "", "semicolon-separated pathsel specs for degradation-rounds (default set if empty)")
 		degradeSeed  = fs.Int64("degrade-seed", 1, "seed for degradation-rounds sampling")
+		churnN       = fs.Int("churn-n", 30, "base system size for churn-sweep")
+		churnC       = fs.Int("churn-c", 3, "base compromised count for churn-sweep")
+		churnSess    = fs.Int("churn-sessions", 2000, "sampled sessions per curve for churn-sweep")
+		churnWorkers = fs.Int("churn-workers", 4, "sampling workers for churn-sweep (0 = machine width; pin for reproducible output)")
+		churnStr     = fs.String("churn-strategies", "", "semicolon-separated pathsel specs for churn-sweep (default set if empty)")
+		churnSeed    = fs.Int64("churn-seed", 1, "seed for churn-sweep sampling")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,6 +99,15 @@ func run(args []string, stdout io.Writer) error {
 		// -degrade-* defaults match the named figure.
 		f, err := figures.DegradationRoundsSweep(*degradeN, *degradeC, *degradeSess, *degradeK,
 			*degradeSeed, pathsel.SplitSpecs(*degradeStr))
+		if err != nil {
+			return err
+		}
+		figs = []figures.Figure{f}
+	case *figure == "churn-sweep":
+		// Like the other parameterized sweeps: the -churn-* defaults match
+		// the named figure.
+		f, err := figures.ChurnSweep(*churnN, *churnC, *churnSess, *churnSeed, *churnWorkers,
+			pathsel.SplitSpecs(*churnStr))
 		if err != nil {
 			return err
 		}

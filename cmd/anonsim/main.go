@@ -11,6 +11,8 @@
 //	anonsim -n 50 -c 2 -strategy crowds:0.7        # predecessor analysis
 //	anonsim -protocol mix -batch 8 -strategy fixed:5
 //	anonsim -rounds 16 -messages 2000              # repeated-communication degradation
+//	anonsim -epochs 'msgs=2000;msgs=2000,join=10,comp=2'   # dynamic population
+//	anonsim -epochs 'rounds=4;rounds=4,comp=3' -messages 1000  # degradation across churn
 //
 // Strategy specs come from the pathsel registry (see -strategies); the
 // legacy flags -l, -a, -b, -pf still modify the bare names "fixed",
@@ -52,6 +54,7 @@ func run(args []string, w io.Writer) error {
 		pf         = fs.Float64("pf", 0.7, "crowds strategy: forwarding probability")
 		messages   = fs.Int("messages", 5000, "messages to send (testbed) / trials (mc); sessions when -rounds > 1")
 		rounds     = fs.Int("rounds", 1, "messages per sender session (repeated-communication degradation when > 1)")
+		epochs     = fs.String("epochs", "", "dynamic-population timeline: ';'-separated epochs of key=value fields (msgs, rounds, join, leave, comp, recover), e.g. 'msgs=2000;msgs=2000,join=10,comp=2'")
 		seed       = fs.Int64("seed", 1, "random seed")
 		noReceiver = fs.Bool("uncompromised-receiver", false, "drop the receiver's report from the adversary's view")
 		list       = fs.Bool("strategies", false, "list registered strategy specs")
@@ -77,19 +80,30 @@ func run(args []string, w io.Writer) error {
 	// An explicitly passed -pf drives the Crowds substrate even when the
 	// strategy spec is not a coin-flip family (e.g. -protocol crowds with
 	// the default strategy); otherwise the scenario layer recovers pf from
-	// a geometric strategy, and refuses a pf-less crowds run.
-	pfSet := false
+	// a geometric strategy, and refuses a pf-less crowds run. The same
+	// explicit-flag tracking resolves -messages against -epochs: a
+	// messages-budget timeline replaces the flag's default, but an explicit
+	// -messages next to one is a real conflict the scenario layer reports.
+	pfSet, messagesSet := false, false
 	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "pf" {
+		switch f.Name {
+		case "pf":
 			pfSet = true
+		case "messages":
+			messagesSet = true
 		}
 	})
+	timeline, err := scenario.ParseTimeline(*epochs)
+	if err != nil {
+		return err
+	}
 	cfg := scenario.Config{
 		N:            *n,
 		Backend:      kind,
 		StrategySpec: legacySpec(*strategy, *fixedL, *a, *b, *pf),
 		Protocol:     proto,
 		Adversary:    scenario.Adversary{Count: *c, UncompromisedReceiver: *noReceiver},
+		Timeline:     timeline,
 		Workload: scenario.Workload{
 			Messages:       *messages,
 			Rounds:         *rounds,
@@ -99,6 +113,16 @@ func run(args []string, w io.Writer) error {
 	}
 	if pfSet {
 		cfg.CrowdsPf = *pf
+	}
+	if len(timeline) > 0 && !messagesSet {
+		for _, e := range timeline {
+			if e.Messages > 0 {
+				// A messages-budget timeline carries its own traffic; drop
+				// the -messages default so the epochs are the single source.
+				cfg.Workload.Messages = 0
+				break
+			}
+		}
 	}
 	res, err := scenario.Run(cfg)
 	if err != nil {
@@ -132,6 +156,19 @@ func legacySpec(strategy string, l, a, b int, pf float64) string {
 	}
 }
 
+// printEpochs renders the per-epoch population trajectory and entropy of a
+// dynamic-population run.
+func printEpochs(w io.Writer, res scenario.Result) {
+	if len(res.Epochs) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nDynamic population (%d epochs):\n", len(res.Epochs))
+	fmt.Fprintf(w, "%6s %8s %6s %9s %7s %12s\n", "epoch", "N", "C", "traffic", "rounds", "H (bits)")
+	for _, e := range res.Epochs {
+		fmt.Fprintf(w, "%6d %8d %6d %9d %7d %12.4f\n", e.Index, e.N, e.C, e.Messages, e.Rounds, e.H)
+	}
+}
+
 // printDegradation renders the multi-round degradation curve H_1..H_k and
 // the identification statistics of a repeated-communication run.
 func printDegradation(w io.Writer, res scenario.Result) {
@@ -150,9 +187,18 @@ func printDegradation(w io.Writer, res scenario.Result) {
 }
 
 // exactReference computes the exact single-shot H*(S) for the scenario's
-// strategy (the shared engine makes this nearly free). It returns NaN when
-// the exact backend cannot express the scenario.
+// strategy — the static closed form, or the timeline's exact mixture (the
+// shared engine makes either nearly free). It returns NaN when the exact
+// backend cannot express the scenario, and for degradation timelines,
+// whose per-epoch Rounds would make the "reference" a sampled
+// accumulation horizon rather than a single-shot value (the epoch table
+// carries the per-phase information instead).
 func exactReference(cfg scenario.Config) float64 {
+	for _, e := range cfg.Timeline {
+		if e.Rounds > 0 {
+			return math.NaN()
+		}
+	}
 	ref := cfg
 	ref.Backend = scenario.BackendExact
 	ref.Protocol = scenario.ProtocolPlain
@@ -186,6 +232,7 @@ func printTestbed(w io.Writer, cfg scenario.Config, res scenario.Result) error {
 	fmt.Fprintf(w, "Maximum log2(N)            = %.4f bits\n", res.MaxH)
 	fmt.Fprintf(w, "Messages fully deanonymized: %d (%.1f%%)\n",
 		res.Deanonymized, 100*float64(res.Deanonymized)/float64(res.Trials))
+	printEpochs(w, res)
 	if res.Rounds <= 1 && !math.IsNaN(exact) {
 		if d := math.Abs(res.H - exact); d <= 4*res.StdErr+1e-3 {
 			fmt.Fprintf(w, "Agreement: |empirical - exact| = %.5f (within 4σ) ✓\n", d)
@@ -241,6 +288,7 @@ func printAnalytic(w io.Writer, cfg scenario.Config, res scenario.Result) error 
 		fmt.Fprintf(w, "Exact H*(S)     = %.6f bits\n", res.H)
 	}
 	fmt.Fprintf(w, "Maximum log2(N) = %.4f bits (normalized %.2f%%)\n", res.MaxH, 100*res.Normalized)
+	printEpochs(w, res)
 	printDegradation(w, res)
 	return nil
 }

@@ -124,3 +124,67 @@ func TestRunErrors(t *testing.T) {
 		t.Error("pf=1.5 accepted")
 	}
 }
+
+// TestRunEpochs: the -epochs flag drives a dynamic-population run end to
+// end, printing the per-epoch trajectory; a messages timeline supersedes
+// the -messages default without requiring -messages 0.
+func TestRunEpochs(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-n", "20", "-c", "3", "-strategy", "uniform", "-a", "1", "-b", "5",
+		"-epochs", "msgs=2000;msgs=2000,join=10,comp=2;msgs=2000,leave=5",
+		"-seed", "3",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Dynamic population (3 epochs)",
+		"within 4σ) ✓", // blended empirical vs exact mixture
+		"30      5",    // epoch 1: N=30 after 10 joins, C=5 after 2 compromises
+		"25      5",    // epoch 2: N=25 after 5 leaves
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunEpochsRounds: a rounds timeline degrades across phases and prints
+// both the epoch table and the blended curve.
+func TestRunEpochsRounds(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-n", "16", "-c", "2", "-strategy", "fixed", "-l", "3",
+		"-backend", "exact", "-epochs", "rounds=3;rounds=3,comp=3",
+		"-messages", "400", "-seed", "5",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Dynamic population (2 epochs)",
+		"Degradation over 6 rounds (400 sessions)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunEpochsErrors: malformed epoch specs fail with the scenario
+// layer's uniform configuration error.
+func TestRunEpochsErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-epochs", "warp=3"},
+		{"-epochs", "msgs=100;rounds=2"},
+		{"-epochs", "msgs=100", "-messages", "50"},
+	} {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

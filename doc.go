@@ -43,6 +43,30 @@
 //     against each other at k ∈ {1, 4, 16}. internal/degrade is a thin
 //     façade over this machinery.
 //
+//     The third dimension is time: Config.Timeline makes the population
+//     dynamic as a sequence of piecewise-constant Epochs, each carrying a
+//     traffic budget (Messages or Rounds) and deltas — joins, leaves,
+//     creeping compromise, recovery — applied under deterministic identity
+//     rules shared by every backend. The exact backend computes each
+//     phase's H*(S_e) through the shared engine cache and blends a
+//     traffic-weighted mixture; Monte-Carlo samples each phase stratified;
+//     the testbed executes the schedule as kernel-level churn events at
+//     virtual timestamps with path selection restricted to the live
+//     membership. Degradation timelines thread persistent sessions across
+//     the phase boundaries through adversary.PhasedAccumulator: each
+//     round's posterior lives over its phase's population, accumulation
+//     happens over the union identity space, members absent during an
+//     observed round are eliminated, and a sender the adversary swallows
+//     mid-timeline is identified from that phase on. Result.Epochs carries
+//     the per-phase trajectory next to the blended curve. The contract is
+//     pinned three ways: a timeline agreement test (grow / shrink / creep
+//     × both receiver modes), a seeded differential harness running ~100
+//     generated scenarios — the full space of strategies, protocols,
+//     rounds, and timelines — on every capable backend, and fuzz targets
+//     (FuzzNormalize, FuzzParseTimeline, pathsel.FuzzStrategyLookup)
+//     asserting that nothing panics and only ErrBadConfig or capability
+//     errors escape.
+//
 // The analysis stack underneath:
 //
 //   - internal/events — the exact Bayesian anonymity-degree engine
@@ -70,7 +94,13 @@
 //     a pure function of (seed, message, hop), keeping runs reproducible
 //     under any shard scheduling; an optional threshold-mix batching
 //     stage holds packets per node and flushes full (or quiescent)
-//     batches in shuffled order with a shared release time.
+//     batches in shuffled order with a shared release time. Dynamic
+//     populations are kernel-native: Config.Churn schedules per-node
+//     join/leave/compromise/recover transitions at virtual timestamps,
+//     evaluated read-only at each event's logical time (race-free under
+//     any shard interleaving, per-churned-node state only — never O(N)),
+//     and Settle/AdvanceTime let a driver place traffic phases on
+//     disjoint time windows with the transitions on the boundaries.
 //   - internal/onion, internal/crowds, internal/mixbatch — protocol
 //     substrates plugged into the kernel through the Forwarder interface
 //     (layered encryption, coin-flip jondo routing, batch linkage

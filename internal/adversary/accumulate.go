@@ -76,8 +76,15 @@ func (acc *Accumulator) Posterior() ([]float64, error) {
 
 // posteriorInto normalizes the joint posterior into the caller's buffer.
 func (acc *Accumulator) posteriorInto(out []float64) error {
+	return normalizeLog(acc.logPost, out)
+}
+
+// normalizeLog exponentiates and normalizes a log-posterior into out
+// (max-subtracted for stability). Shared by the static and the phased
+// accumulator.
+func normalizeLog(logPost, out []float64) error {
 	maxLog := math.Inf(-1)
-	for _, lp := range acc.logPost {
+	for _, lp := range logPost {
 		if lp > maxLog {
 			maxLog = lp
 		}
@@ -86,7 +93,7 @@ func (acc *Accumulator) posteriorInto(out []float64) error {
 		return fmt.Errorf("adversary: joint posterior vanished (inconsistent observations)")
 	}
 	var sum float64
-	for i, lp := range acc.logPost {
+	for i, lp := range logPost {
 		out[i] = math.Exp(lp - maxLog)
 		sum += out[i]
 	}

@@ -1,0 +1,117 @@
+package adversary
+
+// The accumulation attack over a dynamic population. When membership and
+// compromise change between rounds (node churn, time-phased compromise),
+// each round's posterior lives over that phase's population, and the
+// phases generally disagree about who exists. The PhasedAccumulator folds
+// such rounds over a *union* identity space: every node that ever exists
+// gets one stable union identity, each phase supplies the mapping from its
+// analyst's dense node space to those identities, and a union member
+// absent during an observed round is eliminated outright — the adversary
+// knows the session's sender was a live member whenever it sent. With a
+// static population (the phase mapping is the identity) it reduces exactly
+// to Accumulator.
+
+import (
+	"fmt"
+	"math"
+
+	"anonmix/internal/entropy"
+	"anonmix/internal/trace"
+)
+
+// PhasedAccumulator combines per-round sender posteriors across population
+// phases. It is not safe for concurrent use.
+type PhasedAccumulator struct {
+	logPost []float64 // joint log-posterior over the union space
+	mark    []bool    // scratch: union members live in the current round
+	rounds  int
+}
+
+// NewPhasedAccumulator returns an accumulator over a union identity space
+// of the given size (every node that exists in any phase).
+func NewPhasedAccumulator(total int) (*PhasedAccumulator, error) {
+	if total < 1 {
+		return nil, fmt.Errorf("%w: union space of %d nodes", ErrBadConfig, total)
+	}
+	return &PhasedAccumulator{
+		logPost: make([]float64, total),
+		mark:    make([]bool, total),
+	}, nil
+}
+
+// Observe folds one message trace recorded during a phase whose live
+// population is live: live[i] is the union identity of the analyst's node
+// i, so len(live) must equal the analyst's N. Live members multiply in
+// their per-round posterior; union members absent this phase are
+// eliminated (−∞ log-posterior).
+func (pa *PhasedAccumulator) Observe(a *Analyst, mt *trace.MessageTrace, live []trace.NodeID) error {
+	if a == nil {
+		return fmt.Errorf("%w: nil analyst", ErrBadConfig)
+	}
+	if len(live) != a.Engine().N() {
+		return fmt.Errorf("%w: %d live identities for an analyst over %d nodes",
+			ErrBadConfig, len(live), a.Engine().N())
+	}
+	post, err := a.Posterior(mt)
+	if err != nil {
+		return err
+	}
+	for i := range pa.mark {
+		pa.mark[i] = false
+	}
+	for i, g := range live {
+		if int(g) < 0 || int(g) >= len(pa.logPost) {
+			return fmt.Errorf("%w: live identity %v outside union space of %d",
+				ErrBadConfig, g, len(pa.logPost))
+		}
+		if pa.mark[g] {
+			return fmt.Errorf("%w: union identity %v mapped twice", ErrBadConfig, g)
+		}
+		pa.mark[g] = true
+		if p := post.P[i]; p > 0 {
+			pa.logPost[g] += math.Log(p)
+		} else {
+			pa.logPost[g] = math.Inf(-1)
+		}
+	}
+	for g := range pa.logPost {
+		if !pa.mark[g] {
+			pa.logPost[g] = math.Inf(-1)
+		}
+	}
+	pa.rounds++
+	return nil
+}
+
+// Rounds returns the number of observations folded in.
+func (pa *PhasedAccumulator) Rounds() int { return pa.rounds }
+
+// Posterior returns the normalized joint posterior over the union space.
+func (pa *PhasedAccumulator) Posterior() ([]float64, error) {
+	if pa.rounds == 0 {
+		return nil, ErrNoObservations
+	}
+	out := make([]float64, len(pa.logPost))
+	if err := normalizeLog(pa.logPost, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Snapshot returns the joint posterior's entropy (bits), argmax union
+// identity, and argmax mass in one pass — the per-round query of a
+// dynamic-population degradation session.
+func (pa *PhasedAccumulator) Snapshot() (h float64, top trace.NodeID, mass float64, err error) {
+	p, err := pa.Posterior()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	best, arg := -1.0, 0
+	for i, v := range p {
+		if v > best {
+			best, arg = v, i
+		}
+	}
+	return entropy.Bits(p), trace.NodeID(arg), best, nil
+}

@@ -1,0 +1,193 @@
+package adversary_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"anonmix/internal/adversary"
+	"anonmix/internal/dist"
+	"anonmix/internal/events"
+	"anonmix/internal/trace"
+)
+
+// synthesize builds the trace of a concrete path (a local copy of
+// montecarlo.Synthesize, which would import-cycle through scenario).
+func synthesize(msg trace.MessageID, sender trace.NodeID, path []trace.NodeID,
+	compromised func(trace.NodeID) bool) *trace.MessageTrace {
+	mt := &trace.MessageTrace{Msg: msg, ReceiverSeen: true}
+	prev := sender
+	for i, hop := range path {
+		if compromised(hop) {
+			succ := trace.Receiver
+			if i+1 < len(path) {
+				succ = path[i+1]
+			}
+			mt.Reports = append(mt.Reports, trace.Tuple{
+				Time: uint64(i + 1), Observer: hop, Msg: msg, Pred: prev, Succ: succ,
+			})
+		}
+		prev = hop
+	}
+	mt.ReceiverPred = prev
+	return mt
+}
+
+// TestPhasedMatchesStatic: with a static population (the identity phase
+// mapping every round), the phased accumulator must reproduce the static
+// Accumulator bit for bit.
+func TestPhasedMatchesStatic(t *testing.T) {
+	const n = 12
+	comp := []trace.NodeID{2, 7}
+	e, err := events.New(n, len(comp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dist.NewUniform(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyst, err := adversary.NewAnalyst(e, d, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := adversary.NewAccumulator(analyst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phased, err := adversary.NewPhasedAccumulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identity := make([]trace.NodeID, n)
+	for i := range identity {
+		identity[i] = trace.NodeID(i)
+	}
+	paths := [][]trace.NodeID{{3, 2, 8}, {7, 1}, {4}, {2, 9, 7, 6}}
+	for r, path := range paths {
+		mt := synthesize(trace.MessageID(r+1), 5, path, analyst.Compromised)
+		if err := static.Observe(mt); err != nil {
+			t.Fatal(err)
+		}
+		if err := phased.Observe(analyst, mt, identity); err != nil {
+			t.Fatal(err)
+		}
+		hs, err := static.Entropy()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hp, topP, massP, err := phased.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		topS, massS, err := static.Top()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hs != hp {
+			t.Errorf("round %d: static H = %v, phased H = %v", r+1, hs, hp)
+		}
+		if topS != topP || massS != massP {
+			t.Errorf("round %d: static top (%v, %v), phased top (%v, %v)", r+1, topS, massS, topP, massP)
+		}
+	}
+	if phased.Rounds() != len(paths) {
+		t.Errorf("rounds = %d", phased.Rounds())
+	}
+}
+
+// TestPhasedEliminatesAbsentMembers: a union member absent during an
+// observed round cannot be the sender; the joint posterior must drop it
+// even if every present round left it plausible.
+func TestPhasedEliminatesAbsentMembers(t *testing.T) {
+	// Union space of 6: phase A = {0..4}, phase B = {0,1,2,3,5} (node 4
+	// left, node 5 joined).
+	e5, err := events.New(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dist.NewFixed(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveA := []trace.NodeID{0, 1, 2, 3, 4}
+	liveB := []trace.NodeID{0, 1, 2, 3, 5}
+	analystA, err := adversary.NewAnalyst(e5, d, []trace.NodeID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	analystB := analystA // same dense structure in both phases
+
+	pa, err := adversary.NewPhasedAccumulator(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 1 in phase A: dense sender 0, path through honest nodes only.
+	if err := pa.Observe(analystA, synthesize(1, 0, []trace.NodeID{2, 3}, analystA.Compromised), liveA); err != nil {
+		t.Fatal(err)
+	}
+	post, err := pa.Posterior()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post[5] != 0 {
+		t.Errorf("joiner (absent in phase A) has mass %v after round 1", post[5])
+	}
+	// Round 2 in phase B eliminates union node 4 (left) in turn.
+	if err := pa.Observe(analystB, synthesize(2, 0, []trace.NodeID{2, 3}, analystB.Compromised), liveB); err != nil {
+		t.Fatal(err)
+	}
+	post, err = pa.Posterior()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post[4] != 0 || post[5] != 0 {
+		t.Errorf("transient members kept mass: p[4]=%v p[5]=%v", post[4], post[5])
+	}
+	var sum float64
+	for _, p := range post {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("posterior mass = %v", sum)
+	}
+}
+
+// TestPhasedValidation pins the accumulator's input checks.
+func TestPhasedValidation(t *testing.T) {
+	if _, err := adversary.NewPhasedAccumulator(0); !errors.Is(err, adversary.ErrBadConfig) {
+		t.Errorf("size 0 err = %v", err)
+	}
+	e, err := events.New(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dist.NewFixed(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := adversary.NewAnalyst(e, d, []trace.NodeID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := adversary.NewPhasedAccumulator(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := synthesize(1, 0, []trace.NodeID{2}, a.Compromised)
+	if err := pa.Observe(nil, mt, nil); !errors.Is(err, adversary.ErrBadConfig) {
+		t.Errorf("nil analyst err = %v", err)
+	}
+	if err := pa.Observe(a, mt, []trace.NodeID{0, 1}); !errors.Is(err, adversary.ErrBadConfig) {
+		t.Errorf("short live err = %v", err)
+	}
+	if err := pa.Observe(a, mt, []trace.NodeID{0, 1, 2, 3, 9}); !errors.Is(err, adversary.ErrBadConfig) {
+		t.Errorf("out-of-space identity err = %v", err)
+	}
+	if err := pa.Observe(a, mt, []trace.NodeID{0, 1, 2, 3, 3}); !errors.Is(err, adversary.ErrBadConfig) {
+		t.Errorf("duplicate identity err = %v", err)
+	}
+	if _, err := pa.Posterior(); !errors.Is(err, adversary.ErrNoObservations) {
+		t.Errorf("empty posterior err = %v", err)
+	}
+}

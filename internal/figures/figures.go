@@ -439,6 +439,8 @@ func ByName(name string) (Figure, error) {
 		return AblationBackends()
 	case "degradation-rounds":
 		return DegradationRounds()
+	case "churn-sweep":
+		return Churn()
 	default:
 		return Figure{}, fmt.Errorf("%w: %q", ErrUnknownFigure, name)
 	}
@@ -451,5 +453,6 @@ func Names() []string {
 		"3a", "3b", "4a", "4b", "4c", "4d", "5a", "5b", "5c", "5d", "6",
 		"ablation-c", "ablation-n", "ablation-inference", "ablation-crowds",
 		"ablation-largec", "ablation-backends", "degradation-rounds",
+		"churn-sweep",
 	}
 }

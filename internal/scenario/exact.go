@@ -34,6 +34,9 @@ func (exactBackend) Run(cfg Config) (Result, error) {
 		return Result{}, capability.Unsupported(string(BackendExact),
 			capability.ErrComplicatedPaths, cfg.Strategy.Name)
 	}
+	if len(cfg.phases) > 0 {
+		return runExactTimeline(cfg)
+	}
 	e, err := Engine(cfg.N, len(cfg.Adversary.Compromised), engineOptions(cfg)...)
 	if err != nil {
 		return Result{}, err
@@ -157,6 +160,57 @@ func runExactRounds(cfg Config, e *events.Engine) (Result, error) {
 	if idCount > 0 {
 		res.MeanRoundsToIdentify = float64(idRounds) / float64(idCount)
 	}
+	return res, nil
+}
+
+// runExactTimeline executes a dynamic-population scenario on the exact
+// engine. A single-shot (Messages) timeline stays fully closed-form: every
+// phase's H*(S_e) comes exactly from the shared engine cache and the
+// result is the traffic-weighted mixture Σ w_e·H_e. A degradation (Rounds)
+// timeline feeds the union-space accumulator across the phase boundaries
+// with exact per-round posteriors, serially from one RNG stream — the
+// reference the parallel Monte-Carlo timeline is cross-validated against.
+func runExactTimeline(cfg Config) (Result, error) {
+	if timelineRounds(cfg.phases) {
+		return runPhasedRounds(cfg, string(BackendExact), 1)
+	}
+	weights := timelineWeights(cfg.phases)
+	res := Result{MaxH: timelineMaxH(cfg.phases)}
+	for i := range cfg.phases {
+		p := &cfg.phases[i]
+		if p.epoch.Messages == 0 {
+			// A phase without traffic only moves the population: zero
+			// weight in the mixture and, like the sampled backends, no
+			// per-epoch H (EpochResult.H is defined as the entropy of the
+			// phase's analyzed traffic).
+			res.Epochs = append(res.Epochs, EpochResult{Index: i, N: p.n(), C: p.c()})
+			continue
+		}
+		e, err := Engine(p.n(), p.c(), engineOptions(cfg)...)
+		if err != nil {
+			return Result{}, err
+		}
+		h, err := e.AnonymityDegree(cfg.Strategy.Length)
+		if err != nil {
+			return Result{}, err
+		}
+		compShare := float64(p.c()) / float64(p.n())
+		if cfg.Workload.FixedSender {
+			// The per-phase honest-conditional rescale of the static model
+			// (see Run above); normalizeTimeline guarantees the pinned
+			// sender is an honest member of every phase.
+			if e.SenderSelfReport() {
+				h *= float64(p.n()) / float64(p.n()-p.c())
+			}
+			compShare = 0
+		}
+		res.H += weights[i] * h
+		res.CompromisedSenderShare += weights[i] * compShare
+		res.Epochs = append(res.Epochs, EpochResult{
+			Index: i, N: p.n(), C: p.c(), Messages: p.epoch.Messages, H: h,
+		})
+	}
+	res.Normalized = res.H / res.MaxH
 	return res, nil
 }
 

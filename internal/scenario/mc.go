@@ -6,9 +6,13 @@ package scenario
 // variance).
 
 import (
+	"math"
+
 	"anonmix/internal/entropy"
 	"anonmix/internal/montecarlo"
+	"anonmix/internal/pool"
 	"anonmix/internal/scenario/capability"
+	"anonmix/internal/trace"
 )
 
 type mcBackend struct{}
@@ -19,6 +23,9 @@ func (mcBackend) Run(cfg Config) (Result, error) {
 	if !analyticProtocol(cfg.Protocol) {
 		return Result{}, capability.Unsupported(string(BackendMonteCarlo),
 			capability.ErrProtocol, cfg.Protocol.String())
+	}
+	if len(cfg.phases) > 0 {
+		return runMCTimeline(cfg)
 	}
 	engine, err := Engine(cfg.N, len(cfg.Adversary.Compromised), engineOptions(cfg)...)
 	if err != nil {
@@ -54,6 +61,72 @@ func (mcBackend) Run(cfg Config) (Result, error) {
 		IdentifiedShare:        res.IdentifiedShare,
 		MeanRoundsToIdentify:   res.MeanRoundsToIdentify,
 	}, nil
+}
+
+// runMCTimeline executes a dynamic-population scenario by sampling. A
+// degradation (Rounds) timeline runs the shared phased-session machinery
+// in parallel across forked worker streams. A single-shot (Messages)
+// timeline is sampled stratified: every phase runs the static estimator in
+// its own dense population with its own budget and deterministic derived
+// seed, and the strata blend by their traffic weights — the same mixture
+// the exact backend computes in closed form, with the variance of each
+// stratum combining in quadrature.
+func runMCTimeline(cfg Config) (Result, error) {
+	if timelineRounds(cfg.phases) {
+		workers := cfg.Workload.Workers
+		if workers <= 0 {
+			workers = pool.Workers()
+		}
+		return runPhasedRounds(cfg, "montecarlo", workers)
+	}
+	weights := timelineWeights(cfg.phases)
+	res := Result{
+		Estimated: true,
+		MaxH:      timelineMaxH(cfg.phases),
+	}
+	var variance float64
+	for i := range cfg.phases {
+		p := &cfg.phases[i]
+		er := EpochResult{Index: i, N: p.n(), C: p.c(), Messages: p.epoch.Messages}
+		if p.epoch.Messages == 0 {
+			// A phase without traffic only moves the population.
+			res.Epochs = append(res.Epochs, er)
+			continue
+		}
+		engine, err := Engine(p.n(), p.c(), engineOptions(cfg)...)
+		if err != nil {
+			return Result{}, err
+		}
+		mcCfg := montecarlo.Config{
+			N:             p.n(),
+			Compromised:   p.denseComp,
+			Strategy:      cfg.Strategy,
+			Trials:        p.epoch.Messages,
+			Seed:          phaseSeed(cfg.Workload.Seed, i),
+			Workers:       cfg.Workload.Workers,
+			EngineOptions: engineOptions(cfg),
+			Engine:        engine,
+		}
+		if cfg.Workload.FixedSender {
+			mcCfg.FixedSender = true
+			mcCfg.Sender = trace.NodeID(p.denseOf[cfg.Workload.Sender])
+		}
+		pr, err := montecarlo.EstimateH(mcCfg)
+		if err != nil {
+			return Result{}, err
+		}
+		w := weights[i]
+		res.H += w * pr.H
+		variance += w * w * pr.StdErr * pr.StdErr
+		res.Trials += pr.Trials
+		res.CompromisedSenderShare += w * pr.CompromisedSenderShare
+		er.H = pr.H
+		res.Epochs = append(res.Epochs, er)
+	}
+	res.StdErr = math.Sqrt(variance)
+	res.CI95 = 1.96 * res.StdErr
+	res.Normalized = res.H / res.MaxH
+	return res, nil
 }
 
 func init() { Register(mcBackend{}) }

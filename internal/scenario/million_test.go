@@ -44,3 +44,55 @@ func TestMillionNodeScenario(t *testing.T) {
 		t.Errorf("heap after run = %d MiB (budget 4 GiB)", ms.HeapAlloc>>20)
 	}
 }
+
+// TestMillionNodeChurnScenario: the dynamic-population machinery keeps the
+// kernel's scale properties — a million-node timeline with joins, leaves,
+// and time-phased compromise stays within the same goroutine and heap
+// budgets as the static run (churn state is per-churned-node, never O(N)).
+func TestMillionNodeChurnScenario(t *testing.T) {
+	res, err := scenario.Run(scenario.Config{
+		N:            1_000_000,
+		Backend:      scenario.BackendTestbed,
+		StrategySpec: "uniform:1,7",
+		Adversary:    scenario.Adversary{Count: 1000},
+		Timeline: []scenario.Epoch{
+			{Messages: 400},
+			{Messages: 300, Join: 2000, Compromise: 500},
+			{Messages: 300, Leave: 1000, Recover: 200},
+		},
+		Workload: scenario.Workload{Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 1000 {
+		t.Errorf("trials = %d", res.Trials)
+	}
+	if res.Kernel == nil {
+		t.Fatal("no kernel stats")
+	}
+	if res.Kernel.Churn != 3700 {
+		t.Errorf("kernel churn events = %d, want 3700", res.Kernel.Churn)
+	}
+	if res.Kernel.Goroutines > runtime.GOMAXPROCS(0)+8 {
+		t.Errorf("testbed added %d goroutines for N=1e6 churn (want O(shards))", res.Kernel.Goroutines)
+	}
+	if len(res.Epochs) != 3 {
+		t.Fatalf("epochs = %+v", res.Epochs)
+	}
+	if res.Epochs[1].N != 1_002_000 || res.Epochs[1].C != 1500 {
+		t.Errorf("epoch 1 population = (%d, %d), want (1002000, 1500)", res.Epochs[1].N, res.Epochs[1].C)
+	}
+	if res.Epochs[2].N != 1_001_000 || res.Epochs[2].C != 1300 {
+		t.Errorf("epoch 2 population = (%d, %d), want (1001000, 1300)", res.Epochs[2].N, res.Epochs[2].C)
+	}
+	// With C/N ≈ 0.1–0.15% the anonymity degree stays near the bound.
+	if res.H <= 0.95*res.MaxH || res.H > res.MaxH {
+		t.Errorf("H = %v bits, bound %v", res.H, res.MaxH)
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > 4<<30 {
+		t.Errorf("heap after churn run = %d MiB (budget 4 GiB)", ms.HeapAlloc>>20)
+	}
+}

@@ -179,6 +179,39 @@ func (a Adversary) nodes(n int) ([]trace.NodeID, error) {
 	return out, nil
 }
 
+// Epoch is one piecewise-constant phase of a dynamic-population timeline.
+// Population and adversary deltas take effect at the phase start, in a
+// fixed order (joins, leaves, compromises, recoveries) under deterministic
+// identity rules — see Config.Timeline — so the membership schedule is a
+// pure function of the configuration and identical across backends.
+type Epoch struct {
+	// Messages is the phase's single-shot traffic budget: messages on the
+	// testbed, sampling trials on Monte-Carlo, and the phase's weight in
+	// the exact backend's message-weighted mixture. Mutually exclusive with
+	// Rounds across the whole timeline.
+	Messages int
+	// Rounds is the number of repeated-communication rounds every session
+	// sends during this phase. When any epoch sets Rounds, the timeline is
+	// a degradation run: Workload.Messages sessions persist across all
+	// phases, the adversary accumulates over the phase boundaries, and the
+	// blended curve H_1..H_k spans k = ΣRounds.
+	Rounds int
+	// Join adds this many new nodes at the phase start. Joiners get fresh
+	// identities (allocated upward from the initial N) and are honest.
+	Join int
+	// Leave removes this many honest members at the phase start, highest
+	// identities first. Compromised nodes never leave — shrink the
+	// adversary with Recover.
+	Leave int
+	// Compromise converts this many honest members to adversary nodes at
+	// the phase start, lowest identities first (creeping compromise,
+	// matching the "first Count nodes" convention of the static model).
+	Compromise int
+	// Recover returns this many compromised nodes to honest operation,
+	// most recently compromised first (LIFO over the compromise order).
+	Recover int
+}
+
 // Workload describes how much traffic a scenario generates and how.
 type Workload struct {
 	// Messages is the number of messages (testbed) or sampling trials
@@ -248,9 +281,23 @@ type Config struct {
 	Adversary Adversary
 	// Workload is the traffic description.
 	Workload Workload
+	// Timeline, when non-empty, makes the population dynamic: each Epoch is
+	// a piecewise-constant phase with its own traffic budget and its
+	// population/adversary deltas applied at the phase start. The exact
+	// backend folds per-phase exact values into a traffic-weighted mixture,
+	// Monte-Carlo samples each phase with its budget, and the testbed
+	// executes the schedule as kernel-level churn events at virtual
+	// timestamps with path selection restricted to the live membership.
+	// Epochs carry either Messages (single-shot phases) or Rounds
+	// (persistent sessions degrading across phases), never a mix.
+	Timeline []Epoch
 	// EngineOptions are forwarded to the exact engine in addition to the
 	// options derived from Adversary (e.g. events.WithInference).
 	EngineOptions []events.Option
+
+	// phases is the normalized membership schedule derived from Timeline
+	// (computed by normalize; backends read it, callers never set it).
+	phases []phase
 }
 
 // CrowdsReport carries the Crowds-specific outcome of a testbed run: the
@@ -287,6 +334,9 @@ type KernelStats struct {
 	Events uint64
 	// BatchFlushes counts threshold-mix flushes.
 	BatchFlushes uint64
+	// Churn is the number of membership/compromise transitions the kernel
+	// executed (dynamic-population timelines only).
+	Churn int
 	// Goroutines is the number of goroutines the run added over the
 	// process baseline captured before the network started — the kernel's
 	// shard goroutines (measured after injection, before the settle
@@ -294,6 +344,27 @@ type KernelStats struct {
 	Goroutines int
 	// EventsPerSec is Events divided by the settle time.
 	EventsPerSec float64
+}
+
+// EpochResult summarizes one phase of a dynamic-population run.
+type EpochResult struct {
+	// Index is the epoch's position in Config.Timeline.
+	Index int
+	// N is the live population during the phase.
+	N int
+	// C is the number of compromised live nodes during the phase.
+	C int
+	// Messages is the traffic analyzed in the phase: single-shot messages
+	// or trials, or sessions × rounds-in-phase for degradation timelines.
+	Messages int
+	// Rounds is the number of session rounds falling in this phase
+	// (degradation timelines only).
+	Rounds int
+	// H is the mean posterior entropy of the phase's traffic — exact for
+	// the exact backend's single-shot mixture, estimated elsewhere; for
+	// degradation runs it is the mean accumulated entropy over the phase's
+	// rounds. Zero when the phase carried no traffic.
+	H float64
 }
 
 // Result is the outcome of a run, whatever the backend.
@@ -335,6 +406,10 @@ type Result struct {
 	// MeanRoundsToIdentify is the mean identification round among
 	// identified sessions (0 when none).
 	MeanRoundsToIdentify float64
+	// Epochs carries the per-phase results of a dynamic-population run in
+	// timeline order (nil for static scenarios); H, HRounds, and the other
+	// top-level fields hold the blended values.
+	Epochs []EpochResult
 	// Elapsed is the wall-clock backend runtime.
 	Elapsed time.Duration
 	// Kernel reports testbed kernel counters (nil elsewhere).
@@ -472,7 +547,9 @@ func normalize(cfg Config) (Config, error) {
 	if cfg.Workload.Rounds == 0 {
 		cfg.Workload.Rounds = 1
 	}
-	if c := cfg.Workload.Confidence; c < 0 || c >= 1 {
+	if c := cfg.Workload.Confidence; !(c >= 0 && c < 1) {
+		// The negated conjunction also catches NaN, which would otherwise
+		// slip through both comparisons and silently disable tracking.
 		return Config{}, fmt.Errorf("%w: confidence %v outside [0,1)", ErrBadConfig, c)
 	}
 	if cfg.Workload.FixedSender {
@@ -484,6 +561,14 @@ func normalize(cfg Config) (Config, error) {
 				return Config{}, fmt.Errorf("%w: fixed sender %v is compromised (identified at round 0)", ErrBadConfig, id)
 			}
 		}
+	}
+	if cfg.Workload.MaxHopDelay < 0 {
+		// Rejected here so the error is uniformly ErrBadConfig instead of
+		// surfacing as the testbed kernel's internal sentinel.
+		return Config{}, fmt.Errorf("%w: MaxHopDelay %v", ErrBadConfig, cfg.Workload.MaxHopDelay)
+	}
+	if err := normalizeTimeline(&cfg); err != nil {
+		return Config{}, err
 	}
 	// Every sampled run needs a positive message budget. Validating here
 	// keeps the error uniformly ErrBadConfig instead of leaking

@@ -48,11 +48,21 @@ func (testbedBackend) Kind() BackendKind { return BackendTestbed }
 
 func (testbedBackend) Run(cfg Config) (Result, error) {
 	if cfg.Protocol == ProtocolCrowds {
+		if len(cfg.phases) > 0 {
+			// The jondo substrate's predecessor statistics assume a fixed
+			// crowd; dynamic membership needs the per-epoch closed forms
+			// first (see ROADMAP).
+			return Result{}, capability.Unsupported(string(BackendTestbed),
+				capability.ErrProtocol, "crowds substrate does not support dynamic populations yet")
+		}
 		return runCrowds(cfg)
 	}
 	if cfg.Strategy.Kind != pathsel.Simple {
 		return Result{}, capability.Unsupported(string(BackendTestbed),
 			capability.ErrComplicatedPaths, cfg.Strategy.Name+" (run it on the crowds substrate)")
+	}
+	if len(cfg.phases) > 0 {
+		return runRoutedTimeline(cfg)
 	}
 	return runRouted(cfg)
 }
@@ -283,6 +293,347 @@ func analyzeRouted(cfg Config, analyst *adversary.Analyst,
 		CompromisedSenderShare: float64(compSenders) / float64(sum.N()),
 		Deanonymized:           deanonymized,
 		HRounds:                hSums,
+	}
+	if conf > 0 {
+		res.IdentifiedShare = float64(idCount) / float64(sessions)
+		if idCount > 0 {
+			res.MeanRoundsToIdentify = float64(idRounds) / float64(idCount)
+		}
+	}
+	return res, nil
+}
+
+// runRoutedTimeline executes a dynamic-population scenario on the routed
+// substrates. The membership schedule becomes kernel-level churn events at
+// precomputed virtual timestamps: each phase gets a disjoint logical-time
+// window wide enough for its traffic (injection count plus the worst-case
+// path depth), the kernel's per-(node,time) state machine applies the
+// joins/leaves/compromises on the boundaries, and path selection draws
+// from the phase's live membership only. Between phases the network
+// settles (flushing partial threshold-mix batches — the mix "fires on
+// timeout" at the phase end) and the injection clock advances past the
+// boundary, so every message's observations fall entirely inside one
+// phase and are analyzed with that phase's adversary.
+func runRoutedTimeline(cfg Config) (Result, error) {
+	analysts, sels, err := phasedMachinery(cfg, string(BackendTestbed))
+	if err != nil {
+		return Result{}, err
+	}
+	phases := cfg.phases
+	totalIDs := unionSize(cfg.N, cfg.Timeline)
+	rounds := timelineRounds(phases)
+	sessions := cfg.Workload.Messages
+
+	// Phase windows: wide enough that every event of phase e has a logical
+	// time below T[e+1] (injections advance the clock by one each; every
+	// hop, mix release included, adds at most 1+jitter ticks over the
+	// phase's running maximum, and a path has at most hi+2 such steps).
+	jitter := uint64(cfg.Workload.MaxHopDelay)
+	_, hi := cfg.Strategy.Length.Support()
+	span := func(m int) uint64 { return uint64(m) + uint64(hi+3)*(1+jitter) + 4 }
+	T := make([]uint64, len(phases)+1)
+	for e := range phases {
+		m := phases[e].epoch.Messages
+		if rounds {
+			m = sessions * phases[e].epoch.Rounds
+		}
+		T[e+1] = T[e] + span(m)
+	}
+
+	// The kernel's churn schedule is the phase-to-phase membership diff,
+	// ordered join → recover → compromise → leave per boundary so the
+	// kernel's per-node state machine sees only legal transitions.
+	p0 := &phases[0]
+	var down []trace.NodeID
+	for g := 0; g < totalIDs; g++ {
+		if _, live := p0.denseOf[trace.NodeID(g)]; !live {
+			down = append(down, trace.NodeID(g))
+		}
+	}
+	var churn []simnet.ChurnEvent
+	for e := 1; e < len(phases); e++ {
+		prev, cur := &phases[e-1], &phases[e]
+		at := T[e]
+		for _, g := range cur.live {
+			if _, was := prev.denseOf[g]; !was {
+				churn = append(churn, simnet.ChurnEvent{Time: at, Kind: simnet.ChurnJoin, Node: g})
+			}
+		}
+		for _, g := range prev.comp {
+			if !cur.compSet[g] {
+				churn = append(churn, simnet.ChurnEvent{Time: at, Kind: simnet.ChurnRecover, Node: g})
+			}
+		}
+		for _, g := range cur.comp {
+			if !prev.compSet[g] {
+				churn = append(churn, simnet.ChurnEvent{Time: at, Kind: simnet.ChurnCompromise, Node: g})
+			}
+		}
+		for _, g := range prev.live {
+			if _, still := cur.denseOf[g]; !still {
+				churn = append(churn, simnet.ChurnEvent{Time: at, Kind: simnet.ChurnLeave, Node: g})
+			}
+		}
+	}
+
+	nwCfg := simnet.Config{
+		N:           totalIDs,
+		Compromised: p0.comp,
+		Down:        down,
+		Churn:       churn,
+		Seed:        cfg.Workload.Seed,
+		MaxHopDelay: cfg.Workload.MaxHopDelay,
+	}
+	var ring *onion.KeyRing
+	if cfg.Protocol == ProtocolOnion {
+		var secret [8]byte
+		binary.LittleEndian.PutUint64(secret[:], uint64(cfg.Workload.Seed)+0x517cc1b727220a95)
+		if ring, err = onion.NewKeyRing(secret[:], totalIDs); err != nil {
+			return Result{}, err
+		}
+		fwd, err := onion.NewForwarder(ring)
+		if err != nil {
+			return Result{}, err
+		}
+		nwCfg.Forwarder = fwd
+	}
+	if cfg.Protocol == ProtocolMix {
+		nwCfg.BatchThreshold = cfg.Workload.BatchThreshold
+		if nwCfg.BatchThreshold < 2 {
+			nwCfg.BatchThreshold = defaultMixBatch
+		}
+		nwCfg.Shards = 1 // bit-reproducible batch composition (see runRouted)
+	}
+	baseGoroutines := runtime.NumGoroutine()
+	nw, err := simnet.New(nwCfg)
+	if err != nil {
+		return Result{}, err
+	}
+	nw.Start()
+	defer nw.Close()
+
+	start := time.Now()
+	rng := stats.NewRand(cfg.Workload.Seed)
+	inject := func(e int, sender trace.NodeID) (trace.MessageID, error) {
+		path, err := drawPhasePath(&phases[e], sels[e], rng, sender)
+		if err != nil {
+			return 0, err
+		}
+		if cfg.Protocol == ProtocolOnion && len(path) > 0 {
+			blob, err := onion.Build(ring, path, nil, cryptorand.Reader)
+			if err != nil {
+				return 0, err
+			}
+			return nw.Inject(sender, path[0], simnet.Packet{Onion: blob})
+		}
+		return nw.SendRoute(sender, path, nil)
+	}
+
+	var (
+		k             = cfg.Workload.Rounds
+		senders       []trace.NodeID    // rounds mode: one per session
+		ids           []trace.MessageID // rounds mode: session-major [s*k+r]
+		phaseSenders  [][]trace.NodeID  // messages mode
+		phaseIDs      [][]trace.MessageID
+		maxGoroutines int
+	)
+	if rounds {
+		senders = make([]trace.NodeID, sessions)
+		ids = make([]trace.MessageID, sessions*k)
+		pool := senderPool(phases)
+		for s := range senders {
+			if cfg.Workload.FixedSender {
+				senders[s] = cfg.Workload.Sender
+			} else {
+				senders[s] = pool[rng.Intn(len(pool))]
+			}
+		}
+	} else {
+		phaseSenders = make([][]trace.NodeID, len(phases))
+		phaseIDs = make([][]trace.MessageID, len(phases))
+	}
+	r := 0
+	for e := range phases {
+		p := &phases[e]
+		if e > 0 {
+			nw.AdvanceTime(T[e])
+		}
+		if rounds {
+			for j := 0; j < p.epoch.Rounds; j++ {
+				for s := 0; s < sessions; s++ {
+					id, err := inject(e, senders[s])
+					if err != nil {
+						return Result{}, err
+					}
+					ids[s*k+r] = id
+				}
+				r++
+			}
+		} else {
+			for m := 0; m < p.epoch.Messages; m++ {
+				sender := cfg.Workload.Sender
+				if !cfg.Workload.FixedSender {
+					sender = p.live[rng.Intn(p.n())]
+				}
+				id, err := inject(e, sender)
+				if err != nil {
+					return Result{}, err
+				}
+				phaseSenders[e] = append(phaseSenders[e], sender)
+				phaseIDs[e] = append(phaseIDs[e], id)
+			}
+		}
+		maxGoroutines = max(maxGoroutines, runtime.NumGoroutine()-baseGoroutines)
+		if err := nw.Settle(settleTimeout); err != nil {
+			return Result{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	if drops := nw.Dropped(); len(drops) > 0 {
+		return Result{}, fmt.Errorf("scenario: testbed dropped %d packets: %w", len(drops), drops[0])
+	}
+	traces := trace.Collate(nw.Tuples())
+
+	maxH := timelineMaxH(phases)
+	var res Result
+	if rounds {
+		res, err = analyzeRoutedTimeline(cfg, analysts, traces, senders, ids)
+	} else {
+		res, err = analyzeSingleShotTimeline(cfg, analysts, traces, phaseSenders, phaseIDs)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	res.MaxH = maxH
+	res.Normalized = res.H / maxH
+	res.Kernel = kernelStats(nw, max(maxGoroutines, 0), elapsed)
+	return res, nil
+}
+
+// analyzeSingleShotTimeline measures a Messages timeline: every phase's
+// traffic is analyzed with that phase's adversary in its dense space, in
+// injection order for bit-reproducibility, and the phases blend into the
+// pooled empirical mean.
+func analyzeSingleShotTimeline(cfg Config, analysts []*adversary.Analyst,
+	traces map[trace.MessageID]*trace.MessageTrace,
+	phaseSenders [][]trace.NodeID, phaseIDs [][]trace.MessageID) (Result, error) {
+	var (
+		sum          stats.Summary
+		compSenders  int
+		deanonymized int
+		epochs       []EpochResult
+	)
+	for e := range cfg.phases {
+		p := &cfg.phases[e]
+		var pSum stats.Summary
+		for m, sender := range phaseSenders[e] {
+			if p.compSet[sender] {
+				sum.Add(0)
+				pSum.Add(0)
+				compSenders++
+				deanonymized++
+				continue
+			}
+			id := phaseIDs[e][m]
+			mt := traces[id]
+			if mt == nil {
+				return Result{}, fmt.Errorf("scenario: message %d has no trace", id)
+			}
+			dmt, err := p.denseTrace(mt)
+			if err != nil {
+				return Result{}, fmt.Errorf("scenario: message %d: %w", id, err)
+			}
+			h, err := analysts[e].Entropy(dmt)
+			if err != nil {
+				return Result{}, fmt.Errorf("scenario: message %d: %w", id, err)
+			}
+			if h < 1e-9 {
+				deanonymized++
+			}
+			sum.Add(h)
+			pSum.Add(h)
+		}
+		er := EpochResult{Index: e, N: p.n(), C: p.c(), Messages: p.epoch.Messages}
+		if pSum.N() > 0 {
+			er.H = pSum.Mean()
+		}
+		epochs = append(epochs, er)
+	}
+	return Result{
+		H:                      sum.Mean(),
+		StdErr:                 sum.StdErr(),
+		CI95:                   sum.CI95(),
+		Estimated:              true,
+		Trials:                 sum.N(),
+		CompromisedSenderShare: float64(compSenders) / float64(sum.N()),
+		Deanonymized:           deanonymized,
+		Epochs:                 epochs,
+	}, nil
+}
+
+// analyzeRoutedTimeline folds a Rounds timeline's collected traces through
+// the union-space accumulator, session by session in injection order — the
+// empirical counterpart of runPhasedRounds.
+func analyzeRoutedTimeline(cfg Config, analysts []*adversary.Analyst,
+	traces map[trace.MessageID]*trace.MessageTrace,
+	senders []trace.NodeID, ids []trace.MessageID) (Result, error) {
+	var (
+		phases     = cfg.phases
+		totalIDs   = unionSize(cfg.N, cfg.Timeline)
+		sessions   = len(senders)
+		k          = cfg.Workload.Rounds
+		conf       = cfg.Workload.Confidence
+		first      = firstTrafficPhase(phases)
+		sum        stats.Summary
+		compSender int
+		deanon     int
+		idCount    int
+		idRounds   int
+		hRounds    = make([]float64, k)
+	)
+	for s := 0; s < sessions; s++ {
+		sender := senders[s]
+		draw := func(pi, r int) (*trace.MessageTrace, error) {
+			id := ids[s*k+r]
+			mt := traces[id]
+			if mt == nil {
+				return nil, fmt.Errorf("scenario: message %d has no trace", id)
+			}
+			return phases[pi].denseTrace(mt)
+		}
+		entropies, identifiedAt, err := phasedSession(phases, analysts, totalIDs, sender, conf, draw)
+		if err != nil {
+			return Result{}, err
+		}
+		if phases[first].compSet[sender] {
+			compSender++
+		}
+		for r, h := range entropies {
+			hRounds[r] += h
+		}
+		final := entropies[k-1]
+		sum.Add(final)
+		if final < 1e-9 {
+			deanon++
+		}
+		if identifiedAt > 0 {
+			idCount++
+			idRounds += identifiedAt
+		}
+	}
+	for r := range hRounds {
+		hRounds[r] /= float64(sessions)
+	}
+	res := Result{
+		H:                      sum.Mean(),
+		StdErr:                 sum.StdErr(),
+		CI95:                   sum.CI95(),
+		Estimated:              true,
+		Trials:                 sessions,
+		CompromisedSenderShare: float64(compSender) / float64(sessions),
+		Deanonymized:           deanon,
+		HRounds:                hRounds,
+		Epochs:                 epochResults(phases, sessions, hRounds),
 	}
 	if conf > 0 {
 		res.IdentifiedShare = float64(idCount) / float64(sessions)
@@ -568,6 +919,7 @@ func kernelStats(nw *simnet.Network, goroutines int, elapsed time.Duration) *Ker
 		Shards:       m.Shards,
 		Events:       m.Events,
 		BatchFlushes: m.BatchFlushes,
+		Churn:        m.Churn,
 		Goroutines:   goroutines,
 	}
 	if s := elapsed.Seconds(); s > 0 {

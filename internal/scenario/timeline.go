@@ -1,0 +1,695 @@
+package scenario
+
+// The timeline dimension: dynamic populations as piecewise-constant
+// phases. This file owns everything the three backends share — the
+// deterministic membership schedule derived from Config.Timeline, the
+// dense-space mapping each phase hands to the analytic machinery, the
+// cross-phase degradation session, and the compact CLI epoch syntax — so
+// that "the same scenario on every backend" keeps meaning the same
+// population trajectory everywhere.
+//
+// Identity rules (all deterministic, shared by every backend):
+//
+//   - The initial population is 0..N−1; joiners get fresh identities
+//     allocated upward (N, N+1, ...). The union space therefore has
+//     N + ΣJoin identities, of which each phase sees a live subset.
+//   - Leaves remove the highest-identity honest members first.
+//   - Compromises convert the lowest-identity honest members first (the
+//     creeping-compromise counterpart of "the first Count nodes").
+//   - Recoveries undo compromises LIFO (most recently compromised first).
+//
+// Each phase maps its live members, in ascending identity order, onto the
+// dense space 0..n_e−1 the exact engine, the Monte-Carlo estimator, and
+// the adversary's analyst operate on; the union identity is what threads a
+// node through the phases of a degradation session.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"anonmix/internal/adversary"
+	"anonmix/internal/events"
+	"anonmix/internal/montecarlo"
+	"anonmix/internal/pathsel"
+	workpool "anonmix/internal/pool"
+	"anonmix/internal/scenario/capability"
+	"anonmix/internal/stats"
+	"anonmix/internal/trace"
+)
+
+// phase is the normalized state of one epoch: the epoch's budgets plus the
+// materialized membership.
+type phase struct {
+	// epoch echoes the configured deltas and budgets.
+	epoch Epoch
+	// live lists the members in ascending union identity; live[i] is the
+	// union identity of dense node i.
+	live []trace.NodeID
+	// comp lists the compromised members (union identities, ascending).
+	comp []trace.NodeID
+	// denseComp holds the dense images of comp (positions in live).
+	denseComp []trace.NodeID
+	// denseOf inverts live: union identity → dense index.
+	denseOf map[trace.NodeID]int
+	// compSet marks the compromised union identities.
+	compSet map[trace.NodeID]bool
+}
+
+// n is the phase's live population size.
+func (p *phase) n() int { return len(p.live) }
+
+// c is the phase's compromised count.
+func (p *phase) c() int { return len(p.comp) }
+
+// normalizeTimeline validates Config.Timeline, reconciles it with the
+// workload, and materializes the membership schedule into cfg.phases. A
+// nil timeline leaves the config untouched (the static model).
+func normalizeTimeline(cfg *Config) error {
+	if len(cfg.Timeline) == 0 {
+		return nil
+	}
+	var msgs, rounds int
+	for i, e := range cfg.Timeline {
+		if e.Messages < 0 || e.Rounds < 0 || e.Join < 0 || e.Leave < 0 || e.Compromise < 0 || e.Recover < 0 {
+			return fmt.Errorf("%w: epoch %d has a negative field (%+v)", ErrBadConfig, i, e)
+		}
+		msgs += e.Messages
+		rounds += e.Rounds
+	}
+	switch {
+	case msgs > 0 && rounds > 0:
+		return fmt.Errorf("%w: timeline mixes Messages and Rounds budgets (pick one axis)", ErrBadConfig)
+	case msgs == 0 && rounds == 0:
+		return fmt.Errorf("%w: timeline carries no traffic (every epoch has zero Messages and Rounds)", ErrBadConfig)
+	case rounds > 0:
+		// Degradation timeline: Workload.Messages sessions persist across
+		// the phases, each sending ΣRounds rounds.
+		if cfg.Workload.Rounds > 1 {
+			return fmt.Errorf("%w: per-epoch Rounds replace Workload.Rounds (leave it unset)", ErrBadConfig)
+		}
+		if cfg.Workload.Messages <= 0 {
+			return fmt.Errorf("%w: degradation timeline needs Workload.Messages sessions > 0", ErrBadConfig)
+		}
+		cfg.Workload.Rounds = rounds
+	default:
+		// Single-shot timeline: the per-epoch budgets are the traffic.
+		if cfg.Workload.Messages != 0 {
+			return fmt.Errorf("%w: per-epoch Messages replace Workload.Messages (leave it unset)", ErrBadConfig)
+		}
+		if cfg.Workload.Rounds > 1 {
+			return fmt.Errorf("%w: a Messages timeline is single-shot (use per-epoch Rounds for degradation)", ErrBadConfig)
+		}
+		if cfg.Workload.Confidence > 0 {
+			return fmt.Errorf("%w: identification tracking needs a Rounds timeline", ErrBadConfig)
+		}
+		cfg.Workload.Messages = msgs
+	}
+	phases, err := computePhases(cfg.N, cfg.Adversary.Compromised, cfg.Timeline)
+	if err != nil {
+		return err
+	}
+	if cfg.Workload.FixedSender {
+		s := cfg.Workload.Sender
+		for i := range phases {
+			if _, ok := phases[i].denseOf[s]; !ok {
+				return fmt.Errorf("%w: fixed sender %v leaves during epoch %d", ErrBadConfig, s, i)
+			}
+			if phases[i].compSet[s] {
+				return fmt.Errorf("%w: fixed sender %v is compromised in epoch %d", ErrBadConfig, s, i)
+			}
+		}
+	}
+	if rounds > 0 && !cfg.Workload.FixedSender && len(senderPool(phases)) == 0 {
+		return fmt.Errorf("%w: no node is a member through every traffic epoch (empty session sender pool)", ErrBadConfig)
+	}
+	if cfg.Strategy.Length != nil {
+		// The strategy must fit the smallest phase: a simple path cannot be
+		// longer than the live population minus the sender.
+		minN := cfg.N
+		for i := range phases {
+			if n := phases[i].n(); n < minN {
+				minN = n
+			}
+		}
+		if err := cfg.Strategy.Validate(minN); err != nil {
+			return fmt.Errorf("%w: strategy does not fit the smallest epoch population %d: %w",
+				ErrBadConfig, minN, err)
+		}
+	}
+	cfg.phases = phases
+	return nil
+}
+
+// computePhases materializes the deterministic membership schedule: the
+// state after applying each epoch's deltas in order (joins, leaves,
+// compromises, recoveries).
+func computePhases(n int, baseComp []trace.NodeID, timeline []Epoch) ([]phase, error) {
+	total := n
+	for _, e := range timeline {
+		total += e.Join
+	}
+	live := make([]bool, total)
+	for v := 0; v < n; v++ {
+		live[v] = true
+	}
+	compSet := make(map[trace.NodeID]bool, len(baseComp))
+	// compOrder tracks compromise order for LIFO recovery; the base set
+	// counts as compromised in configuration order.
+	compOrder := append([]trace.NodeID(nil), baseComp...)
+	for _, id := range baseComp {
+		compSet[id] = true
+	}
+	next := trace.NodeID(n)
+	phases := make([]phase, 0, len(timeline))
+	for i, e := range timeline {
+		for j := 0; j < e.Join; j++ {
+			live[next] = true
+			next++
+		}
+		// Leaves take the highest-identity honest members, compromises the
+		// lowest. The cursors are bounded by the allocated identity range
+		// (identities ≥ next are future joiners, never live) and persist
+		// across the epoch's loop, so an epoch's deltas cost one descending
+		// plus one ascending walk — not a rescan per node.
+		leaveCur := int(next) - 1
+		for j := 0; j < e.Leave; j++ {
+			for leaveCur >= 0 && !(live[leaveCur] && !compSet[trace.NodeID(leaveCur)]) {
+				leaveCur--
+			}
+			if leaveCur < 0 {
+				return nil, fmt.Errorf("%w: epoch %d: no honest member left to leave", ErrBadConfig, i)
+			}
+			live[leaveCur] = false
+		}
+		compCur := 0
+		for j := 0; j < e.Compromise; j++ {
+			for compCur < int(next) && !(live[compCur] && !compSet[trace.NodeID(compCur)]) {
+				compCur++
+			}
+			if compCur >= int(next) {
+				return nil, fmt.Errorf("%w: epoch %d: no honest member left to compromise", ErrBadConfig, i)
+			}
+			compSet[trace.NodeID(compCur)] = true
+			compOrder = append(compOrder, trace.NodeID(compCur))
+		}
+		for j := 0; j < e.Recover; j++ {
+			if len(compOrder) == 0 {
+				return nil, fmt.Errorf("%w: epoch %d: no compromised node left to recover", ErrBadConfig, i)
+			}
+			v := compOrder[len(compOrder)-1]
+			compOrder = compOrder[:len(compOrder)-1]
+			delete(compSet, v)
+		}
+		p := phase{
+			epoch:   e,
+			denseOf: make(map[trace.NodeID]int),
+			compSet: make(map[trace.NodeID]bool, len(compSet)),
+		}
+		// Snapshot over the allocated range only; identities ≥ next have
+		// not joined in any phase so far.
+		for g := 0; g < int(next); g++ {
+			if !live[g] {
+				continue
+			}
+			id := trace.NodeID(g)
+			p.denseOf[id] = len(p.live)
+			p.live = append(p.live, id)
+			if compSet[id] {
+				p.comp = append(p.comp, id)
+				p.denseComp = append(p.denseComp, trace.NodeID(p.denseOf[id]))
+				p.compSet[id] = true
+			}
+		}
+		if p.n() < 2 {
+			return nil, fmt.Errorf("%w: epoch %d leaves %d live nodes (need ≥ 2)", ErrBadConfig, i, p.n())
+		}
+		if p.c() >= p.n() {
+			return nil, fmt.Errorf("%w: epoch %d compromises the whole population (%d of %d)",
+				ErrBadConfig, i, p.c(), p.n())
+		}
+		phases = append(phases, p)
+	}
+	return phases, nil
+}
+
+// unionSize is the size of the union identity space of a schedule.
+func unionSize(n int, timeline []Epoch) int {
+	total := n
+	for _, e := range timeline {
+		total += e.Join
+	}
+	return total
+}
+
+// timelineRounds reports whether the schedule is a degradation timeline
+// (per-epoch Rounds) rather than a single-shot one (per-epoch Messages).
+func timelineRounds(phases []phase) bool {
+	for i := range phases {
+		if phases[i].epoch.Rounds > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// senderPool returns the union identities eligible to carry a persistent
+// session: members of every phase that sends rounds (compromised members
+// included — theirs is the local-eavesdropper branch).
+func senderPool(phases []phase) []trace.NodeID {
+	var pool []trace.NodeID
+	for _, g := range unionMembers(phases) {
+		ok := true
+		for i := range phases {
+			if phases[i].epoch.Rounds == 0 {
+				continue
+			}
+			if _, live := phases[i].denseOf[g]; !live {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			pool = append(pool, g)
+		}
+	}
+	return pool
+}
+
+// unionMembers lists every union identity live in at least one phase,
+// ascending.
+func unionMembers(phases []phase) []trace.NodeID {
+	seen := map[trace.NodeID]bool{}
+	var out []trace.NodeID
+	for i := range phases {
+		for _, g := range phases[i].live {
+			if !seen[g] {
+				seen[g] = true
+				out = append(out, g)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// timelineWeights returns each phase's share of the total traffic
+// (messages for single-shot timelines, rounds for degradation ones).
+func timelineWeights(phases []phase) []float64 {
+	w := make([]float64, len(phases))
+	var total float64
+	for i := range phases {
+		w[i] = float64(phases[i].epoch.Messages + phases[i].epoch.Rounds)
+		total += w[i]
+	}
+	for i := range w {
+		w[i] /= total
+	}
+	return w
+}
+
+// timelineMaxH is the traffic-weighted upper bound Σ w_e·log2(n_e): the
+// natural yardstick when the population size itself varies.
+func timelineMaxH(phases []phase) float64 {
+	var maxH float64
+	for i, w := range timelineWeights(phases) {
+		maxH += w * math.Log2(float64(phases[i].n()))
+	}
+	return maxH
+}
+
+// phaseSeed derives a per-phase RNG seed, so phases draw from disjoint
+// deterministic streams (the shared stats.ForkSeed stream derivation).
+func phaseSeed(seed int64, i int) int64 {
+	return stats.ForkSeed(seed, int64(i+1))
+}
+
+// denseTrace rewrites a union-identity message trace into the phase's
+// dense node space (the receiver pseudo-identity passes through).
+func (p *phase) denseTrace(mt *trace.MessageTrace) (*trace.MessageTrace, error) {
+	out := &trace.MessageTrace{
+		Msg:          mt.Msg,
+		ReceiverSeen: mt.ReceiverSeen,
+	}
+	toDense := func(g trace.NodeID) (trace.NodeID, error) {
+		if g == trace.Receiver {
+			return trace.Receiver, nil
+		}
+		d, ok := p.denseOf[g]
+		if !ok {
+			return 0, fmt.Errorf("scenario: node %v observed outside its membership phase", g)
+		}
+		return trace.NodeID(d), nil
+	}
+	var err error
+	if mt.ReceiverSeen {
+		if out.ReceiverPred, err = toDense(mt.ReceiverPred); err != nil {
+			return nil, err
+		}
+	}
+	if len(mt.Reports) > 0 {
+		out.Reports = make([]trace.Tuple, len(mt.Reports))
+		for i, r := range mt.Reports {
+			d := r
+			if d.Observer, err = toDense(r.Observer); err != nil {
+				return nil, err
+			}
+			if d.Pred, err = toDense(r.Pred); err != nil {
+				return nil, err
+			}
+			if d.Succ, err = toDense(r.Succ); err != nil {
+				return nil, err
+			}
+			out.Reports[i] = d
+		}
+	}
+	return out, nil
+}
+
+// phasedSession folds one persistent session through the phases of a
+// degradation timeline: the accumulator lives over the union space, each
+// round's trace is produced by draw (phase index, global round) in the
+// phase's dense space, and a sender compromised during a phase is
+// identified outright from its first round there on (the adversary's agent
+// at the sender — once burned, always burned, recovery notwithstanding).
+// Exact and Monte-Carlo sessions synthesize the draw; the testbed looks up
+// collected traces. Entropies are indexed by global round; identifiedAt is
+// the first 1-based round reaching the confidence threshold (0 = never).
+func phasedSession(phases []phase, analysts []*adversary.Analyst, total int,
+	sender trace.NodeID, conf float64,
+	draw func(pi, r int) (*trace.MessageTrace, error)) (entropies []float64, identifiedAt int, err error) {
+	k := 0
+	for i := range phases {
+		k += phases[i].epoch.Rounds
+	}
+	entropies = make([]float64, k)
+	pa, err := adversary.NewPhasedAccumulator(total)
+	if err != nil {
+		return nil, 0, err
+	}
+	r := 0
+	dead := false // sender observed as compromised: identified for good
+	for pi := range phases {
+		p := &phases[pi]
+		if p.epoch.Rounds > 0 && p.compSet[sender] {
+			dead = true
+		}
+		for j := 0; j < p.epoch.Rounds; j++ {
+			if dead {
+				entropies[r] = 0
+				if identifiedAt == 0 && conf > 0 {
+					identifiedAt = r + 1
+				}
+				r++
+				continue
+			}
+			mt, err := draw(pi, r)
+			if err != nil {
+				return nil, 0, err
+			}
+			if err := pa.Observe(analysts[pi], mt, p.live); err != nil {
+				return nil, 0, err
+			}
+			h, top, mass, err := pa.Snapshot()
+			if err != nil {
+				return nil, 0, err
+			}
+			entropies[r] = h
+			if identifiedAt == 0 && conf > 0 && top == sender && mass >= conf {
+				identifiedAt = r + 1
+			}
+			r++
+		}
+	}
+	return entropies, identifiedAt, nil
+}
+
+// epochResults summarizes a degradation run's blended curve per phase: the
+// mean accumulated entropy over each phase's rounds.
+func epochResults(phases []phase, sessions int, hRounds []float64) []EpochResult {
+	out := make([]EpochResult, len(phases))
+	r := 0
+	for i := range phases {
+		rounds := phases[i].epoch.Rounds
+		var sum float64
+		for j := 0; j < rounds; j++ {
+			sum += hRounds[r+j]
+		}
+		out[i] = EpochResult{
+			Index:    i,
+			N:        phases[i].n(),
+			C:        phases[i].c(),
+			Messages: sessions * rounds,
+			Rounds:   rounds,
+		}
+		if rounds > 0 {
+			out[i].H = sum / float64(rounds)
+		}
+		r += rounds
+	}
+	return out
+}
+
+// ParseTimeline parses the compact epoch syntax of the CLIs: epochs
+// separated by ';', each a comma-separated list of key=value fields with
+// keys msgs, rounds, join, leave, comp, recover. Example:
+//
+//	msgs=2000;msgs=2000,join=10,comp=2;msgs=2000,leave=5
+//
+// An empty string yields a nil timeline (the static model).
+func ParseTimeline(s string) ([]Epoch, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []Epoch
+	for i, part := range strings.Split(s, ";") {
+		var e Epoch
+		for _, field := range strings.Split(part, ",") {
+			field = strings.TrimSpace(field)
+			if field == "" {
+				continue
+			}
+			key, val, ok := strings.Cut(field, "=")
+			if !ok {
+				return nil, fmt.Errorf("%w: epoch %d: field %q is not key=value", ErrBadConfig, i, field)
+			}
+			v, err := strconv.Atoi(strings.TrimSpace(val))
+			if err != nil {
+				return nil, fmt.Errorf("%w: epoch %d: %s=%q is not an integer", ErrBadConfig, i, key, val)
+			}
+			switch strings.ToLower(strings.TrimSpace(key)) {
+			case "msgs", "messages", "m":
+				e.Messages = v
+			case "rounds", "r":
+				e.Rounds = v
+			case "join", "j":
+				e.Join = v
+			case "leave":
+				e.Leave = v
+			case "comp", "compromise":
+				e.Compromise = v
+			case "recover":
+				e.Recover = v
+			default:
+				return nil, fmt.Errorf("%w: epoch %d: unknown field %q (known: msgs, rounds, join, leave, comp, recover)",
+					ErrBadConfig, i, key)
+			}
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// drawPhasePath draws one rerouting path for a session round: the selector
+// works in the phase's dense space, and the result is mapped back to union
+// identities when the caller needs concrete network routes.
+func drawPhasePath(p *phase, sel *pathsel.Selector, rng *rand.Rand, sender trace.NodeID) ([]trace.NodeID, error) {
+	dense, err := sel.SelectPath(rng, trace.NodeID(p.denseOf[sender]))
+	if err != nil {
+		return nil, err
+	}
+	global := make([]trace.NodeID, len(dense))
+	for i, d := range dense {
+		global[i] = p.live[d]
+	}
+	return global, nil
+}
+
+// phasedMachinery builds the per-phase inference stack of a degradation
+// timeline — shared engine-cache engines, analysts over the dense
+// compromised sets, and dense-space selectors — enforcing the accumulation
+// capabilities every backend needs (standard inference, sender
+// self-report).
+func phasedMachinery(cfg Config, backend string) ([]*adversary.Analyst, []*pathsel.Selector, error) {
+	analysts := make([]*adversary.Analyst, len(cfg.phases))
+	sels := make([]*pathsel.Selector, len(cfg.phases))
+	for i := range cfg.phases {
+		p := &cfg.phases[i]
+		e, err := Engine(p.n(), p.c(), engineOptions(cfg)...)
+		if err != nil {
+			return nil, nil, err
+		}
+		if e.Mode() != events.InferenceStandard {
+			return nil, nil, capability.Unsupported(backend,
+				capability.ErrInference, "dynamic-population execution requires the standard inference mode")
+		}
+		if !e.SenderSelfReport() {
+			// The per-message analysis hardcodes the local-eavesdropper
+			// branch (mirroring the static sampled paths); only the exact
+			// backend's closed forms support the ablation.
+			return nil, nil, capability.Unsupported(backend,
+				capability.ErrInference, "no-sender-self-report ablation is supported only on the exact backend's closed-form analysis")
+		}
+		if analysts[i], err = adversary.NewAnalyst(e, cfg.Strategy.Length, p.denseComp); err != nil {
+			return nil, nil, err
+		}
+		if sels[i], err = pathsel.NewSelector(p.n(), cfg.Strategy); err != nil {
+			return nil, nil, err
+		}
+	}
+	return analysts, sels, nil
+}
+
+// firstTrafficPhase returns the index of the first phase that sends rounds.
+func firstTrafficPhase(phases []phase) int {
+	for i := range phases {
+		if phases[i].epoch.Rounds > 0 {
+			return i
+		}
+	}
+	return 0
+}
+
+// runPhasedRounds executes a degradation timeline analytically:
+// Workload.Messages persistent sessions spanning the phases, each round
+// synthesized in its phase's dense space and folded through a union-space
+// PhasedAccumulator. workers = 1 is the exact backend's serial reference;
+// larger counts split sessions across forked RNG streams exactly like the
+// static Monte-Carlo estimator, so the output is a pure function of
+// (Seed, Messages, Workers).
+func runPhasedRounds(cfg Config, backend string, workers int) (Result, error) {
+	analysts, sels, err := phasedMachinery(cfg, backend)
+	if err != nil {
+		return Result{}, err
+	}
+	var (
+		phases   = cfg.phases
+		total    = unionSize(cfg.N, cfg.Timeline)
+		sessions = cfg.Workload.Messages
+		k        = cfg.Workload.Rounds
+		conf     = cfg.Workload.Confidence
+		first    = firstTrafficPhase(phases)
+		pool     []trace.NodeID
+	)
+	if !cfg.Workload.FixedSender {
+		pool = senderPool(phases)
+	}
+	type part struct {
+		sum         stats.Summary
+		entropySums []float64
+		compSender  int
+		deanon      int
+		identified  int
+		roundsSum   int
+		err         error
+	}
+	parts := make([]part, workers)
+	per := sessions / workers
+	extra := sessions % workers
+	workpool.ForEach(workers, func(w int) {
+		n := per
+		if w < extra {
+			n++
+		}
+		if n == 0 {
+			return
+		}
+		rng := stats.Fork(cfg.Workload.Seed, int64(w))
+		p := &parts[w]
+		p.entropySums = make([]float64, k)
+		for t := 0; t < n; t++ {
+			sender := cfg.Workload.Sender
+			if !cfg.Workload.FixedSender {
+				sender = pool[rng.Intn(len(pool))]
+			}
+			draw := func(pi, r int) (*trace.MessageTrace, error) {
+				ph := &phases[pi]
+				dense, err := sels[pi].SelectPath(rng, trace.NodeID(ph.denseOf[sender]))
+				if err != nil {
+					return nil, err
+				}
+				return montecarlo.Synthesize(trace.MessageID(r+1),
+					trace.NodeID(ph.denseOf[sender]), dense, analysts[pi].Compromised), nil
+			}
+			entropies, identifiedAt, err := phasedSession(phases, analysts, total, sender, conf, draw)
+			if err != nil {
+				p.err = err
+				return
+			}
+			if phases[first].compSet[sender] {
+				p.compSender++
+			}
+			for r, h := range entropies {
+				p.entropySums[r] += h
+			}
+			final := entropies[k-1]
+			p.sum.Add(final)
+			if final < 1e-9 {
+				p.deanon++
+			}
+			if identifiedAt > 0 {
+				p.identified++
+				p.roundsSum += identifiedAt
+			}
+		}
+	})
+	var (
+		sum        stats.Summary
+		compSender int
+		deanon     int
+		identified int
+		roundsSum  int
+		hRounds    = make([]float64, k)
+	)
+	for i := range parts {
+		if parts[i].err != nil {
+			return Result{}, parts[i].err
+		}
+		sum.Merge(parts[i].sum)
+		compSender += parts[i].compSender
+		deanon += parts[i].deanon
+		identified += parts[i].identified
+		roundsSum += parts[i].roundsSum
+		for r, s := range parts[i].entropySums {
+			hRounds[r] += s
+		}
+	}
+	for r := range hRounds {
+		hRounds[r] /= float64(sessions)
+	}
+	maxH := timelineMaxH(phases)
+	res := Result{
+		H:                      sum.Mean(),
+		StdErr:                 sum.StdErr(),
+		CI95:                   sum.CI95(),
+		Estimated:              true,
+		Trials:                 sessions,
+		MaxH:                   maxH,
+		Normalized:             sum.Mean() / maxH,
+		CompromisedSenderShare: float64(compSender) / float64(sessions),
+		Deanonymized:           deanon,
+		HRounds:                hRounds,
+		Epochs:                 epochResults(phases, sessions, hRounds),
+	}
+	if conf > 0 {
+		res.IdentifiedShare = float64(identified) / float64(sessions)
+		if identified > 0 {
+			res.MeanRoundsToIdentify = float64(roundsSum) / float64(identified)
+		}
+	}
+	return res, nil
+}

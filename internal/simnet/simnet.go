@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,6 +45,9 @@ var (
 	ErrBadHop = errors.New("simnet: forwarder returned invalid next hop")
 	// ErrTimeout reports an expired wait.
 	ErrTimeout = errors.New("simnet: wait timed out")
+	// ErrAbsent reports traffic touching a node outside the live membership
+	// at that virtual time (left, or not yet joined).
+	ErrAbsent = errors.New("simnet: node is not a live member")
 )
 
 // Packet is a message in flight. Forwarders consume routing state (Route
@@ -102,6 +106,51 @@ type Delivery struct {
 	Time uint64
 }
 
+// ChurnKind names a membership or compromise transition.
+type ChurnKind uint8
+
+// The churn transitions.
+const (
+	// ChurnJoin makes a previously absent node a live member.
+	ChurnJoin ChurnKind = iota + 1
+	// ChurnLeave removes a live node from the membership.
+	ChurnLeave
+	// ChurnCompromise converts a live honest node into an adversary node.
+	ChurnCompromise
+	// ChurnRecover returns a compromised node to honest operation.
+	ChurnRecover
+)
+
+// String names the churn kind.
+func (k ChurnKind) String() string {
+	switch k {
+	case ChurnJoin:
+		return "join"
+	case ChurnLeave:
+		return "leave"
+	case ChurnCompromise:
+		return "compromise"
+	case ChurnRecover:
+		return "recover"
+	default:
+		return fmt.Sprintf("ChurnKind(%d)", uint8(k))
+	}
+}
+
+// ChurnEvent is one scheduled transition: at logical time Time, Node
+// changes state per Kind. The schedule is fixed before the network starts
+// and governs every injection, arrival, and tap decision at logical time
+// ≥ Time, so lookups during the run are read-only and race-free no matter
+// how shards interleave.
+type ChurnEvent struct {
+	// Time is the logical timestamp the transition takes effect.
+	Time uint64
+	// Kind is the transition.
+	Kind ChurnKind
+	// Node is the transitioning node.
+	Node trace.NodeID
+}
+
 // Config parameterizes a network.
 type Config struct {
 	// N is the number of system nodes.
@@ -109,6 +158,14 @@ type Config struct {
 	// Compromised lists the adversary's nodes; the receiver is always
 	// tapped in addition (the paper's default threat model).
 	Compromised []trace.NodeID
+	// Down lists nodes absent at time zero (future joiners of the Churn
+	// schedule). Traffic touching an absent node is dropped with ErrAbsent.
+	Down []trace.NodeID
+	// Churn schedules membership and compromise transitions at virtual
+	// timestamps (piecewise-constant dynamic populations). Events are
+	// validated as a per-node state machine: join requires absent, leave
+	// and compromise require live, recover requires compromised.
+	Churn []ChurnEvent
 	// Forwarder is the per-node forwarding behavior (default plain
 	// source routing).
 	Forwarder Forwarder
@@ -152,6 +209,41 @@ type Metrics struct {
 	Events uint64
 	// BatchFlushes counts threshold-mix batch flushes (full or quiescent).
 	BatchFlushes uint64
+	// Churn is the number of scheduled membership/compromise transitions.
+	Churn int
+}
+
+// boolSched is a per-node piecewise-constant boolean timeline: the state is
+// base before times[0], then vals[i] from times[i] (inclusive) until the
+// next transition. Schedules are built once in New and only read afterward.
+type boolSched struct {
+	base  bool
+	times []uint64
+	vals  []bool
+}
+
+// at evaluates the timeline at logical time t. Schedules hold a handful of
+// epoch boundaries, so a linear scan beats binary search in practice.
+func (s *boolSched) at(t uint64) bool {
+	state := s.base
+	for i, tt := range s.times {
+		if t < tt {
+			break
+		}
+		state = s.vals[i]
+	}
+	return state
+}
+
+// set appends a transition (times must arrive non-decreasing; a repeat
+// timestamp overwrites, last writer wins).
+func (s *boolSched) set(t uint64, v bool) {
+	if n := len(s.times); n > 0 && s.times[n-1] == t {
+		s.vals[n-1] = v
+		return
+	}
+	s.times = append(s.times, t)
+	s.vals = append(s.vals, v)
 }
 
 // event is one kernel work item: a packet arriving at a node at a logical
@@ -241,6 +333,13 @@ type Network struct {
 	compromised map[trace.NodeID]bool
 	jitter      uint64 // MaxHopDelay in ticks (0 = no jitter)
 
+	// down marks nodes absent at time zero; liveSched/compSched hold the
+	// per-node churn timelines (only churned nodes have entries). All three
+	// are immutable once Start runs, so shard goroutines read them freely.
+	down      map[trace.NodeID]bool
+	liveSched map[trace.NodeID]*boolSched
+	compSched map[trace.NodeID]*boolSched
+
 	nextMsg atomic.Uint64
 	injTime atomic.Uint64 // injection logical clock
 
@@ -292,6 +391,25 @@ func New(cfg Config) (*Network, error) {
 		// conversion into a ~2^64 jitter bound and scramble timestamps.
 		return nil, fmt.Errorf("%w: MaxHopDelay %v", ErrBadConfig, cfg.MaxHopDelay)
 	}
+	down := make(map[trace.NodeID]bool, len(cfg.Down))
+	for _, id := range cfg.Down {
+		if int(id) < 0 || int(id) >= cfg.N {
+			return nil, fmt.Errorf("%w: down node %v", ErrBadConfig, id)
+		}
+		if down[id] {
+			return nil, fmt.Errorf("%w: duplicate down node %v", ErrBadConfig, id)
+		}
+		if comp[id] {
+			// An absent node cannot hold adversary state; compromise it
+			// after it joins, via the churn schedule.
+			return nil, fmt.Errorf("%w: down node %v marked compromised", ErrBadConfig, id)
+		}
+		down[id] = true
+	}
+	liveSched, compSched, err := buildChurn(cfg.N, cfg.Churn, down, comp)
+	if err != nil {
+		return nil, err
+	}
 	if cfg.Forwarder == nil {
 		cfg.Forwarder = PlainForwarder{}
 	}
@@ -309,6 +427,9 @@ func New(cfg Config) (*Network, error) {
 		fwd:         cfg.Forwarder,
 		compromised: comp,
 		jitter:      uint64(cfg.MaxHopDelay),
+		down:        down,
+		liveSched:   liveSched,
+		compSched:   compSched,
 		shards:      make([]*shard, cfg.Shards),
 	}
 	for i := range nw.shards {
@@ -321,6 +442,94 @@ func New(cfg Config) (*Network, error) {
 		nw.shards[i] = s
 	}
 	return nw, nil
+}
+
+// buildChurn validates the churn schedule as a per-node state machine and
+// materializes the per-node boolean timelines. Only churned nodes get an
+// entry, so a million-node system with a handful of transitions costs a
+// handful of map entries.
+func buildChurn(n int, churn []ChurnEvent, down, comp map[trace.NodeID]bool) (liveSched, compSched map[trace.NodeID]*boolSched, err error) {
+	if len(churn) == 0 {
+		return nil, nil, nil
+	}
+	// Stable order by time keeps same-timestamp events in declaration
+	// order, so the state machine below sees them as the caller wrote them.
+	sorted := append([]ChurnEvent(nil), churn...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Time < sorted[j].Time })
+	liveSched = make(map[trace.NodeID]*boolSched)
+	compSched = make(map[trace.NodeID]*boolSched)
+	live := func(id trace.NodeID) *boolSched {
+		s, ok := liveSched[id]
+		if !ok {
+			s = &boolSched{base: !down[id]}
+			liveSched[id] = s
+		}
+		return s
+	}
+	compromised := func(id trace.NodeID) *boolSched {
+		s, ok := compSched[id]
+		if !ok {
+			s = &boolSched{base: comp[id]}
+			compSched[id] = s
+		}
+		return s
+	}
+	for _, ev := range sorted {
+		if int(ev.Node) < 0 || int(ev.Node) >= n {
+			return nil, nil, fmt.Errorf("%w: churn %s of node %v outside [0,%d)", ErrBadConfig, ev.Kind, ev.Node, n)
+		}
+		ls, cs := live(ev.Node), compromised(ev.Node)
+		isLive, isComp := ls.at(ev.Time), cs.at(ev.Time)
+		switch ev.Kind {
+		case ChurnJoin:
+			if isLive {
+				return nil, nil, fmt.Errorf("%w: churn join of live node %v at t=%d", ErrBadConfig, ev.Node, ev.Time)
+			}
+			ls.set(ev.Time, true)
+		case ChurnLeave:
+			if !isLive {
+				return nil, nil, fmt.Errorf("%w: churn leave of absent node %v at t=%d", ErrBadConfig, ev.Node, ev.Time)
+			}
+			if isComp {
+				// Leaves and compromise are orthogonal axes: shrink the
+				// adversary with recover, then leave.
+				return nil, nil, fmt.Errorf("%w: churn leave of compromised node %v at t=%d (recover it first)", ErrBadConfig, ev.Node, ev.Time)
+			}
+			ls.set(ev.Time, false)
+		case ChurnCompromise:
+			if !isLive || isComp {
+				return nil, nil, fmt.Errorf("%w: churn compromise of node %v at t=%d (live=%v, compromised=%v)",
+					ErrBadConfig, ev.Node, ev.Time, isLive, isComp)
+			}
+			cs.set(ev.Time, true)
+		case ChurnRecover:
+			if !isComp {
+				return nil, nil, fmt.Errorf("%w: churn recover of honest node %v at t=%d", ErrBadConfig, ev.Node, ev.Time)
+			}
+			cs.set(ev.Time, false)
+		default:
+			return nil, nil, fmt.Errorf("%w: churn kind %v", ErrBadConfig, ev.Kind)
+		}
+	}
+	return liveSched, compSched, nil
+}
+
+// isLive reports membership of a node at logical time t.
+func (nw *Network) isLive(id trace.NodeID, t uint64) bool {
+	if s := nw.liveSched[id]; s != nil {
+		return s.at(t)
+	}
+	return !nw.down[id]
+}
+
+// isCompromised reports whether the adversary taps a node at logical time
+// t. A churn schedule makes the answer time-phased; without one this is
+// the static compromised set.
+func (nw *Network) isCompromised(id trace.NodeID, t uint64) bool {
+	if s := nw.compSched[id]; s != nil {
+		return s.at(t)
+	}
+	return nw.compromised[id]
 }
 
 // Start launches the shard goroutines (one per shard, not per node).
@@ -493,7 +702,15 @@ func (nw *Network) flushBatch(s *shard, q []event) {
 // t: asks the forwarder for the next hop, taps the traffic if the node is
 // compromised, and schedules the next arrival (or delivers).
 func (nw *Network) hopAt(self trace.NodeID, pkt Packet, t uint64) {
-	next, err := nw.fwd.Next(self, &pkt)
+	var next trace.NodeID
+	var err error
+	if !nw.isLive(self, t) {
+		// The packet reached a node outside the live membership (left, or
+		// not yet joined) — the injector routed through a non-member.
+		err = fmt.Errorf("%w: %v at t=%d", ErrAbsent, self, t)
+	} else {
+		next, err = nw.fwd.Next(self, &pkt)
+	}
 	if err == nil && next != trace.Receiver && (int(next) < 0 || int(next) >= nw.cfg.N) {
 		err = fmt.Errorf("%w: %v at node %v", ErrBadHop, next, self)
 	}
@@ -504,7 +721,7 @@ func (nw *Network) hopAt(self trace.NodeID, pkt Packet, t uint64) {
 		nw.msgWG.Done()
 		return
 	}
-	if nw.compromised[self] {
+	if nw.isCompromised(self, t) {
 		nw.mu.Lock()
 		nw.tuples = append(nw.tuples, trace.Tuple{
 			Time: t, Observer: self, Msg: pkt.Msg, Pred: pkt.From, Succ: next,
@@ -576,6 +793,10 @@ func (nw *Network) Inject(sender, first trace.NodeID, pkt Packet) (trace.Message
 	pkt.From = sender
 	pkt.hops = 0
 	t0 := nw.injTime.Add(1)
+	if !nw.isLive(sender, t0) {
+		nw.msgWG.Done()
+		return 0, fmt.Errorf("%w: sender %v at t=%d", ErrAbsent, sender, t0)
+	}
 	t := t0 + nw.hopJitter(pkt.Msg, 0)
 	if first == trace.Receiver {
 		nw.deliver(pkt, t+1)
@@ -595,6 +816,34 @@ func (nw *Network) SendRoute(sender trace.NodeID, route []trace.NodeID, payload 
 		rest = append(rest, route[1:]...)
 	}
 	return nw.Inject(sender, first, Packet{Route: rest, Payload: payload})
+}
+
+// AdvanceTime raises the injection clock to at least t, so every later
+// injection carries a logical timestamp ≥ t. Together with Settle it lets
+// a driver place traffic phases on disjoint virtual-time windows with the
+// churn schedule's transitions on the boundaries.
+func (nw *Network) AdvanceTime(t uint64) {
+	for {
+		cur := nw.injTime.Load()
+		if cur >= t || nw.injTime.CompareAndSwap(cur, t) {
+			return
+		}
+	}
+}
+
+// Settle waits like WaitSettled — every in-flight message delivered or
+// dropped, partial threshold-mix batches quiescence-flushed — but re-arms
+// the network for further injection afterward: the mix "fires on timeout"
+// at the end of a traffic phase, and the next phase accumulates fresh
+// batches instead of inheriting the drained state.
+func (nw *Network) Settle(timeout time.Duration) error {
+	if err := nw.WaitSettled(timeout); err != nil {
+		return err
+	}
+	// Nothing is pending or buffered here, so clearing the flag cannot race
+	// a quiescence check.
+	nw.draining.Store(false)
+	return nil
 }
 
 // WaitSettled blocks until every injected message has been delivered or
@@ -645,6 +894,7 @@ func (nw *Network) Metrics() Metrics {
 		Shards:       len(nw.shards),
 		Events:       nw.events.Load(),
 		BatchFlushes: nw.flushes.Load(),
+		Churn:        len(nw.cfg.Churn),
 	}
 }
 

@@ -20,15 +20,22 @@ func NewRand(seed int64) *rand.Rand {
 	return rand.New(rand.NewSource(seed))
 }
 
-// Fork derives an independent child source from a parent seed and a stream
-// index, for per-goroutine generators in parallel estimators. The mixing
-// uses SplitMix64 so adjacent streams are decorrelated.
-func Fork(seed int64, stream int64) *rand.Rand {
+// ForkSeed derives an independent child seed from a parent seed and a
+// stream index (SplitMix64 mixing, so adjacent streams are decorrelated).
+// It is the single definition of the stream-derivation arithmetic; use it
+// wherever a derived deterministic seed is needed without a *rand.Rand.
+func ForkSeed(seed int64, stream int64) int64 {
 	z := uint64(seed) + uint64(stream)*0x9E3779B97F4A7C15
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 	z ^= z >> 31
-	return rand.New(rand.NewSource(int64(z)))
+	return int64(z)
+}
+
+// Fork derives an independent child source from a parent seed and a stream
+// index, for per-goroutine generators in parallel estimators.
+func Fork(seed int64, stream int64) *rand.Rand {
+	return rand.New(rand.NewSource(ForkSeed(seed, stream)))
 }
 
 // Summary accumulates streaming mean and variance (Welford's algorithm).
