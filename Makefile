@@ -36,7 +36,7 @@ bench:
 # SMOKE is the single definition of the gated smoke set: bench-smoke,
 # bench-smoke-snapshot, and bench-compare all derive from it, so the run
 # pattern and the regression gate cannot drift apart.
-SMOKE = Fig3a|Fig4[abcd]|Weights|DegreeLargeC|WeightsLargeC|DegradationRounds|ChurnSweep
+SMOKE = Fig3a|Fig4[abcd]|Weights|DegreeLargeC|WeightsLargeC|DegradationRounds|ChurnSweep|TimelineExactDelta|MaximizeTimeline
 
 # bench-smoke is the quick acceptance sweep; CI runs exactly this target
 # so the two can never diverge.

@@ -783,6 +783,114 @@ func BenchmarkScenarioMillionNodes(b *testing.B) {
 	b.ReportMetric(perSec, "events/s")
 }
 
+// BenchmarkTimelineExactDelta pits the delta engine path against fresh
+// construction on a timeline-scale workload: a 32-epoch population drift
+// at N ≈ 10^5 with C = 0.4N, evaluating U(2,20) exactly at every epoch.
+// The delta chain derives each epoch's engine from its predecessor
+// (events.Engine.Neighbor), sharing one family of shape tables across the
+// whole timeline; the fresh path rebuilds the engine per epoch, the way
+// every caller had to before the delta path existed. Both are timed
+// inside the iteration and reported per epoch, plus the headline ratio
+// (the acceptance gate wants ≥ 5x).
+func BenchmarkTimelineExactDelta(b *testing.B) {
+	const (
+		baseN  = 100_000
+		baseC  = 40_000
+		epochs = 32
+	)
+	u, err := dist.NewUniform(2, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, err := events.New(baseN, baseC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	step := func(k int) (int, int) { // dn, dc for epoch k: N drifts up, C every 4th
+		if k%4 == 3 {
+			return 1, 1
+		}
+		return 1, 0
+	}
+	var freshNS, deltaNS float64
+	var hDelta, hFresh float64
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		e := base
+		for k := 0; k < epochs; k++ {
+			dn, dc := step(k)
+			if e, err = e.Neighbor(dn, dc); err != nil {
+				b.Fatal(err)
+			}
+			if hDelta, err = e.AnonymityDegree(u); err != nil {
+				b.Fatal(err)
+			}
+		}
+		deltaNS = float64(time.Since(start).Nanoseconds()) / epochs
+
+		start = time.Now()
+		n, c := baseN, baseC
+		for k := 0; k < epochs; k++ {
+			dn, dc := step(k)
+			n, c = n+dn, c+dc
+			f, err := events.New(n, c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if hFresh, err = f.AnonymityDegree(u); err != nil {
+				b.Fatal(err)
+			}
+		}
+		freshNS = float64(time.Since(start).Nanoseconds()) / epochs
+	}
+	if math.Abs(hDelta-hFresh) > 1e-12 {
+		b.Fatalf("final epoch disagrees: delta %v, fresh %v", hDelta, hFresh)
+	}
+	b.ReportMetric(freshNS, "fresh_ns/epoch")
+	b.ReportMetric(deltaNS, "delta_ns/epoch")
+	b.ReportMetric(freshNS/deltaNS, "speedup_x")
+}
+
+// BenchmarkMaximizeTimeline measures the epoch-aware solver on a
+// mean-constrained 9-epoch drift: full restarts on the first epoch, warm
+// starts after, then the joint blended solve. Reports the blended
+// anonymity of both policies and the total ascent iterations, the
+// quantity warm-starting exists to shrink.
+func BenchmarkMaximizeTimeline(b *testing.B) {
+	base, err := events.New(60, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := optimize.TimelineProblem{Lo: 0, Hi: 30, Mean: 12}
+	e := base
+	for k := 0; ; k++ {
+		p.Epochs = append(p.Epochs, optimize.EpochProblem{Engine: e, Weight: 1})
+		if k == 8 {
+			break
+		}
+		dc := 0
+		if k%3 == 2 {
+			dc = 1
+		}
+		if e, err = e.Neighbor(1, dc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var res optimize.TimelineResult
+	for i := 0; i < b.N; i++ {
+		if res, err = optimize.MaximizeTimeline(p, optimize.WithMaxIterations(150)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var iters int
+	for _, r := range res.PerEpoch {
+		iters += r.Iterations
+	}
+	b.ReportMetric(float64(iters), "perepoch_iters")
+	b.ReportMetric(res.PerEpochH, "perepoch_H_bits")
+	b.ReportMetric(res.Joint.H, "joint_H_bits")
+}
+
 // BenchmarkScenarioBackends runs one small scenario on each backend.
 func BenchmarkScenarioBackends(b *testing.B) {
 	for _, kind := range []scenario.BackendKind{

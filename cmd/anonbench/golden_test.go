@@ -47,6 +47,12 @@ func TestGoldenFigures(t *testing.T) {
 			"-churn-sessions", "300", "-churn-seed", "4", "-churn-workers", "2",
 			"-churn-strategies", "fixed:3",
 		}},
+		// Epoch-aware optimization (exact engines + deterministic solver,
+		// no sampling — pure function of the parameters).
+		{"epoch-optimizer", []string{
+			"-figure", "epoch-optimizer", "-epochopt-n", "24", "-epochopt-c", "2",
+			"-epochopt-max", "8",
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -8,6 +8,7 @@
 //	anonbench -list                 # available figure names
 //	anonbench -figure ablation-largec -largec-n 100,1000 -largec-frac 0.5
 //	anonbench -figure churn-sweep -churn-n 30 -churn-c 3    # dynamic populations
+//	anonbench -figure epoch-optimizer -epochopt-n 40        # epoch-aware optimization
 //
 // The paper figures use its configuration (N = 100 nodes, C = 1
 // compromised node, receiver compromised). The large-C ablation drives
@@ -63,6 +64,9 @@ func run(args []string, stdout io.Writer) error {
 		churnWorkers = fs.Int("churn-workers", 4, "sampling workers for churn-sweep (0 = machine width; pin for reproducible output)")
 		churnStr     = fs.String("churn-strategies", "", "semicolon-separated pathsel specs for churn-sweep (default set if empty)")
 		churnSeed    = fs.Int64("churn-seed", 1, "seed for churn-sweep sampling")
+		epochOptN    = fs.Int("epochopt-n", 40, "base system size for epoch-optimizer")
+		epochOptC    = fs.Int("epochopt-c", 4, "base compromised count for epoch-optimizer")
+		epochOptMax  = fs.Int("epochopt-max", 12, "path-length support maximum for epoch-optimizer")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -108,6 +112,15 @@ func run(args []string, stdout io.Writer) error {
 		// the named figure.
 		f, err := figures.ChurnSweep(*churnN, *churnC, *churnSess, *churnSeed, *churnWorkers,
 			pathsel.SplitSpecs(*churnStr))
+		if err != nil {
+			return err
+		}
+		figs = []figures.Figure{f}
+	case *figure == "epoch-optimizer":
+		// Like the other parameterized sweeps: the -epochopt-* defaults
+		// match the named figure. Fully closed-form (exact engines plus a
+		// deterministic solver), so the output is bit-reproducible.
+		f, err := figures.EpochOptimizerSweep(*epochOptN, *epochOptC, *epochOptMax)
 		if err != nil {
 			return err
 		}

@@ -52,6 +52,40 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+func TestRunEpochs(t *testing.T) {
+	var sb strings.Builder
+	args := []string{"-n", "30", "-c", "2", "-max", "10",
+		"-epochs", "msgs=1000;msgs=2000,comp=2,leave=3;msgs=1000,comp=2"}
+	if err := run(args, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Timeline: 3 epochs over base N=30, C=2",
+		"Per-epoch re-optimization:",
+		"Joint distribution",
+		"Blended H (traffic-weighted across epochs):",
+		"static (epoch-0 optimum)",
+		"Engine cache:",
+		"delta-derived",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	// Shrinking timelines default the support below the base N; a bad
+	// timeline or an infeasible epoch mean must error.
+	if err := run([]string{"-n", "20", "-c", "1", "-epochs", "bogus"}, &sb); err == nil {
+		t.Error("bad -epochs syntax accepted")
+	}
+	if err := run([]string{"-n", "20", "-c", "1", "-epochs", "msgs=1;leave=19"}, &sb); err == nil {
+		t.Error("timeline shrinking below 2 nodes accepted")
+	}
+	if err := run([]string{"-n", "20", "-c", "1", "-mean", "18", "-epochs", "msgs=1;leave=5"}, &sb); err == nil {
+		t.Error("mean infeasible for the shrunk support accepted")
+	}
+}
+
 func TestRunCompareSpecs(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-n", "40", "-c", "1", "-mean", "4", "-compare", "freedom;uniform:1,5"}, &sb); err != nil {

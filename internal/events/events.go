@@ -43,6 +43,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"anonmix/internal/combin"
 	"anonmix/internal/dist"
@@ -314,6 +315,10 @@ type Engine struct {
 	mode       InferenceMode
 	receiver   bool // receiver compromised (paper default: true)
 	selfReport bool // compromised sender identifies itself (paper default: true)
+
+	// fam, when set, shares per-distribution shape tables with every
+	// engine this one was Neighbor-derived from or to (see family.go).
+	fam atomic.Pointer[family]
 
 	memo engineMemo
 }
@@ -809,6 +814,14 @@ func (e *Engine) AnonymityDegree(d dist.Length) (float64, error) {
 		}
 		for _, st := range stats {
 			h += st.P * st.H
+		}
+	} else if f := e.fam.Load(); f != nil {
+		// Family member (Neighbor-derived, or the root of a derivation):
+		// evaluate through the shared shape tables instead of rebuilding
+		// the per-bucket length loops. See family.go.
+		var err error
+		if h, err = e.familyDegree(f, key, d); err != nil {
+			return 0, err
 		}
 	} else {
 		buckets, err := e.bucketStatsKeyed(key, d)

@@ -1,0 +1,319 @@
+package events
+
+// The delta evaluation path for drifting (N, C): engine families.
+//
+// A timeline of epochs asks for engines at (N±1, C±1) neighbors of each
+// other, and the from-scratch bucket aggregation recomputes, per epoch, a
+// table whose dominant cost has nothing to do with N or C. The per-bucket
+// Bayes mixture factors exactly:
+//
+//	count·P_bucket = Σ_l [count·p(l)·A(l−base, free)] · W(l, k)
+//
+// where the bracketed factor — multiplicity, length mass, stars-and-bars
+// arrangement count — depends only on the distribution and the bucket
+// shape, and W(l, k) = FF(C,k)·FF(N−1−C, l−k)/FF(N−1, l) is the only place
+// N and C enter. A family shares the bracketed vectors across every engine
+// derived by Engine.Neighbor: evaluating a neighbor costs one O(kMax·hi)
+// W-table plus a dot product per shape group, instead of rebuilding every
+// bucket's length loop.
+//
+// Shape groups compress further than buckets: every non-empty bucket
+// satisfies nObs = 1 + base − k, so (k, base, free) alone determines the
+// posterior (alpha, Rest, H) and buckets sharing that triple merge into one
+// group with summed multiplicity — typically ~3x fewer entropy evaluations
+// than buckets. Groups whose folded multiplicity would overflow the linear
+// path (path lengths beyond ~1000) stay unmerged and are evaluated by the
+// log-space bucketStatsFor fallback.
+//
+// The family path is a reordering of the same floating-point products the
+// fresh path computes — not an iterative update — so derived engines agree
+// with fresh ones to a few ulps regardless of how long a Neighbor chain
+// produced them (pinned to ≤ 1e-12 by the property tests).
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"anonmix/internal/dist"
+	"anonmix/internal/entropy"
+)
+
+// family is the shared state of a set of Neighbor-related engines: one
+// shape-group table per length distribution. Tables depend on the receiver
+// flag (it changes the tail-flag alphabet) but not on N, C, or the
+// inference mode, so one family serves every (N, C) the walk visits.
+type family struct {
+	receiver bool
+
+	mu     sync.RWMutex
+	shapes map[string]*shapeTable // distKey → table
+}
+
+// shapeGroup is one merged equivalence class of shape buckets: every bucket
+// with the same (k, base, free) — and therefore the same posterior — with
+// the multiplicities summed and folded into the length vectors.
+type shapeGroup struct {
+	k    int // compromised intermediates
+	base int // minimum producible path length
+	free int // free gap variables, head gap included
+	nObs int // observed uncompromised witnesses (1 + base − k; special-cased for k = 0)
+
+	// V and V0 are indexed by l−base over [base, hi]:
+	// V[l−base] = count·p(l)·A(l−base, free), V0 the g0 = 0 restriction
+	// (free−1 variables). Multiplying by W(l, k) and summing yields the
+	// group's total probability mass and its spike restriction.
+	V, V0 []float64
+}
+
+// shapeTable holds the groups of one distribution, k-major so evaluation
+// can stop at the engine's own kMax = min(C, hi).
+type shapeTable struct {
+	hi   int
+	kMax int // groups cover k ≤ kMax; extended lazily as larger C arrives
+	// groups is append-only and sorted by (k, base, free); readers hold a
+	// snapshot slice header taken under the family lock.
+	groups []shapeGroup
+	// slow lists buckets whose folded multiplicity overflows the linear
+	// vectors; they are evaluated per bucket via the log-space fallback.
+	slow []Bucket
+}
+
+// ensureFamily returns the engine's family, creating and attaching one on
+// first use.
+func (e *Engine) ensureFamily() *family {
+	if f := e.fam.Load(); f != nil {
+		return f
+	}
+	f := &family{receiver: e.receiver, shapes: make(map[string]*shapeTable)}
+	if e.fam.CompareAndSwap(nil, f) {
+		return f
+	}
+	return e.fam.Load()
+}
+
+// Neighbor returns the engine for the (N+dn, C+dc) system with the same
+// inference mode and adversary flags, sharing this engine's family so
+// aggregate queries reuse the per-distribution shape tables instead of
+// rebuilding them. Any (dn, dc) reaching a valid system is accepted — ±1
+// steps, longer jumps, even (0, 0) — and derived engines can derive further
+// neighbors, so a drifting timeline pays the table cost once. Results are
+// exact: a derived engine's AnonymityDegree agrees with a fresh one to
+// floating-point reordering (≤ 1e-12).
+func (e *Engine) Neighbor(dn, dc int) (*Engine, error) {
+	n, c := e.n+dn, e.c+dc
+	if n < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 nodes, have %d", ErrInvalidSystem, n)
+	}
+	if c < 0 || c > n {
+		return nil, fmt.Errorf("%w: %d compromised of %d nodes", ErrInvalidSystem, c, n)
+	}
+	if e.mode == InferenceHopCount && c > 1 {
+		return nil, fmt.Errorf("%w: hop-count inference supports c ≤ 1, have %d", ErrTooManyClasses, c)
+	}
+	ne := &Engine{n: n, c: c, mode: e.mode, receiver: e.receiver, selfReport: e.selfReport}
+	ne.fam.Store(e.ensureFamily())
+	return ne, nil
+}
+
+// groups returns a consistent snapshot of the distribution's shape groups
+// and slow buckets, building or extending the table as needed. Extension
+// only appends (k-major), so snapshots taken under the read lock stay valid
+// while other engines extend the same table.
+func (f *family) groups(e *Engine, key string, d dist.Length, hi, kMax int) ([]shapeGroup, []Bucket) {
+	f.mu.RLock()
+	if t, ok := f.shapes[key]; ok && t.kMax >= kMax {
+		g, s := t.groups, t.slow
+		f.mu.RUnlock()
+		return g, s
+	}
+	f.mu.RUnlock()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t, ok := f.shapes[key]
+	if !ok {
+		if len(f.shapes) >= maxMemoEntries {
+			f.shapes = make(map[string]*shapeTable)
+		}
+		t = &shapeTable{hi: hi, kMax: -1}
+		f.shapes[key] = t
+	}
+	if t.kMax < kMax {
+		e.extendTable(t, d, kMax)
+	}
+	return t.groups, t.slow
+}
+
+// extendTable appends the groups for k in (t.kMax, kTo] — the same
+// (k, m, j₂, tail) space as bucketSet, merged by (base, free) with counts
+// summed. The emission order is deterministic (k-major, then base, then
+// free), so every engine sees the same fold order regardless of which
+// family member built which k range.
+func (e *Engine) extendTable(t *shapeTable, d dist.Length, kTo int) {
+	tails := []TailFlag{TailZero, TailOne, TailWide}
+	if !e.receiver {
+		tails = []TailFlag{TailZero, TailUnobserved}
+	}
+	type gk struct{ base, free int }
+	for k := t.kMax + 1; k <= kTo; k++ {
+		if k == 0 {
+			// The empty bucket: its own group, with the receiver flag (not
+			// the nObs = 1 + base − k rule) deciding the witness count.
+			nObs := 0
+			if e.receiver {
+				nObs = 1
+			}
+			t.groups = append(t.groups, e.buildGroup(0, 0, 1, nObs, 1, d, t.hi))
+			continue
+		}
+		byKey := make(map[gk][]Bucket)
+		var order []gk
+		for m := 1; m <= k && k+m-1 <= t.hi; m++ {
+			for j2 := 0; j2 < m && k+m-1+j2 <= t.hi; j2++ {
+				for _, tail := range tails {
+					b := Bucket{K: k, Runs: m, Wide: j2, Tail: tail}
+					base, free, _ := e.bucketShape(b)
+					if base > t.hi {
+						continue // unreachable at this support
+					}
+					key := gk{base, free}
+					if byKey[key] == nil {
+						order = append(order, key)
+					}
+					byKey[key] = append(byKey[key], b)
+				}
+			}
+		}
+		sort.Slice(order, func(i, j int) bool {
+			if order[i].base != order[j].base {
+				return order[i].base < order[j].base
+			}
+			return order[i].free < order[j].free
+		})
+		for _, key := range order {
+			var count float64
+			for _, b := range byKey[key] {
+				count += b.Count()
+			}
+			// The group vectors fold the multiplicity in before the tiny
+			// W(l, k) factor can tame it; demote astronomical groups to the
+			// per-bucket log-space path rather than overflow.
+			if math.IsInf(count*starsAndBars(t.hi-key.base, key.free), 1) {
+				t.slow = append(t.slow, byKey[key]...)
+				continue
+			}
+			t.groups = append(t.groups, e.buildGroup(k, key.base, key.free, 1+key.base-k, count, d, t.hi))
+		}
+	}
+	t.kMax = kTo
+}
+
+// buildGroup fills one group's length vectors.
+func (e *Engine) buildGroup(k, base, free, nObs int, count float64, d dist.Length, hi int) shapeGroup {
+	g := shapeGroup{
+		k: k, base: base, free: free, nObs: nObs,
+		V:  make([]float64, hi-base+1),
+		V0: make([]float64, hi-base+1),
+	}
+	for l := base; l <= hi; l++ {
+		p := d.PMF(l)
+		if p == 0 {
+			continue
+		}
+		slack := l - base
+		g.V[slack] = count * p * starsAndBars(slack, free)
+		g.V0[slack] = count * p * starsAndBars(slack, free-1)
+	}
+	return g
+}
+
+// wTable returns W(l, k) = FF(c,k)·FF(n−1−c, l−k)/FF(n−1, l) for
+// k ≤ kMax, l ≤ hi (zero where the path cannot exist), via the same
+// multiplicative recurrence as statsFor. O(kMax·hi) — the only per-(N, C)
+// work on the family path.
+func wTable(n, c, kMax, hi int) [][]float64 {
+	W := make([][]float64, kMax+1)
+	for k := 0; k <= kMax; k++ {
+		row := make([]float64, hi+1)
+		w := 1.0
+		for i := 0; i < k; i++ {
+			w *= float64(c-i) / float64(n-1-i)
+		}
+		for l := k; l <= hi; l++ {
+			if l > k {
+				num := float64(n - 1 - c - (l - 1 - k))
+				if num <= 0 {
+					break // more uncompromised slots than uncompromised nodes
+				}
+				w *= num / float64(n-1-(l-1))
+			}
+			row[l] = w
+		}
+		W[k] = row
+	}
+	return W
+}
+
+// familyDegree computes Σ_buckets P·H (the sender-honest branch of
+// AnonymityDegree, before the (N−C)/N factor) from the family's shared
+// shape tables: one W-table plus one dot product and one entropy per group.
+// The same bucket-accounting tripwire as the fresh path guards the result.
+func (e *Engine) familyDegree(f *family, key string, d dist.Length) (float64, error) {
+	_, hi := d.Support()
+	if hi > e.n-1 {
+		hi = e.n - 1
+	}
+	kMax := e.c
+	if kMax > hi {
+		kMax = hi
+	}
+	groups, slow := f.groups(e, key, d, hi, kMax)
+	W := wTable(e.n, e.c, kMax, hi)
+	var total, h float64
+	for i := range groups {
+		g := &groups[i]
+		if g.k > kMax {
+			break // k-major order: every later group is out of range too
+		}
+		row := W[g.k]
+		var sumP, sumP0 float64
+		for j := range g.V {
+			if w := row[g.base+j]; w != 0 {
+				sumP += g.V[j] * w
+				sumP0 += g.V0[j] * w
+			}
+		}
+		if sumP <= 0 {
+			continue // group unreachable under this distribution
+		}
+		total += sumP
+		alpha := sumP0 / sumP
+		if alpha > 1 {
+			alpha = 1 // guard against rounding
+		}
+		var gh float64
+		switch {
+		case g.k == 0 && !e.receiver:
+			// No observation at all: uniform over every honest node.
+			gh = entropy.Max(e.n - e.c)
+		case e.mode == InferenceFullPosition && g.k > 0:
+			gh = (1 - alpha) * entropy.Max(e.n-e.c-g.nObs)
+		default:
+			gh = entropy.SpikeAndSlab(alpha, e.n-e.c-g.nObs)
+		}
+		h += sumP * gh
+	}
+	for _, b := range slow {
+		if b.K > kMax {
+			continue
+		}
+		st := e.bucketStatsFor(b, d)
+		total += st.P
+		h += st.P * st.H
+	}
+	if math.Abs(total-1) > 1e-6 {
+		return 0, fmt.Errorf("events: delta-path bucket probabilities sum to %v, want 1 (internal accounting bug)", total)
+	}
+	return h, nil
+}

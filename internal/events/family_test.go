@@ -1,0 +1,295 @@
+package events
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"anonmix/internal/dist"
+)
+
+// familyGridDists returns the distribution families the delta property
+// tests sweep, sized to fit the smallest engine the walks visit.
+func familyGridDists(t *testing.T) []dist.Length {
+	t.Helper()
+	u, err := dist.NewUniform(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := dist.NewGeometric(0.5, 1, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := dist.NewTwoPoint(3, 9, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := dist.NewPoisson(5, 0, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := dist.NewFixed(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []dist.Length{f, u, g, tp, p}
+}
+
+// requireClose fails unless every aggregate statistic of the derived engine
+// matches the fresh engine within 1e-12 (the delta path reorders the same
+// products; it must not drift).
+func requireClose(t *testing.T, derived, fresh *Engine, d dist.Length) {
+	t.Helper()
+	const tol = 1e-12
+	hd, err := derived.AnonymityDegree(d)
+	if err != nil {
+		t.Fatalf("derived (%d,%d) AnonymityDegree: %v", derived.N(), derived.C(), err)
+	}
+	hf, err := fresh.AnonymityDegree(d)
+	if err != nil {
+		t.Fatalf("fresh (%d,%d) AnonymityDegree: %v", fresh.N(), fresh.C(), err)
+	}
+	if math.Abs(hd-hf) > tol {
+		t.Errorf("(%d,%d) %v: delta H %.17g vs fresh %.17g (diff %g)",
+			derived.N(), derived.C(), d, hd, hf, hd-hf)
+	}
+	bd, err := derived.BucketStats(d)
+	if err != nil {
+		t.Fatalf("derived BucketStats: %v", err)
+	}
+	bf, err := fresh.BucketStats(d)
+	if err != nil {
+		t.Fatalf("fresh BucketStats: %v", err)
+	}
+	if len(bd) != len(bf) {
+		t.Fatalf("(%d,%d): %d delta buckets vs %d fresh", derived.N(), derived.C(), len(bd), len(bf))
+	}
+	for i := range bd {
+		if math.Abs(bd[i].P-bf[i].P) > tol || math.Abs(bd[i].H-bf[i].H) > tol ||
+			math.Abs(bd[i].Alpha-bf[i].Alpha) > tol {
+			t.Errorf("(%d,%d) bucket %v: delta (P %g, α %g, H %g) vs fresh (P %g, α %g, H %g)",
+				derived.N(), derived.C(), bd[i].Bucket,
+				bd[i].P, bd[i].Alpha, bd[i].H, bf[i].P, bf[i].Alpha, bf[i].H)
+		}
+	}
+	lo, hi := d.Support()
+	wd, err := derived.Weights(lo, hi)
+	if err != nil {
+		t.Fatalf("derived Weights: %v", err)
+	}
+	wf, err := fresh.Weights(lo, hi)
+	if err != nil {
+		t.Fatalf("fresh Weights: %v", err)
+	}
+	if len(wd) != len(wf) {
+		t.Fatalf("(%d,%d): %d delta weight entries vs %d fresh", derived.N(), derived.C(), len(wd), len(wf))
+	}
+	for i := range wd {
+		for l := range wd[i].W {
+			if math.Abs(wd[i].W[l]-wf[i].W[l]) > tol || math.Abs(wd[i].W0[l]-wf[i].W0[l]) > tol {
+				t.Errorf("(%d,%d) weights[%d][%d]: delta (%g, %g) vs fresh (%g, %g)",
+					derived.N(), derived.C(), i, l, wd[i].W[l], wd[i].W0[l], wf[i].W[l], wf[i].W0[l])
+			}
+		}
+	}
+}
+
+// TestNeighborMatchesFresh sweeps (N, C, dist family, receiver mode,
+// inference mode) and checks every ±1 neighbor of every grid point against
+// a from-scratch engine.
+func TestNeighborMatchesFresh(t *testing.T) {
+	t.Parallel()
+	dists := familyGridDists(t)
+	steps := [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}, {1, 1}, {-1, -1}, {1, -1}, {-1, 1}}
+	for _, nc := range [][2]int{{20, 1}, {40, 8}, {300, 120}} {
+		for _, opts := range [][]Option{
+			nil,
+			{WithUncompromisedReceiver()},
+			{WithInference(InferenceFullPosition)},
+			{WithoutSenderSelfReport()},
+		} {
+			root, err := New(nc[0], nc[1], opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range steps {
+				nb, err := root.Neighbor(s[0], s[1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				fresh, err := New(nb.N(), nb.C(), opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, d := range dists {
+					requireClose(t, nb, fresh, d)
+				}
+			}
+		}
+	}
+}
+
+// TestNeighborWalkMatchesFresh chains ±1 and ±k Neighbor steps and checks
+// that accuracy does not degrade with walk length (the delta path is table
+// reuse, not iterative accumulation).
+func TestNeighborWalkMatchesFresh(t *testing.T) {
+	t.Parallel()
+	dists := familyGridDists(t)
+	e, err := New(60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walk := [][2]int{{1, 1}, {1, 1}, {1, 1}, {-1, 0}, {-1, 0}, {0, -1}, {5, 3}, {-3, -6}, {40, 10}, {1, 1}}
+	for _, s := range walk {
+		if e, err = e.Neighbor(s[0], s[1]); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := New(e.N(), e.C())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range dists {
+			requireClose(t, e, fresh, d)
+		}
+	}
+}
+
+// TestNeighborRootUsesFamily pins that the derivation root itself switches
+// to the shared tables (its later queries must agree with its pre-family
+// memo and with a fresh engine).
+func TestNeighborRootUsesFamily(t *testing.T) {
+	t.Parallel()
+	u, err := dist.NewUniform(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := New(50, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := root.AnonymityDegree(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Neighbor(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	after, err := root.AnonymityDegree(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Errorf("root H changed after Neighbor: %v vs %v (memo must win)", before, after)
+	}
+	g, err := dist.NewGeometric(0.4, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := New(50, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireClose(t, root, fresh, g)
+}
+
+// TestNeighborValidation exercises the error paths.
+func TestNeighborValidation(t *testing.T) {
+	t.Parallel()
+	e, err := New(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range [][2]int{{-9, 0}, {0, 8}, {-8, 2}} {
+		if _, err := e.Neighbor(s[0], s[1]); err == nil {
+			t.Errorf("Neighbor(%d,%d): want error, got nil", s[0], s[1])
+		}
+	}
+	hc, err := New(10, 1, WithInference(InferenceHopCount))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hc.Neighbor(0, 1); err == nil {
+		t.Error("hop-count Neighbor to c=2: want error, got nil")
+	}
+	nb, err := hc.Neighbor(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hop-count inference never consults the family tables; the derived
+	// engine must still agree with a fresh one.
+	u, err := dist.NewUniform(1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := New(11, 1, WithInference(InferenceHopCount))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd, err := nb.AnonymityDegree(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hf, err := fresh.AnonymityDegree(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hd-hf) > 1e-12 {
+		t.Errorf("hop-count neighbor: %v vs fresh %v", hd, hf)
+	}
+}
+
+// TestNeighborConcurrent hammers one family from many goroutines — derive,
+// extend (growing C forces lazy k-range extension), and query concurrently.
+// Run with -race; it also cross-checks every result against fresh engines.
+func TestNeighborConcurrent(t *testing.T) {
+	t.Parallel()
+	dists := familyGridDists(t)
+	root, err := New(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker walks to its own (N, C) so table extension and
+			// evaluation interleave across the shared family.
+			nb, err := root.Neighbor(w, (w*7)%40)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			for _, d := range dists {
+				hd, err := nb.AnonymityDegree(d)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				fresh, err := New(nb.N(), nb.C())
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				hf, err := fresh.AnonymityDegree(d)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if math.Abs(hd-hf) > 1e-12 {
+					errs[w] = fmt.Errorf("worker %d (%d,%d): delta %v vs fresh %v", w, nb.N(), nb.C(), hd, hf)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}

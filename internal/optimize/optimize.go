@@ -137,14 +137,24 @@ func Maximize(p Problem, opts ...Option) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	n := p.Hi - p.Lo + 1
-	starts := p.startingPoints(cfg.restarts)
+	return p.solveStarts(ev, p.startingPoints(cfg.restarts), cfg)
+}
 
-	// The evaluator's class weights are read-only after construction, so
-	// every restart shares them; each ascent owns its own iterate and
-	// gradient buffers. Restarts run concurrently on the shared pool and
-	// are folded in start order below, so the winner (and its tie-breaking)
-	// is identical to the serial loop.
+// objective abstracts the ascent target: the single-engine evaluator, or
+// the epoch-blended jointEvaluator of MaximizeTimeline. Implementations
+// must be safe for concurrent calls (restarts share one objective).
+type objective interface {
+	value(mass []float64) float64
+	valueGrad(mass, grad []float64) float64
+}
+
+// solveStarts runs one projected-gradient ascent per start and returns the
+// best result. The objective's internals are read-only, so every restart
+// shares them; each ascent owns its own iterate and gradient buffers.
+// Restarts run concurrently on the shared pool and are folded in start
+// order, so the winner (and its tie-breaking) is identical to the serial
+// loop.
+func (p Problem) solveStarts(ev objective, starts [][]float64, cfg config) (Result, error) {
 	results := make([]Result, len(starts))
 	pool.ForEach(len(starts), func(i int) {
 		results[i] = p.ascend(ev, starts[i], cfg)
@@ -165,7 +175,7 @@ func Maximize(p Problem, opts ...Option) (Result, error) {
 		return Result{}, fmt.Errorf("%w: no feasible start found", ErrInfeasible)
 	}
 	// Trim floating dust so the result passes strict validation downstream.
-	mass := make([]float64, n)
+	mass := make([]float64, p.Hi-p.Lo+1)
 	copy(mass, best.Dist.Mass)
 	cleanNormalize(mass)
 	pd, err := dist.NewPMF(p.Lo, mass)
@@ -233,7 +243,7 @@ func (p Problem) startingPoints(k int) [][]float64 {
 }
 
 // ascend runs projected gradient ascent from one start.
-func (p Problem) ascend(ev *evaluator, start []float64, cfg config) Result {
+func (p Problem) ascend(ev objective, start []float64, cfg config) Result {
 	n := len(start)
 	cur := make([]float64, n)
 	copy(cur, start)

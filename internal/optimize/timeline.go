@@ -1,0 +1,213 @@
+package optimize
+
+// Epoch-aware optimization: the §5.4 design problem lifted to a dynamic
+// population. A timeline of epochs — each a (N_e, C_e) system carrying a
+// share w_e of the traffic — admits two defender policies:
+//
+//   - per-epoch: re-optimize the length distribution whenever the
+//     population drifts, warm-starting each epoch's ascent from the
+//     previous optimum (consecutive epochs differ by ±1 node, so the
+//     optimum barely moves and warm starts converge in a handful of
+//     iterations);
+//   - joint: commit to one distribution for the whole timeline, maximizing
+//     the traffic-weighted blend Σ w_e·H*_e — the policy of a system that
+//     cannot re-deploy per epoch.
+//
+// MaximizeTimeline solves both. The per-epoch curve upper-bounds the joint
+// one by construction; the gap is the price of static deployment, and
+// figures.EpochOptimizerSweep charts it against the static baseline.
+//
+// The epochs' engines are expected to come from one engine family
+// (scenario.Engine's delta cache, or events.Engine.Neighbor chains), which
+// makes each epoch's Weights table cheap to build; the solver itself only
+// requires that they share the inference mode semantics of Maximize.
+
+import (
+	"fmt"
+	"math"
+
+	"anonmix/internal/dist"
+	"anonmix/internal/events"
+)
+
+// EpochProblem is one epoch of a TimelineProblem.
+type EpochProblem struct {
+	// Engine evaluates H*_e for the epoch's (N_e, C_e) system.
+	Engine *events.Engine
+	// Weight is the epoch's share of the timeline's traffic. Weights are
+	// normalized to sum to 1; all-zero weights mean equal shares.
+	Weight float64
+}
+
+// TimelineProblem describes the epoch-aware design problem: one support
+// and optional mean constraint (shared by every epoch — the defender picks
+// from one family of distributions), and the epochs to optimize over.
+type TimelineProblem struct {
+	// Epochs is the population trajectory with traffic weights.
+	Epochs []EpochProblem
+	// Lo and Hi bound the support (0 ≤ Lo ≤ Hi ≤ min_e N_e − 1).
+	Lo, Hi int
+	// Mean, when not NaN, constrains the expected path length.
+	Mean float64
+}
+
+// TimelineResult is the outcome of a MaximizeTimeline run.
+type TimelineResult struct {
+	// PerEpoch holds each epoch's re-optimized distribution and its
+	// epoch-local H*_e.
+	PerEpoch []Result
+	// PerEpochH is the traffic-weighted blend Σ w_e·PerEpoch[e].H — the
+	// anonymity a defender re-optimizing every epoch achieves.
+	PerEpochH float64
+	// Joint is the single-distribution solution; Joint.H is its blended
+	// objective Σ w_e·H*_e(Joint.Dist).
+	Joint Result
+}
+
+// normalWeights validates the problem and returns the normalized epoch
+// weights.
+func (p TimelineProblem) normalWeights() ([]float64, error) {
+	if len(p.Epochs) == 0 {
+		return nil, fmt.Errorf("%w: timeline has no epochs", ErrBadProblem)
+	}
+	var sum float64
+	for i, ep := range p.Epochs {
+		if ep.Engine == nil {
+			return nil, fmt.Errorf("%w: epoch %d has a nil engine", ErrBadProblem, i)
+		}
+		if ep.Weight < 0 || math.IsNaN(ep.Weight) || math.IsInf(ep.Weight, 0) {
+			return nil, fmt.Errorf("%w: epoch %d has weight %v", ErrBadProblem, i, ep.Weight)
+		}
+		if err := p.epochProblem(i).validate(); err != nil {
+			return nil, fmt.Errorf("epoch %d: %w", i, err)
+		}
+		sum += ep.Weight
+	}
+	w := make([]float64, len(p.Epochs))
+	for i := range w {
+		if sum > 0 {
+			w[i] = p.Epochs[i].Weight / sum
+		} else {
+			w[i] = 1 / float64(len(w))
+		}
+	}
+	return w, nil
+}
+
+// epochProblem is the static problem of one epoch.
+func (p TimelineProblem) epochProblem(i int) Problem {
+	return Problem{Engine: p.Epochs[i].Engine, Lo: p.Lo, Hi: p.Hi, Mean: p.Mean}
+}
+
+// MaximizeTimeline solves the per-epoch and joint design problems. The
+// first epoch runs the full multi-restart Maximize; every later epoch
+// warm-starts from the previous optimum plus the uniform safety start —
+// two ascents instead of the configured restarts, which is where the
+// timeline-scale speedup comes from (consecutive optima are near-identical
+// for ±1 drifts). The joint solve reuses the per-epoch evaluators through
+// a blended objective and seeds its restarts with the first and last
+// per-epoch optima. Determinism matches Maximize: restarts fold in start
+// order, epochs chain serially, so parallel pools are bit-identical to
+// serial ones.
+func MaximizeTimeline(p TimelineProblem, opts ...Option) (TimelineResult, error) {
+	w, err := p.normalWeights()
+	if err != nil {
+		return TimelineResult{}, err
+	}
+	cfg := config{maxIters: 400, restarts: 4, tol: 1e-12, initialLR: 0.5}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	evs := make([]*evaluator, len(p.Epochs))
+	for i := range p.Epochs {
+		if evs[i], err = newEvaluator(p.epochProblem(i)); err != nil {
+			return TimelineResult{}, err
+		}
+	}
+	res := TimelineResult{PerEpoch: make([]Result, len(p.Epochs))}
+	var warm []float64
+	for i := range p.Epochs {
+		ep := p.epochProblem(i)
+		var starts [][]float64
+		if warm == nil {
+			starts = ep.startingPoints(cfg.restarts)
+		} else {
+			ws := append([]float64(nil), warm...)
+			ep.project(ws)
+			starts = append([][]float64{ws}, ep.startingPoints(1)...)
+		}
+		best, err := ep.solveStarts(evs[i], starts, cfg)
+		if err != nil {
+			return TimelineResult{}, fmt.Errorf("epoch %d: %w", i, err)
+		}
+		res.PerEpoch[i] = best
+		res.PerEpochH += w[i] * best.H
+		warm = best.Dist.Mass
+	}
+
+	joint := p.epochProblem(0)
+	starts := joint.startingPoints(cfg.restarts)
+	for _, i := range []int{0, len(p.Epochs) - 1} {
+		ws := append([]float64(nil), res.PerEpoch[i].Dist.Mass...)
+		joint.project(ws)
+		starts = append(starts, ws)
+	}
+	best, err := joint.solveStarts(&jointEvaluator{evs: evs, w: w}, starts, cfg)
+	if err != nil {
+		return TimelineResult{}, fmt.Errorf("joint: %w", err)
+	}
+	res.Joint = best
+	return res, nil
+}
+
+// EvaluateTimeline returns the traffic-weighted blend Σ w_e·H*_e(d) of one
+// distribution across the timeline's epochs — the yardstick that puts a
+// static design, the joint optimum, and per-epoch re-optimization on one
+// scale.
+func EvaluateTimeline(p TimelineProblem, d dist.Length) (float64, error) {
+	w, err := p.normalWeights()
+	if err != nil {
+		return 0, err
+	}
+	var h float64
+	for i, ep := range p.Epochs {
+		he, err := ep.Engine.AnonymityDegree(d)
+		if err != nil {
+			return 0, fmt.Errorf("epoch %d: %w", i, err)
+		}
+		h += w[i] * he
+	}
+	return h, nil
+}
+
+// jointEvaluator blends the per-epoch evaluators into one objective:
+// value = Σ w_e·value_e, gradient likewise. The per-epoch evaluators are
+// read-only, so the blend is safe for concurrent restarts; the gradient
+// scratch is per-call.
+type jointEvaluator struct {
+	evs []*evaluator
+	w   []float64
+}
+
+func (j *jointEvaluator) value(mass []float64) float64 {
+	var h float64
+	for i, ev := range j.evs {
+		h += j.w[i] * ev.value(mass)
+	}
+	return h
+}
+
+func (j *jointEvaluator) valueGrad(mass, grad []float64) float64 {
+	for i := range grad {
+		grad[i] = 0
+	}
+	tmp := make([]float64, len(grad))
+	var h float64
+	for i, ev := range j.evs {
+		h += j.w[i] * ev.valueGrad(mass, tmp)
+		for g := range grad {
+			grad[g] += j.w[i] * tmp[g]
+		}
+	}
+	return h
+}

@@ -1,0 +1,177 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"anonmix/internal/dist"
+	"anonmix/internal/events"
+)
+
+// The cache is process-global, so these tests do not run in parallel; each
+// starts from a clean cache and restores the default capacity.
+
+func TestEngineCacheHitsAndMisses(t *testing.T) {
+	ResetEngines()
+	defer ResetEngines()
+	if _, err := Engine(50, 5); err != nil {
+		t.Fatal(err)
+	}
+	e1, err := Engine(50, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Engine(50, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Error("repeated Engine(50,5) returned distinct engines")
+	}
+	st := CacheStats()
+	if st.Hits != 2 || st.Misses != 1 || st.Size != 1 {
+		t.Errorf("stats after 3 identical requests: %+v, want 2 hits / 1 miss / size 1", st)
+	}
+	// Different options are different cache identities.
+	if _, err := Engine(50, 5, events.WithUncompromisedReceiver()); err != nil {
+		t.Fatal(err)
+	}
+	if st = CacheStats(); st.Misses != 2 || st.Size != 2 {
+		t.Errorf("stats after distinct-option request: %+v, want 2 misses / size 2", st)
+	}
+}
+
+func TestEngineCacheDeltaDerivation(t *testing.T) {
+	ResetEngines()
+	defer ResetEngines()
+	if _, err := Engine(80, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Every ±1 neighbor of a cached engine is delta-derived, and the
+	// derived engines must agree with fresh ones.
+	u, err := dist.NewUniform(2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nc := range [][2]int{{81, 10}, {79, 10}, {80, 11}, {80, 9}, {81, 11}} {
+		e, err := Engine(nc[0], nc[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		hd, err := e.AnonymityDegree(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := events.New(nc[0], nc[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		hf, err := fresh.AnonymityDegree(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(hd-hf) > 1e-12 {
+			t.Errorf("(%d,%d): cached-delta H %v vs fresh %v", nc[0], nc[1], hd, hf)
+		}
+	}
+	st := CacheStats()
+	if st.DeltaDerived != 5 {
+		t.Errorf("DeltaDerived = %d, want 5 (every request neighbored the cache): %+v", st.DeltaDerived, st)
+	}
+	// Options must not cross the delta path: a different receiver flag is
+	// not a neighbor of the cached engines.
+	if _, err := Engine(81, 10, events.WithUncompromisedReceiver()); err != nil {
+		t.Fatal(err)
+	}
+	if st = CacheStats(); st.DeltaDerived != 5 {
+		t.Errorf("DeltaDerived grew to %d after a different-flag request", st.DeltaDerived)
+	}
+}
+
+func TestEngineCacheLRUEviction(t *testing.T) {
+	ResetEngines()
+	defer func() {
+		SetEngineCacheCapacity(DefaultEngineCacheCapacity)
+		ResetEngines()
+	}()
+	prev := SetEngineCacheCapacity(2)
+	if prev != DefaultEngineCacheCapacity {
+		t.Errorf("previous capacity %d, want %d", prev, DefaultEngineCacheCapacity)
+	}
+	for _, n := range []int{20, 30, 40} {
+		if _, err := Engine(n, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := CacheStats()
+	if st.Size != 2 || st.Evictions != 1 || st.Capacity != 2 {
+		t.Errorf("after 3 inserts at capacity 2: %+v", st)
+	}
+	// (20, 2) was least recently used and must be gone; re-requesting it is
+	// a miss that evicts (30, 2).
+	if _, err := Engine(20, 2); err != nil {
+		t.Fatal(err)
+	}
+	if st = CacheStats(); st.Hits != 0 || st.Misses != 4 || st.Evictions != 2 {
+		t.Errorf("after re-requesting the evicted engine: %+v", st)
+	}
+	// Touching (40, 2) then inserting keeps it resident.
+	if _, err := Engine(40, 2); err != nil {
+		t.Fatal(err)
+	}
+	if st = CacheStats(); st.Hits != 1 {
+		t.Errorf("expected (40,2) to still be cached: %+v", st)
+	}
+	// Shrinking capacity below occupancy evicts immediately.
+	SetEngineCacheCapacity(1)
+	if st = CacheStats(); st.Size != 1 || st.Capacity != 1 {
+		t.Errorf("after shrinking to 1: %+v", st)
+	}
+}
+
+func TestTimelineStates(t *testing.T) {
+	states, err := TimelineStates(20, 4, []Epoch{
+		{Messages: 100},
+		{Messages: 300, Join: 5, Compromise: 2},
+		{Messages: 100, Leave: 3, Recover: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []EpochState{
+		{Index: 0, N: 20, C: 4, Messages: 100, Weight: 0.2},
+		{Index: 1, N: 25, C: 6, Messages: 300, Weight: 0.6},
+		{Index: 2, N: 22, C: 5, Messages: 100, Weight: 0.2},
+	}
+	if len(states) != len(want) {
+		t.Fatalf("got %d states, want %d", len(states), len(want))
+	}
+	for i := range want {
+		if states[i] != want[i] {
+			t.Errorf("state %d = %+v, want %+v", i, states[i], want[i])
+		}
+	}
+	// Zero-traffic timelines weight epochs equally.
+	states, err = TimelineStates(10, 1, []Epoch{{Join: 1}, {Compromise: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if states[0].Weight != 0.5 || states[1].Weight != 0.5 {
+		t.Errorf("zero-traffic weights %v, %v, want 0.5 each", states[0].Weight, states[1].Weight)
+	}
+	// Validation failures.
+	for _, bad := range []struct {
+		n, c     int
+		timeline []Epoch
+	}{
+		{1, 0, []Epoch{{Messages: 1}}},
+		{10, 10, []Epoch{{Messages: 1}}},
+		{10, 1, nil},
+		{10, 1, []Epoch{{Messages: -1}}},
+		{10, 1, []Epoch{{Compromise: 100}}},
+	} {
+		if _, err := TimelineStates(bad.n, bad.c, bad.timeline); err == nil {
+			t.Errorf("TimelineStates(%d, %d, %v): want error", bad.n, bad.c, bad.timeline)
+		}
+	}
+}

@@ -236,6 +236,75 @@ func computePhases(n int, baseComp []trace.NodeID, timeline []Epoch) ([]phase, e
 	return phases, nil
 }
 
+// EpochState summarizes one epoch of a materialized timeline schedule: the
+// live population, the compromised count, and the epoch's share of the
+// timeline's traffic. It is the population-trajectory view consumers like
+// the epoch-aware optimizer need, without the identity maps the execution
+// backends carry.
+type EpochState struct {
+	// Index is the epoch's position in the timeline.
+	Index int
+	// N and C are the live population and compromised count after the
+	// epoch's deltas.
+	N, C int
+	// Messages and Rounds echo the epoch's traffic budgets.
+	Messages, Rounds int
+	// Weight is the epoch's share of the timeline's total traffic; equal
+	// shares when no epoch carries traffic (a pure population drift).
+	Weight float64
+}
+
+// TimelineStates materializes the deterministic membership schedule of a
+// timeline over a base population of n nodes with the first c compromised
+// (the standard adversary layout), returning each epoch's (N, C) and
+// traffic weight. It applies the same identity rules as the execution
+// backends, so the returned trajectory is exactly the one a scenario run
+// would traverse.
+func TimelineStates(n, c int, timeline []Epoch) ([]EpochState, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 nodes, have %d", ErrBadConfig, n)
+	}
+	if c < 0 || c >= n {
+		return nil, fmt.Errorf("%w: %d compromised of %d nodes", ErrBadConfig, c, n)
+	}
+	if len(timeline) == 0 {
+		return nil, fmt.Errorf("%w: empty timeline", ErrBadConfig)
+	}
+	for i, e := range timeline {
+		if e.Messages < 0 || e.Rounds < 0 || e.Join < 0 || e.Leave < 0 || e.Compromise < 0 || e.Recover < 0 {
+			return nil, fmt.Errorf("%w: epoch %d has a negative field (%+v)", ErrBadConfig, i, e)
+		}
+	}
+	comp := make([]trace.NodeID, c)
+	for i := range comp {
+		comp[i] = trace.NodeID(i)
+	}
+	phases, err := computePhases(n, comp, timeline)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]EpochState, len(phases))
+	var total float64
+	for i := range phases {
+		out[i] = EpochState{
+			Index:    i,
+			N:        phases[i].n(),
+			C:        phases[i].c(),
+			Messages: phases[i].epoch.Messages,
+			Rounds:   phases[i].epoch.Rounds,
+		}
+		total += float64(out[i].Messages + out[i].Rounds)
+	}
+	for i := range out {
+		if total > 0 {
+			out[i].Weight = float64(out[i].Messages+out[i].Rounds) / total
+		} else {
+			out[i].Weight = 1 / float64(len(out))
+		}
+	}
+	return out, nil
+}
+
 // unionSize is the size of the union identity space of a schedule.
 func unionSize(n int, timeline []Epoch) int {
 	total := n
