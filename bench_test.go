@@ -18,6 +18,7 @@ import (
 	"anonmix/internal/degrade"
 	"anonmix/internal/dist"
 	"anonmix/internal/events"
+	"anonmix/internal/faults"
 	"anonmix/internal/figures"
 	"anonmix/internal/mixbatch"
 	"anonmix/internal/montecarlo"
@@ -910,4 +911,68 @@ func BenchmarkScenarioBackends(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkReliabilitySweep regenerates the reliability figure — the
+// testbed kernel across loss rates × delivery policies with retry-leak
+// analysis per point — and reports the headline trade-off at the highest
+// loss rate: reroute's delivery next to its retry-anonymity cost.
+func BenchmarkReliabilitySweep(b *testing.B) {
+	var delivery, cost float64
+	for i := 0; i < b.N; i++ {
+		fig, err := figures.ReliabilitySweep(20, 3, 1000, 1, []float64{0, 0.05, 0.2}, []string{"uniform:1,5"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		series := map[string][]float64{}
+		for _, s := range fig.Series {
+			series[s.Label] = s.Y
+		}
+		h := series["uniform:1,5/reroute/H"]
+		hd := series["uniform:1,5/reroute/Hdeg"]
+		d := series["uniform:1,5/reroute/delivery"]
+		last := len(d) - 1
+		delivery, cost = d[last], h[last]-hd[last]
+	}
+	b.ReportMetric(delivery, "reroute_delivery_q20")
+	b.ReportMetric(cost, "retry_cost_bits_q20")
+}
+
+// BenchmarkLossyChurnMillion drives the fault-injection layer at scale: a
+// two-epoch churn timeline (a thousand joins, a hundred fresh
+// compromises) over N = 1,000,000 nodes with 5% link loss, a mid-run
+// crash outage, and the retransmit policy — the sharded kernel, the loss
+// process, the retry-observation analysis, and the union-space churn
+// accounting all in one run. Reports kernel throughput and the measured
+// delivery rate.
+func BenchmarkLossyChurnMillion(b *testing.B) {
+	timeline, err := scenario.ParseTimeline("msgs=500;msgs=500,join=1000,comp=100")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var perSec, delivery, attempts float64
+	for i := 0; i < b.N; i++ {
+		res, err := scenario.Run(scenario.Config{
+			N:            1_000_000,
+			Backend:      scenario.BackendTestbed,
+			StrategySpec: "uniform:1,7",
+			Adversary:    scenario.Adversary{Count: 1000},
+			Timeline:     timeline,
+			Faults: &faults.Plan{
+				LinkLoss: 0.05,
+				Crashes:  []faults.Crash{{Node: 1234, At: 50, Recover: 500}},
+			},
+			Reliability: faults.Reliability{Policy: faults.PolicyRetransmit},
+			Workload:    scenario.Workload{Seed: int64(i) + 1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		perSec = res.Kernel.EventsPerSec
+		delivery = res.DeliveryRate
+		attempts = res.MeanAttempts
+	}
+	b.ReportMetric(perSec, "events/s")
+	b.ReportMetric(delivery, "delivery_rate")
+	b.ReportMetric(attempts, "attempts/msg")
 }

@@ -53,6 +53,13 @@ func TestGoldenFigures(t *testing.T) {
 			"-figure", "epoch-optimizer", "-epochopt-n", "24", "-epochopt-c", "2",
 			"-epochopt-max", "8",
 		}},
+		// Fault injection on the testbed kernel (hash-derived loss draws,
+		// sorted retry folds — bit-stable across shard interleavings).
+		{"reliability-sweep", []string{
+			"-figure", "reliability-sweep", "-rel-n", "14", "-rel-c", "3",
+			"-rel-messages", "800", "-rel-seed", "5",
+			"-rel-losses", "0,0.05,0.2", "-rel-strategies", "uniform:1,4",
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -67,6 +67,12 @@ func run(args []string, stdout io.Writer) error {
 		epochOptN    = fs.Int("epochopt-n", 40, "base system size for epoch-optimizer")
 		epochOptC    = fs.Int("epochopt-c", 4, "base compromised count for epoch-optimizer")
 		epochOptMax  = fs.Int("epochopt-max", 12, "path-length support maximum for epoch-optimizer")
+		relN         = fs.Int("rel-n", 30, "system size for reliability-sweep")
+		relC         = fs.Int("rel-c", 3, "compromised count for reliability-sweep")
+		relMsgs      = fs.Int("rel-messages", 4000, "messages per point for reliability-sweep")
+		relLosses    = fs.String("rel-losses", "", "comma-separated link-loss rates for reliability-sweep (default 0,0.01,0.05,0.20)")
+		relStr       = fs.String("rel-strategies", "", "semicolon-separated pathsel specs for reliability-sweep (default set if empty)")
+		relSeed      = fs.Int64("rel-seed", 1, "seed for reliability-sweep")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -125,6 +131,20 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		figs = []figures.Figure{f}
+	case *figure == "reliability-sweep":
+		// Like the other parameterized sweeps: the -rel-* defaults match
+		// the named figure. Runs the testbed kernel, so every point is a
+		// fault-injected execution, not a closed form.
+		losses, err := parseFloats(*relLosses)
+		if err != nil {
+			return fmt.Errorf("-rel-losses: %w", err)
+		}
+		f, err := figures.ReliabilitySweep(*relN, *relC, *relMsgs, *relSeed, losses,
+			pathsel.SplitSpecs(*relStr))
+		if err != nil {
+			return err
+		}
+		figs = []figures.Figure{f}
 	case *figure == "ablation-largec":
 		ns, err := parseInts(*largeCNs)
 		if err != nil {
@@ -172,6 +192,27 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(os.Stderr, "anonbench: wrote %s\n", path)
 	}
 	return nil
+}
+
+// parseFloats parses a comma-separated list of floats in [0, 1]; an empty
+// string means "use the figure's default sweep".
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 || v > 1 {
+			return nil, fmt.Errorf("loss rate %v outside [0, 1]", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // parseInts parses a comma-separated list of positive integers.

@@ -13,6 +13,7 @@
 //	anonsim -rounds 16 -messages 2000              # repeated-communication degradation
 //	anonsim -epochs 'msgs=2000;msgs=2000,join=10,comp=2'   # dynamic population
 //	anonsim -epochs 'rounds=4;rounds=4,comp=3' -messages 1000  # degradation across churn
+//	anonsim -faults 'loss=0.05,crash=3@100-400' -policy reroute   # fault injection
 //
 // Strategy specs come from the pathsel registry (see -strategies); the
 // legacy flags -l, -a, -b, -pf still modify the bare names "fixed",
@@ -28,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"anonmix/internal/faults"
 	"anonmix/internal/pathsel"
 	"anonmix/internal/scenario"
 )
@@ -55,6 +57,9 @@ func run(args []string, w io.Writer) error {
 		messages   = fs.Int("messages", 5000, "messages to send (testbed) / trials (mc); sessions when -rounds > 1")
 		rounds     = fs.Int("rounds", 1, "messages per sender session (repeated-communication degradation when > 1)")
 		epochs     = fs.String("epochs", "", "dynamic-population timeline: ';'-separated epochs of key=value fields (msgs, rounds, join, leave, comp, recover), e.g. 'msgs=2000;msgs=2000,join=10,comp=2'")
+		faultSpec  = fs.String("faults", "", "fault plan: comma-separated key=value fields (loss, jitter, crash=node@at[-recover]), e.g. 'loss=0.05,crash=3@100-400'")
+		policy     = fs.String("policy", "", "delivery-reliability policy: none | retransmit | reroute (requires -faults)")
+		attempts   = fs.Int("attempts", 0, "retry-policy attempt budget (0 = default)")
 		seed       = fs.Int64("seed", 1, "random seed")
 		noReceiver = fs.Bool("uncompromised-receiver", false, "drop the receiver's report from the adversary's view")
 		list       = fs.Bool("strategies", false, "list registered strategy specs")
@@ -97,6 +102,16 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var plan *faults.Plan
+	if *faultSpec != "" {
+		if plan, err = faults.ParseFaults(*faultSpec); err != nil {
+			return err
+		}
+	}
+	pol, err := faults.ParsePolicy(*policy)
+	if err != nil {
+		return err
+	}
 	cfg := scenario.Config{
 		N:            *n,
 		Backend:      kind,
@@ -104,6 +119,8 @@ func run(args []string, w io.Writer) error {
 		Protocol:     proto,
 		Adversary:    scenario.Adversary{Count: *c, UncompromisedReceiver: *noReceiver},
 		Timeline:     timeline,
+		Faults:       plan,
+		Reliability:  faults.Reliability{Policy: pol, MaxAttempts: *attempts},
 		Workload: scenario.Workload{
 			Messages:       *messages,
 			Rounds:         *rounds,
@@ -154,6 +171,20 @@ func legacySpec(strategy string, l, a, b int, pf float64) string {
 	default:
 		return strategy
 	}
+}
+
+// printReliability renders the delivery statistics of a fault-injected
+// run: the delivery rate, the mean attempts the policy spent per message,
+// and the retry-degraded anonymity degree next to the lossless one.
+func printReliability(w io.Writer, cfg scenario.Config, res scenario.Result) {
+	if cfg.Faults == nil {
+		return
+	}
+	fmt.Fprintf(w, "\nFault plan %s, policy %s:\n", cfg.Faults, cfg.Reliability.Policy)
+	fmt.Fprintf(w, "Delivery rate              = %.4f (%.2f attempts/message)\n",
+		res.DeliveryRate, res.MeanAttempts)
+	fmt.Fprintf(w, "Retry-degraded H*(S)       = %.4f bits (retry-anonymity cost %.4f)\n",
+		res.HDegraded, res.H-res.HDegraded)
 }
 
 // printEpochs renders the per-epoch population trajectory and entropy of a
@@ -232,6 +263,7 @@ func printTestbed(w io.Writer, cfg scenario.Config, res scenario.Result) error {
 	fmt.Fprintf(w, "Maximum log2(N)            = %.4f bits\n", res.MaxH)
 	fmt.Fprintf(w, "Messages fully deanonymized: %d (%.1f%%)\n",
 		res.Deanonymized, 100*float64(res.Deanonymized)/float64(res.Trials))
+	printReliability(w, cfg, res)
 	printEpochs(w, res)
 	if res.Rounds <= 1 && !math.IsNaN(exact) {
 		if d := math.Abs(res.H - exact); d <= 4*res.StdErr+1e-3 {
@@ -288,6 +320,7 @@ func printAnalytic(w io.Writer, cfg scenario.Config, res scenario.Result) error 
 		fmt.Fprintf(w, "Exact H*(S)     = %.6f bits\n", res.H)
 	}
 	fmt.Fprintf(w, "Maximum log2(N) = %.4f bits (normalized %.2f%%)\n", res.MaxH, 100*res.Normalized)
+	printReliability(w, cfg, res)
 	printEpochs(w, res)
 	printDegradation(w, res)
 	return nil

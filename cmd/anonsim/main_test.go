@@ -188,3 +188,41 @@ func TestRunEpochsErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestRunFaults(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-n", "20", "-c", "2", "-strategy", "uniform", "-a", "1", "-b", "5",
+		"-messages", "2000", "-seed", "3",
+		"-faults", "loss=0.1", "-policy", "reroute", "-attempts", "6",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Fault plan loss=0.1, policy reroute:",
+		"Delivery rate",
+		"attempts/message",
+		"Retry-degraded H*(S)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFaultsErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-faults", "loss=1.5"},                  // bad plan value
+		{"-faults", "loss"},                      // not key=value
+		{"-policy", "teleport"},                  // unknown policy
+		{"-policy", "reroute"},                   // policy without a plan
+		{"-faults", "crash=99@5", "-n", "10"},    // crash node outside population
+	} {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("args %v: expected error, got output:\n%s", args, sb.String())
+		}
+	}
+}

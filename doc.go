@@ -106,6 +106,41 @@
 //     (layered encryption, coin-flip jondo routing, batch linkage
 //     analysis).
 //
+// # Reliability
+//
+// The fourth scenario dimension is failure. Config.Faults declares a
+// fault plan (internal/faults): a per-link loss probability, per-hop
+// latency jitter, and crash/recover schedules at virtual timestamps,
+// parsed from the CLI syntax "loss=0.05,jitter=3,crash=3@100-200" by
+// faults.ParseFaults. Config.Reliability picks the delivery policy the
+// network answers faults with: PolicyNone (drop and move on),
+// PolicyRetransmit (per-link retries under an exponential backoff
+// budget), or PolicyReroute (the driver re-injects failed messages end
+// to end over freshly drawn paths). Both retry policies are bounded by
+// MaxAttempts, which is what makes Settle terminate even under 100%
+// loss — a run degrades gracefully to zero delivery instead of hanging.
+//
+// Loss draws are a pure function of (seed, message, attempt, hop), so a
+// faulted run is bit-reproducible under any shard interleaving, like
+// every other kernel source of randomness. Every backend reports
+// Result.DeliveryRate and Result.MeanAttempts next to H; the exact
+// backend folds PolicyNone loss into an effective-delivery length
+// distribution P'(l) ∝ P(l)·(1−q)^(l+1) and refuses the retry policies
+// and crash schedules with capability errors, while Monte-Carlo and the
+// testbed execute them.
+//
+// Retries are not free: every retransmission a compromised node carries,
+// and every failed rerouting attempt, hands the adversary an extra
+// partial trace of the same session. Result.HDegraded measures that
+// retry-anonymity cost — the delivered trace's posterior folded with one
+// posterior per leaked partial observation, analyzed under the
+// uncompromised-receiver model (a failed attempt never reached the
+// receiver). HDegraded ≤ H always, and the gap grows with the loss rate;
+// the reliability-sweep figure and anonsim -faults plot both next to the
+// delivery rate. The contract is pinned by a cross-backend agreement
+// suite (internal/scenario/reliability_test.go), the fault arm of the
+// differential harness, and faults.FuzzParseFaults.
+//
 // The three commands are thin shells over the scenario layer: anonsim
 // runs one scenario on any backend (-backend, -strategy, -protocol),
 // anonopt solves the design problem and ranks named strategies against

@@ -59,6 +59,29 @@ func (acc *Accumulator) Observe(mt *trace.MessageTrace) error {
 	return nil
 }
 
+// FoldPosterior folds an externally computed sender posterior into the
+// running joint — the entry point for partial-information evidence that
+// does not come from this accumulator's own analyst, such as the
+// uncompromised-receiver analysis of a failed delivery attempt or a
+// retransmission prefix (the reliability layer's retry-degraded H). The
+// vector must span the analyst's N nodes and is folded exactly like an
+// Observe posterior: zero mass eliminates a candidate outright.
+func (acc *Accumulator) FoldPosterior(post []float64) error {
+	if len(post) != len(acc.logPost) {
+		return fmt.Errorf("%w: posterior over %d nodes, accumulator over %d",
+			ErrBadConfig, len(post), len(acc.logPost))
+	}
+	for i, p := range post {
+		if p <= 0 {
+			acc.logPost[i] = math.Inf(-1)
+			continue
+		}
+		acc.logPost[i] += math.Log(p)
+	}
+	acc.rounds++
+	return nil
+}
+
 // Rounds returns the number of observations folded in.
 func (acc *Accumulator) Rounds() int { return acc.rounds }
 

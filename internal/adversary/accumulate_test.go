@@ -101,3 +101,72 @@ func TestSnapshotMatchesEntropyAndTop(t *testing.T) {
 		t.Errorf("rounds = %d", acc.Rounds())
 	}
 }
+
+// TestFoldPosterior: folding a uniform posterior leaves the accumulated
+// entropy unchanged (uninformative evidence), folding a delta identifies
+// the sender, and a posterior over the wrong population is rejected.
+func TestFoldPosterior(t *testing.T) {
+	const n = 10
+	u, err := dist.NewUniform(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := accumAnalyst(t, n, []trace.NodeID{2}, u)
+	acc, err := adversary.NewAccumulator(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat := pathsel.Strategy{Name: "u", Length: u, Kind: pathsel.Simple}
+	sel, err := pathsel.NewSelector(n, strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRand(3)
+	sender := trace.NodeID(6)
+	path, err := sel.SelectPath(rng, sender)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Observe(montecarlo.Synthesize(1, sender, path, a.Compromised)); err != nil {
+		t.Fatal(err)
+	}
+	h0, err := acc.Entropy()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	uniform := make([]float64, n)
+	for i := range uniform {
+		uniform[i] = 1.0 / n
+	}
+	if err := acc.FoldPosterior(uniform); err != nil {
+		t.Fatal(err)
+	}
+	h1, err := acc.Entropy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h1-h0) > 1e-12 {
+		t.Errorf("uniform fold moved entropy: %v -> %v", h0, h1)
+	}
+	if acc.Rounds() != 2 {
+		t.Errorf("rounds = %d after one observation and one fold", acc.Rounds())
+	}
+
+	delta := make([]float64, n)
+	delta[sender] = 1
+	if err := acc.FoldPosterior(delta); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := acc.Entropy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 != 0 {
+		t.Errorf("delta fold entropy = %v, want 0", h2)
+	}
+
+	if err := acc.FoldPosterior(make([]float64, n+1)); !errors.Is(err, adversary.ErrBadConfig) {
+		t.Errorf("mismatched fold err = %v, want ErrBadConfig", err)
+	}
+}

@@ -1,0 +1,386 @@
+// Package faults declares the fault-injection model of the reliability
+// layer: per-link loss probability, per-node crash/recover schedules at
+// virtual timestamps, and extra latency jitter. A Plan is purely
+// declarative — the simnet kernel and the Monte-Carlo estimator interpret
+// it, drawing every loss deterministically from the scenario seed so that
+// a faulty run is exactly as reproducible as a fault-free one.
+//
+// The paper's H*(S) framework treats a message as a single observed
+// rerouting event; unreliable networks break that abstraction, because a
+// retransmission or a rerouted retry hands the adversary a fresh
+// observation of the same logical message (cf. Ando–Lysyanskaya–Upfal on
+// repeated appearances over unreliable channels). The Policy constants
+// name the delivery-reliability strategies whose anonymity cost the
+// scenario layer measures.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"anonmix/internal/dist"
+	"anonmix/internal/trace"
+)
+
+// ErrBadPlan reports an invalid fault plan or an unparsable plan string.
+var ErrBadPlan = errors.New("faults: invalid fault plan")
+
+// Policy selects how the delivery layer reacts to a lost transmission or
+// a crashed next hop.
+type Policy uint8
+
+// The delivery-reliability policies.
+const (
+	// PolicyNone drops the packet on the first fault (today's semantics).
+	PolicyNone Policy = iota
+	// PolicyRetransmit retries the failed link over the same path with a
+	// per-hop timeout and capped exponential backoff, up to MaxAttempts
+	// transmissions per link. Every retry observed by a compromised
+	// link sender is a duplicate observation for the adversary.
+	PolicyRetransmit
+	// PolicyReroute abandons the packet on the first fault and hands the
+	// logical message back to the driver, which retries end-to-end with a
+	// fresh path over the live membership, up to MaxAttempts injections.
+	// Every failed attempt leaks an independent partial path.
+	PolicyReroute
+)
+
+// String names the policy (the inverse of ParsePolicy).
+func (p Policy) String() string {
+	switch p {
+	case PolicyNone:
+		return "none"
+	case PolicyRetransmit:
+		return "retransmit"
+	case PolicyReroute:
+		return "reroute"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
+	}
+}
+
+// ParsePolicy parses a policy name as written on a CLI.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.TrimSpace(strings.ToLower(s)) {
+	case "", "none":
+		return PolicyNone, nil
+	case "retransmit", "retry":
+		return PolicyRetransmit, nil
+	case "reroute":
+		return PolicyReroute, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown policy %q (none, retransmit, reroute)", ErrBadPlan, s)
+	}
+}
+
+// Defaults of the reliability configuration.
+const (
+	// DefaultMaxAttempts bounds transmissions per link (retransmit) and
+	// end-to-end injections per message (reroute).
+	DefaultMaxAttempts = 8
+	// DefaultRetryBackoff is the base retransmission timeout in logical
+	// ticks; attempt k waits DefaultRetryBackoff << min(k, backoffCap).
+	DefaultRetryBackoff = 4 * time.Nanosecond
+	// BackoffCap bounds the exponential backoff shift, so the worst-case
+	// per-link delay is finite and virtual-time phase windows stay
+	// computable.
+	BackoffCap = 6
+)
+
+// Reliability configures the delivery policy applied under a fault plan.
+// The zero value means PolicyNone with the defaults filled in by the
+// consumer.
+type Reliability struct {
+	// Policy is the delivery-reliability policy.
+	Policy Policy
+	// MaxAttempts bounds attempts per link (retransmit) or per message
+	// (reroute); 0 means DefaultMaxAttempts. It is what guarantees
+	// termination under 100% loss.
+	MaxAttempts int
+	// RetryBackoff is the base retransmission timeout in
+	// nanoseconds-as-ticks; 0 means DefaultRetryBackoff.
+	RetryBackoff time.Duration
+}
+
+// Backoff returns the logical-tick delay before retry attempt k (0-based)
+// for the given base: base << min(k, BackoffCap).
+func Backoff(base uint64, attempt uint64) uint64 {
+	if attempt > BackoffCap {
+		attempt = BackoffCap
+	}
+	return base << attempt
+}
+
+// BackoffBudget returns the worst-case total backoff delay a single link
+// can accumulate: the sum of Backoff(base, k) over MaxAttempts-1 retries.
+// Phase-window arithmetic uses it to keep faulty traffic inside its
+// virtual-time window.
+func BackoffBudget(base uint64, maxAttempts int) uint64 {
+	var total uint64
+	for k := 0; k+1 < maxAttempts; k++ {
+		total += Backoff(base, uint64(k))
+	}
+	return total
+}
+
+// Crash schedules one fault-injection outage: Node is unreachable from
+// virtual time At until Recover (exclusive); Recover == 0 means the node
+// never comes back. A crash is orthogonal to membership churn — the node
+// remains a member (selectors may still route through it), it just fails
+// to process traffic, which is exactly what exercises the reliability
+// policies.
+type Crash struct {
+	// Node is the crashing node.
+	Node trace.NodeID
+	// At is the virtual time the outage starts.
+	At uint64
+	// Recover is the virtual time the node comes back (0 = never).
+	Recover uint64
+}
+
+// Plan is a declarative fault-injection plan. The zero value (or nil)
+// injects nothing.
+type Plan struct {
+	// LinkLoss is the per-link, per-attempt transmission loss probability
+	// in [0, 1]. Losses are drawn deterministically from the scenario
+	// seed (see Lost), so runs are reproducible under any shard count.
+	LinkLoss float64
+	// Jitter adds up to this many nanoseconds-as-ticks of extra latency
+	// per hop, on top of the workload's MaxHopDelay.
+	Jitter time.Duration
+	// Crashes lists the scheduled outages.
+	Crashes []Crash
+}
+
+// Active reports whether the plan injects any fault at all.
+func (p *Plan) Active() bool {
+	return p != nil && (p.LinkLoss > 0 || p.Jitter > 0 || len(p.Crashes) > 0)
+}
+
+// check validates the system-size-independent invariants.
+func (p *Plan) check() error {
+	if p == nil {
+		return fmt.Errorf("%w: nil plan", ErrBadPlan)
+	}
+	if p.LinkLoss < 0 || p.LinkLoss > 1 || p.LinkLoss != p.LinkLoss {
+		return fmt.Errorf("%w: link loss %v outside [0,1]", ErrBadPlan, p.LinkLoss)
+	}
+	if p.Jitter < 0 {
+		return fmt.Errorf("%w: negative jitter %v", ErrBadPlan, p.Jitter)
+	}
+	for _, c := range p.Crashes {
+		if c.Recover != 0 && c.Recover <= c.At {
+			return fmt.Errorf("%w: crash of %v recovers at t=%d, not after t=%d",
+				ErrBadPlan, c.Node, c.Recover, c.At)
+		}
+	}
+	// Per-node windows must not overlap: a node cannot crash while
+	// crashed, and a never-recovering node cannot crash again.
+	sorted := append([]Crash(nil), p.Crashes...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Node != sorted[j].Node {
+			return sorted[i].Node < sorted[j].Node
+		}
+		return sorted[i].At < sorted[j].At
+	})
+	for i := 1; i < len(sorted); i++ {
+		prev, cur := sorted[i-1], sorted[i]
+		if prev.Node != cur.Node {
+			continue
+		}
+		if prev.Recover == 0 || cur.At < prev.Recover {
+			return fmt.Errorf("%w: overlapping crash windows for node %v (t=%d and t=%d)",
+				ErrBadPlan, cur.Node, prev.At, cur.At)
+		}
+	}
+	return nil
+}
+
+// Validate checks the plan against a system of n nodes: loss in [0, 1],
+// non-negative jitter, crash node IDs inside [0, n), and per-node crash
+// windows that are well-formed and non-overlapping.
+func (p *Plan) Validate(n int) error {
+	if err := p.check(); err != nil {
+		return err
+	}
+	for _, c := range p.Crashes {
+		if int(c.Node) < 0 || int(c.Node) >= n {
+			return fmt.Errorf("%w: crash of node %v outside [0,%d)", ErrBadPlan, c.Node, n)
+		}
+	}
+	return nil
+}
+
+// ParseFaults parses the CLI fault-plan syntax: comma-separated key=value
+// fields, e.g.
+//
+//	loss=0.05,jitter=3,crash=3@100-200,crash=7@150
+//
+// loss is the per-link loss probability, jitter the per-hop extra latency
+// bound in ticks, and each crash field schedules node@at[-recover] (no
+// recover time means the node stays down). The returned plan passes
+// check-level validation; Validate against the system size still applies.
+func ParseFaults(s string) (*Plan, error) {
+	plan := &Plan{}
+	seen := map[string]bool{}
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("%w: field %q is not key=value", ErrBadPlan, field)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		switch key {
+		case "loss":
+			if seen[key] {
+				return nil, fmt.Errorf("%w: duplicate field %q", ErrBadPlan, key)
+			}
+			seen[key] = true
+			q, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: loss %q: %v", ErrBadPlan, val, err)
+			}
+			plan.LinkLoss = q
+		case "jitter":
+			if seen[key] {
+				return nil, fmt.Errorf("%w: duplicate field %q", ErrBadPlan, key)
+			}
+			seen[key] = true
+			ticks, err := strconv.ParseUint(val, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("%w: jitter %q: %v", ErrBadPlan, val, err)
+			}
+			plan.Jitter = time.Duration(ticks)
+		case "crash":
+			c, err := parseCrash(val)
+			if err != nil {
+				return nil, err
+			}
+			plan.Crashes = append(plan.Crashes, c)
+		default:
+			return nil, fmt.Errorf("%w: unknown field %q (loss, jitter, crash)", ErrBadPlan, key)
+		}
+	}
+	if err := plan.check(); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+// parseCrash parses node@at[-recover].
+func parseCrash(val string) (Crash, error) {
+	nodeStr, times, ok := strings.Cut(val, "@")
+	if !ok {
+		return Crash{}, fmt.Errorf("%w: crash %q is not node@at[-recover]", ErrBadPlan, val)
+	}
+	node, err := strconv.ParseInt(strings.TrimSpace(nodeStr), 10, 32)
+	if err != nil || node < 0 {
+		return Crash{}, fmt.Errorf("%w: crash node %q", ErrBadPlan, nodeStr)
+	}
+	atStr, recStr, hasRec := strings.Cut(times, "-")
+	at, err := strconv.ParseUint(strings.TrimSpace(atStr), 10, 64)
+	if err != nil {
+		return Crash{}, fmt.Errorf("%w: crash time %q: %v", ErrBadPlan, atStr, err)
+	}
+	c := Crash{Node: trace.NodeID(node), At: at}
+	if hasRec {
+		rec, err := strconv.ParseUint(strings.TrimSpace(recStr), 10, 64)
+		if err != nil {
+			return Crash{}, fmt.Errorf("%w: crash recover time %q: %v", ErrBadPlan, recStr, err)
+		}
+		c.Recover = rec
+	}
+	return c, nil
+}
+
+// String renders the plan in the ParseFaults syntax.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	var parts []string
+	if p.LinkLoss > 0 {
+		parts = append(parts, fmt.Sprintf("loss=%g", p.LinkLoss))
+	}
+	if p.Jitter > 0 {
+		parts = append(parts, fmt.Sprintf("jitter=%d", uint64(p.Jitter)))
+	}
+	for _, c := range p.Crashes {
+		if c.Recover != 0 {
+			parts = append(parts, fmt.Sprintf("crash=%d@%d-%d", int(c.Node), c.At, c.Recover))
+		} else {
+			parts = append(parts, fmt.Sprintf("crash=%d@%d", int(c.Node), c.At))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// Lost draws the deterministic loss outcome for transmission attempt
+// `attempt` of hop `hop` of message `msg`: a SplitMix64 hash of the seed
+// and the triple, reduced to [0, 1) and compared against the loss
+// probability. Being a pure function of its arguments, the draw is
+// reproducible under any shard count or worker interleaving — the same
+// property the testbed's per-hop jitter stream has.
+func Lost(seed int64, msg trace.MessageID, hop, attempt uint64, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	z := uint64(seed) + uint64(msg)*0x9E3779B97F4A7C15 + hop*0xD1B54A32D192ED03 + (attempt+1)*0xD6E8FEB86659FD93
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11)/(1<<53) < p
+}
+
+// EffectiveLength returns the path-length distribution conditioned on
+// delivery under independent per-link loss q with PolicyNone, plus the
+// overall delivery rate: a path with l intermediate nodes crosses l+1
+// links, so P'(l) ∝ P(l)·(1−q)^(l+1) and the normalizer is the delivery
+// rate Σ_l P(l)·(1−q)^(l+1). This is the closed form the exact backend
+// uses to model loss without sampling. A zero delivery rate (q = 1)
+// returns a nil distribution.
+func EffectiveLength(d dist.Length, q float64) (dist.Length, float64, error) {
+	if err := dist.Validate(d); err != nil {
+		return nil, 0, err
+	}
+	if q < 0 || q > 1 {
+		return nil, 0, fmt.Errorf("%w: link loss %v outside [0,1]", ErrBadPlan, q)
+	}
+	if q == 0 {
+		return d, 1, nil
+	}
+	lo, hi := d.Support()
+	mass := make([]float64, hi-lo+1)
+	survive := 1 - q
+	var rate float64
+	for l := lo; l <= hi; l++ {
+		w := d.PMF(l)
+		for k := 0; k <= l; k++ {
+			w *= survive
+		}
+		mass[l-lo] = w
+		rate += w
+	}
+	if rate == 0 {
+		return nil, 0, nil
+	}
+	for i := range mass {
+		mass[i] /= rate
+	}
+	eff, err := dist.NewPMF(lo, mass)
+	if err != nil {
+		return nil, 0, err
+	}
+	return eff, rate, nil
+}

@@ -1,0 +1,50 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParseFaults drives the CLI fault-plan syntax with arbitrary input:
+// the parser must never panic, and the only error that may escape is
+// ErrBadPlan. Whatever parses must survive check-level re-validation via
+// the String round trip.
+func FuzzParseFaults(f *testing.F) {
+	seeds := []string{
+		"",
+		"loss=0.05",
+		"loss=0.05,jitter=3,crash=3@100-200,crash=7@150",
+		"crash=0@0",
+		"loss=1,crash=2@5-9",
+		"loss=2",
+		"crash=3@10-5",
+		"jitter=999999",
+		"loss=0.1,loss=0.2",
+		"volume=11",
+		"crash=-1@5",
+		"loss=NaN",
+		"loss=1e309",
+		"crash=3@18446744073709551615",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		plan, err := ParseFaults(s)
+		if err != nil {
+			if !errors.Is(err, ErrBadPlan) {
+				t.Fatalf("ParseFaults(%q): non-plan error %v", s, err)
+			}
+			return
+		}
+		// A parsed plan re-parses from its own rendering.
+		again, err := ParseFaults(plan.String())
+		if err != nil {
+			t.Fatalf("round trip of %q (-> %q) failed: %v", s, plan.String(), err)
+		}
+		if again.LinkLoss != plan.LinkLoss || again.Jitter != plan.Jitter ||
+			len(again.Crashes) != len(plan.Crashes) {
+			t.Fatalf("round trip of %q changed the plan: %+v vs %+v", s, plan, again)
+		}
+	})
+}

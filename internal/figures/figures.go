@@ -441,6 +441,8 @@ func ByName(name string) (Figure, error) {
 		return DegradationRounds()
 	case "churn-sweep":
 		return Churn()
+	case "reliability-sweep":
+		return Reliability()
 	case "epoch-optimizer":
 		return EpochOptimizer()
 	default:
@@ -455,6 +457,6 @@ func Names() []string {
 		"3a", "3b", "4a", "4b", "4c", "4d", "5a", "5b", "5c", "5d", "6",
 		"ablation-c", "ablation-n", "ablation-inference", "ablation-crowds",
 		"ablation-largec", "ablation-backends", "degradation-rounds",
-		"churn-sweep", "epoch-optimizer",
+		"churn-sweep", "epoch-optimizer", "reliability-sweep",
 	}
 }

@@ -1,0 +1,93 @@
+package figures_test
+
+import (
+	"strings"
+	"testing"
+
+	"anonmix/internal/figures"
+)
+
+// TestReliabilitySweep: the reliability figure carries three curves per
+// spec × policy, the delivery curves order as the policies demand
+// (reroute ≥ retransmit ≥ none under loss), and the retry-degraded curve
+// sits at or below the lossless one with the gap widening in the loss
+// rate.
+func TestReliabilitySweep(t *testing.T) {
+	losses := []float64{0, 0.05, 0.2}
+	fig, err := figures.ReliabilitySweep(14, 3, 1500, 1, losses, []string{"uniform:1,4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Name != "reliability-sweep" {
+		t.Errorf("name = %q", fig.Name)
+	}
+	if len(fig.Series) != 9 {
+		t.Fatalf("series = %d, want 9 (3 policies × H, Hdeg, delivery)", len(fig.Series))
+	}
+	byLabel := map[string][]float64{}
+	for _, s := range fig.Series {
+		if len(s.Y) != len(losses) {
+			t.Errorf("series %q has %d points, want %d", s.Label, len(s.Y), len(losses))
+		}
+		byLabel[s.Label] = s.Y
+	}
+	last := len(losses) - 1
+
+	// Delivery ordering at the highest loss rate: retries recover what
+	// dropping loses.
+	dNone := byLabel["uniform:1,4/none/delivery"]
+	dRetr := byLabel["uniform:1,4/retransmit/delivery"]
+	dRoute := byLabel["uniform:1,4/reroute/delivery"]
+	if dNone == nil || dRetr == nil || dRoute == nil {
+		t.Fatalf("labels = %v", byLabel)
+	}
+	if dNone[0] != 1 || dRetr[0] != 1 || dRoute[0] != 1 {
+		t.Errorf("lossless delivery not 1: %v %v %v", dNone[0], dRetr[0], dRoute[0])
+	}
+	if dNone[last] >= dRetr[last]-0.01 {
+		t.Errorf("delivery at q=0.2: none %v not below retransmit %v", dNone[last], dRetr[last])
+	}
+	if dRoute[last] < 0.95 {
+		t.Errorf("reroute delivery at q=0.2 = %v, want ≥ 0.95", dRoute[last])
+	}
+
+	// Retry-anonymity cost: Hdeg ≤ H, gap growing in q, for both retry
+	// policies.
+	for _, pol := range []string{"retransmit", "reroute"} {
+		h := byLabel["uniform:1,4/"+pol+"/H"]
+		hd := byLabel["uniform:1,4/"+pol+"/Hdeg"]
+		prevGap := -1e-9
+		for i := range losses {
+			gap := h[i] - hd[i]
+			if gap < -1e-9 {
+				t.Errorf("%s q=%v: Hdeg %v above H %v", pol, losses[i], hd[i], h[i])
+			}
+			if gap < prevGap-0.02 {
+				t.Errorf("%s retry-anonymity cost shrank at q=%v: %v after %v", pol, losses[i], gap, prevGap)
+			}
+			prevGap = gap
+		}
+		if final := h[last] - hd[last]; final <= 0 {
+			t.Errorf("%s q=0.2: no retry-anonymity cost (H %v, Hdeg %v)", pol, h[last], hd[last])
+		}
+	}
+}
+
+// TestReliabilitySweepReproducible: the sweep is a pure function of its
+// parameters (hash-derived loss draws, sorted retry folds).
+func TestReliabilitySweepReproducible(t *testing.T) {
+	gen := func() string {
+		fig, err := figures.ReliabilitySweep(12, 2, 400, 7, []float64{0.1}, []string{"fixed:3"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := fig.WriteTSV(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if a, b := gen(), gen(); a != b {
+		t.Errorf("reliability sweep not reproducible:\n%s\nvs\n%s", a, b)
+	}
+}

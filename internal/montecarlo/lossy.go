@@ -1,0 +1,291 @@
+package montecarlo
+
+// Loss-aware sampling: each trial simulates the delivery process — link
+// losses, retransmissions, rerouting — alongside the path draw, so the
+// estimator reproduces both faces of a faulted run. The lossless face is
+// H over delivered trials (the quantity the exact backend computes in
+// closed form via the effective-delivery length distribution); the
+// degraded face folds the partial-trace evidence every retry leaks into
+// the delivered trial's posterior, mirroring the testbed's
+// retry-observation accounting draw for draw in distribution.
+
+import (
+	"math/rand"
+
+	"anonmix/internal/adversary"
+	"anonmix/internal/events"
+	"anonmix/internal/faults"
+	"anonmix/internal/pathsel"
+	"anonmix/internal/pool"
+	"anonmix/internal/stats"
+	"anonmix/internal/trace"
+)
+
+// partialAttempt records one failed or retried traversal: the path it
+// rode and how many hops the packet reached before the loss (upto hops
+// means nodes path[0..upto-1] processed it, and the transmitter of the
+// lost link knew its target).
+type partialAttempt struct {
+	path []trace.NodeID
+	upto int
+}
+
+// SynthesizePartial constructs the message trace the adversary holds for
+// an incomplete traversal: the packet reached the first upto intermediates
+// of path and was lost on the next link, so every compromised node among
+// them reports its (pred, succ) tuple — the transmitter of the lost link
+// included, since it knew the target it was sending to — and the receiver
+// never reports. It is the failed-attempt counterpart of Synthesize.
+func SynthesizePartial(msg trace.MessageID, sender trace.NodeID, path []trace.NodeID,
+	upto int, compromised func(trace.NodeID) bool) *trace.MessageTrace {
+	if upto > len(path) {
+		upto = len(path)
+	}
+	mt := &trace.MessageTrace{Msg: msg}
+	prev := sender
+	for i := 0; i < upto; i++ {
+		hop := path[i]
+		if compromised(hop) {
+			succ := trace.Receiver
+			if i+1 < len(path) {
+				succ = path[i+1]
+			}
+			mt.Reports = append(mt.Reports, trace.Tuple{
+				Time:     uint64(i + 1),
+				Observer: hop,
+				Msg:      msg,
+				Pred:     prev,
+				Succ:     succ,
+			})
+		}
+		prev = hop
+	}
+	return mt
+}
+
+// lossyTrial is the outcome of one simulated delivery.
+type lossyTrial struct {
+	delivered bool
+	path      []trace.NodeID   // the delivering path (when delivered)
+	attempts  uint64           // transmissions (retransmit) or path draws (reroute)
+	partials  []partialAttempt // retry/failure evidence leaked to the adversary
+}
+
+// simulateDelivery runs one message through the sampled loss process. A
+// path of l intermediates crosses l+1 links; link k's transmitter is the
+// sender for k = 0, path[k-1] otherwise. The partials returned match what
+// the testbed kernel's adversary accounting collects: under retransmit,
+// one prefix per non-terminal lost attempt whose transmitter is a
+// compromised intermediate (an honest or injecting transmitter leaks
+// nothing); under reroute, every failed end-to-end attempt truncated at
+// its first lost link.
+func simulateDelivery(rng *rand.Rand, sel func() ([]trace.NodeID, error),
+	q float64, policy faults.Policy, maxAttempts int,
+	compromised func(trace.NodeID) bool) (lossyTrial, error) {
+	switch policy {
+	case faults.PolicyRetransmit:
+		path, err := sel()
+		if err != nil {
+			return lossyTrial{}, err
+		}
+		out := lossyTrial{delivered: true, path: path, attempts: 1}
+		for k := 0; k <= len(path); k++ {
+			for a := 0; ; a++ {
+				if rng.Float64() >= q {
+					break // transmitted
+				}
+				if a+1 >= maxAttempts {
+					out.delivered = false
+					break
+				}
+				out.attempts++
+				if k >= 1 && compromised(path[k-1]) {
+					out.partials = append(out.partials, partialAttempt{path: path, upto: k})
+				}
+			}
+			if !out.delivered {
+				break
+			}
+		}
+		return out, nil
+	case faults.PolicyReroute:
+		var out lossyTrial
+		for a := 0; a < maxAttempts && !out.delivered; a++ {
+			path, err := sel()
+			if err != nil {
+				return lossyTrial{}, err
+			}
+			out.attempts++
+			lostAt := -1
+			for k := 0; k <= len(path); k++ {
+				if rng.Float64() < q {
+					lostAt = k
+					break
+				}
+			}
+			if lostAt < 0 {
+				out.delivered = true
+				out.path = path
+			} else {
+				out.partials = append(out.partials, partialAttempt{path: path, upto: lostAt})
+			}
+		}
+		return out, nil
+	default: // PolicyNone: drop on first loss
+		path, err := sel()
+		if err != nil {
+			return lossyTrial{}, err
+		}
+		out := lossyTrial{delivered: true, path: path, attempts: 1}
+		for k := 0; k <= len(path); k++ {
+			if rng.Float64() < q {
+				out.delivered = false
+				break
+			}
+		}
+		return out, nil
+	}
+}
+
+// degradedEntropy folds a delivered trial's full posterior together with
+// the partial-trace evidence its retries leaked, under the
+// uncompromised-receiver analysis (a failed attempt never produced a
+// receiver report). Partial traces the analyst cannot classify are
+// skipped — the conservative adversary discards evidence it cannot fit
+// to its model rather than guessing.
+func degradedEntropy(analyst, analystU *adversary.Analyst, mt *trace.MessageTrace,
+	sender trace.NodeID, path []trace.NodeID, partials []partialAttempt) (float64, error) {
+	acc, err := adversary.NewAccumulator(analyst)
+	if err != nil {
+		return 0, err
+	}
+	if err := acc.Observe(mt); err != nil {
+		return 0, err
+	}
+	for _, pa := range partials {
+		p := pa.path
+		if p == nil {
+			p = path
+		}
+		pmt := SynthesizePartial(mt.Msg, sender, p, pa.upto, analyst.Compromised)
+		post, err := analystU.Posterior(pmt)
+		if err != nil {
+			continue
+		}
+		if err := acc.FoldPosterior(post.P); err != nil {
+			return 0, err
+		}
+	}
+	return acc.Entropy()
+}
+
+// estimateLossy is the single-shot loss-aware estimation path. H averages
+// over delivered trials only (matching the exact backend's
+// effective-delivery conditioning), HDegraded additionally folds retry
+// evidence, and the delivery statistics aggregate over every trial. Like
+// the lossless paths it is a pure function of (Seed, Trials, Workers).
+func estimateLossy(cfg Config, analyst *adversary.Analyst, selector *pathsel.Selector) (Result, error) {
+	uOpts := append(append([]events.Option{}, cfg.EngineOptions...), events.WithUncompromisedReceiver())
+	engineU, err := events.New(cfg.N, len(cfg.Compromised), uOpts...)
+	if err != nil {
+		return Result{}, err
+	}
+	analystU, err := adversary.NewAnalyst(engineU, cfg.Strategy.Length, cfg.Compromised)
+	if err != nil {
+		return Result{}, err
+	}
+
+	type part struct {
+		sum, sumDeg stats.Summary
+		compSender  int
+		attempts    uint64
+		injected    int
+		err         error
+	}
+	parts := make([]part, cfg.Workers)
+	per := cfg.Trials / cfg.Workers
+	extra := cfg.Trials % cfg.Workers
+
+	pool.ForEach(cfg.Workers, func(w int) {
+		trials := per
+		if w < extra {
+			trials++
+		}
+		if trials == 0 {
+			return
+		}
+		rng := stats.Fork(cfg.Seed, int64(w))
+		p := &parts[w]
+		for t := 0; t < trials; t++ {
+			sender := cfg.Sender
+			if !cfg.FixedSender {
+				sender = trace.NodeID(rng.Intn(cfg.N))
+			}
+			sel := func() ([]trace.NodeID, error) { return selector.SelectPath(rng, sender) }
+			trial, err := simulateDelivery(rng, sel, cfg.LinkLoss, cfg.Policy, cfg.MaxAttempts, analyst.Compromised)
+			if err != nil {
+				p.err = err
+				return
+			}
+			p.injected++
+			p.attempts += trial.attempts
+			if !trial.delivered {
+				// Undelivered messages carry no receiver-side event; they
+				// enter the delivery statistics but not the H average.
+				continue
+			}
+			if analyst.Compromised(sender) {
+				// Local-eavesdropper branch: identified outright, retries
+				// add nothing.
+				p.sum.Add(0)
+				p.sumDeg.Add(0)
+				p.compSender++
+				continue
+			}
+			mt := Synthesize(1, sender, trial.path, analyst.Compromised)
+			h, err := analyst.Entropy(mt)
+			if err != nil {
+				p.err = err
+				return
+			}
+			p.sum.Add(h)
+			if len(trial.partials) == 0 {
+				p.sumDeg.Add(h)
+				continue
+			}
+			hd, err := degradedEntropy(analyst, analystU, mt, sender, trial.path, trial.partials)
+			if err != nil {
+				p.err = err
+				return
+			}
+			p.sumDeg.Add(hd)
+		}
+	})
+
+	var sum, sumDeg stats.Summary
+	var compSenders, injected int
+	var attempts uint64
+	for i := range parts {
+		if parts[i].err != nil {
+			return Result{}, parts[i].err
+		}
+		sum.Merge(parts[i].sum)
+		sumDeg.Merge(parts[i].sumDeg)
+		compSenders += parts[i].compSender
+		injected += parts[i].injected
+		attempts += parts[i].attempts
+	}
+	res := Result{
+		Trials:       sum.N(),
+		DeliveryRate: float64(sum.N()) / float64(injected),
+		MeanAttempts: float64(attempts) / float64(injected),
+	}
+	if sum.N() > 0 {
+		res.H = sum.Mean()
+		res.StdErr = sum.StdErr()
+		res.CI95 = sum.CI95()
+		res.HDegraded = sumDeg.Mean()
+		res.CompromisedSenderShare = float64(compSenders) / float64(sum.N())
+	}
+	return res, nil
+}

@@ -17,6 +17,7 @@ import (
 	"anonmix/internal/adversary"
 	"anonmix/internal/dist"
 	"anonmix/internal/events"
+	"anonmix/internal/faults"
 	"anonmix/internal/pathsel"
 	"anonmix/internal/pool"
 	"anonmix/internal/scenario/capability"
@@ -80,6 +81,23 @@ type Config struct {
 	// estimator runs hit warm posterior caches. It must match N,
 	// len(Compromised), and EngineOptions.
 	Engine *events.Engine
+	// LinkLoss is the per-link, per-attempt transmission loss probability
+	// of the sampled delivery process. Positive loss (or a retry Policy)
+	// switches the estimator to loss-aware sampling: each trial simulates
+	// the delivery process, H averages over delivered trials only, and the
+	// Result carries DeliveryRate, MeanAttempts, and the retry-degraded
+	// HDegraded. Loss-aware sampling is single-shot (Rounds ≤ 1, no
+	// Confidence tracking).
+	LinkLoss float64
+	// Policy is the delivery-reliability reaction to a lost transmission:
+	// drop (faults.PolicyNone, default), per-link retransmission
+	// (PolicyRetransmit), or end-to-end rerouting over fresh paths
+	// (PolicyReroute).
+	Policy faults.Policy
+	// MaxAttempts bounds transmissions per link (PolicyRetransmit) or path
+	// attempts per message (PolicyReroute); 0 means
+	// faults.DefaultMaxAttempts.
+	MaxAttempts int
 }
 
 // Result summarizes an estimation run.
@@ -106,6 +124,18 @@ type Result struct {
 	// MeanRoundsToIdentify is the mean identification round among
 	// identified sessions (0 when none were identified).
 	MeanRoundsToIdentify float64
+	// DeliveryRate is the fraction of trials delivered end to end (1 for
+	// lossless runs). H, StdErr, and CI95 describe delivered trials only.
+	DeliveryRate float64
+	// MeanAttempts is the mean number of transmission attempts per trial:
+	// 1 under PolicyNone, 1 plus the mean retransmission count under
+	// PolicyRetransmit, the mean path-attempt count under PolicyReroute.
+	MeanAttempts float64
+	// HDegraded is the retry-degraded anonymity degree: the mean entropy
+	// after the adversary folds the partial-trace evidence leaked by
+	// retransmissions and failed rerouting attempts into each delivered
+	// trial's posterior. Equal to H for lossless runs.
+	HDegraded float64
 }
 
 // EstimateH runs the sampled estimation of H*(S).
@@ -130,6 +160,23 @@ func EstimateH(cfg Config) (Result, error) {
 	}
 	if cfg.Strategy.Kind == pathsel.Complicated {
 		return Result{}, capability.Unsupported("montecarlo", ErrComplicatedPaths, cfg.Strategy.Name)
+	}
+	if cfg.LinkLoss < 0 || cfg.LinkLoss > 1 || cfg.LinkLoss != cfg.LinkLoss {
+		return Result{}, fmt.Errorf("%w: link loss %v outside [0,1]", ErrBadConfig, cfg.LinkLoss)
+	}
+	if cfg.Policy > faults.PolicyReroute {
+		return Result{}, fmt.Errorf("%w: reliability policy %v", ErrBadConfig, cfg.Policy)
+	}
+	if cfg.MaxAttempts < 0 {
+		return Result{}, fmt.Errorf("%w: MaxAttempts %d", ErrBadConfig, cfg.MaxAttempts)
+	}
+	if cfg.MaxAttempts == 0 {
+		cfg.MaxAttempts = faults.DefaultMaxAttempts
+	}
+	lossy := cfg.LinkLoss > 0 || cfg.Policy != faults.PolicyNone
+	if lossy && (cfg.Rounds > 1 || cfg.Confidence > 0) {
+		return Result{}, fmt.Errorf("%w: loss-aware sampling is single-shot (Rounds=%d, Confidence=%v)",
+			ErrBadConfig, cfg.Rounds, cfg.Confidence)
 	}
 	// The reference engine the configuration describes. When the caller
 	// injects a shared engine it must match the reference on every axis —
@@ -170,6 +217,9 @@ func EstimateH(cfg Config) (Result, error) {
 	}
 	if cfg.Rounds > 1 || cfg.Confidence > 0 {
 		return estimateRounds(cfg, analyst, selector)
+	}
+	if lossy {
+		return estimateLossy(cfg, analyst, selector)
 	}
 
 	type part struct {
@@ -239,6 +289,9 @@ func EstimateH(cfg Config) (Result, error) {
 		CI95:                   total.CI95(),
 		Trials:                 total.N(),
 		CompromisedSenderShare: float64(compSenders) / float64(total.N()),
+		DeliveryRate:           1,
+		MeanAttempts:           1,
+		HDegraded:              total.Mean(),
 	}, nil
 }
 
@@ -366,6 +419,9 @@ func estimateRounds(cfg Config, analyst *adversary.Analyst, selector *pathsel.Se
 		CompromisedSenderShare: float64(compSenders) / float64(total.N()),
 		HRounds:                hRounds,
 		IdentifiedShare:        float64(identified) / float64(total.N()),
+		DeliveryRate:           1,
+		MeanAttempts:           1,
+		HDegraded:              total.Mean(),
 	}
 	if identified > 0 {
 		res.MeanRoundsToIdentify = float64(roundsSum) / float64(identified)

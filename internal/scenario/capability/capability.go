@@ -31,6 +31,9 @@ var (
 	// ErrScale reports a configuration whose size the backend cannot
 	// handle (e.g. exhaustive enumeration far beyond its class-space cap).
 	ErrScale = errors.New("configuration too large for this backend")
+	// ErrFaults reports a fault-plan element (retry policy, crash
+	// schedule) the backend cannot execute.
+	ErrFaults = errors.New("fault plan not executable on this backend")
 )
 
 // Error is a backend-capability failure: Backend names the refusing

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"testing"
 
+	"anonmix/internal/faults"
 	"anonmix/internal/pathsel"
 	"anonmix/internal/scenario"
 	"anonmix/internal/scenario/capability"
@@ -131,6 +132,28 @@ func genConfig(rng *rand.Rand, idx int) scenario.Config {
 			cfg.Workload.Confidence = 0
 		}
 	}
+
+	// Faults: about a quarter of the scenarios run under a fault plan —
+	// link loss with one of the three reliability policies, occasionally a
+	// crash schedule (testbed-only: the analytic backends must refuse).
+	// Combinations the layer rejects (faults + Crowds, faults + rounds,
+	// reroute + timeline) are left in deliberately: they exercise the
+	// config-error-agreement half of the contract. The draws come from an
+	// independent per-case stream so the fault layer composes onto the
+	// exact configurations the harness pinned before it existed.
+	frng := rand.New(rand.NewSource(int64(4000 + idx)))
+	if frng.Intn(4) == 0 {
+		cfg.Faults = &faults.Plan{LinkLoss: []float64{0.02, 0.05, 0.1, 0.2}[frng.Intn(4)]}
+		switch frng.Intn(3) {
+		case 1:
+			cfg.Reliability = faults.Reliability{Policy: faults.PolicyRetransmit}
+		case 2:
+			cfg.Reliability = faults.Reliability{Policy: faults.PolicyReroute}
+		}
+		if frng.Intn(6) == 0 {
+			cfg.Faults.Crashes = []faults.Crash{{Node: trace.NodeID(frng.Intn(n)), At: 5, Recover: 200}}
+		}
+	}
 	return cfg
 }
 
@@ -180,6 +203,12 @@ func configLiteral(cfg scenario.Config) string {
 		cfg.Workload.Messages, cfg.Workload.Rounds, cfg.Workload.Confidence,
 		cfg.Workload.FixedSender, int(cfg.Workload.Sender), cfg.Workload.Seed,
 		cfg.Workload.Workers, cfg.Workload.BatchThreshold)
+	if cfg.Faults != nil {
+		fmt.Fprintf(&b, "\tFaults: &faults.Plan{LinkLoss: %v, Jitter: %d, Crashes: %#v},\n",
+			cfg.Faults.LinkLoss, cfg.Faults.Jitter, cfg.Faults.Crashes)
+		fmt.Fprintf(&b, "\tReliability: faults.Reliability{Policy: faults.Policy(%d), MaxAttempts: %d, RetryBackoff: %d},\n",
+			uint8(cfg.Reliability.Policy), cfg.Reliability.MaxAttempts, cfg.Reliability.RetryBackoff)
+	}
 	if len(cfg.Timeline) > 0 {
 		b.WriteString("\tTimeline: []scenario.Epoch{\n")
 		for _, e := range cfg.Timeline {
@@ -259,6 +288,16 @@ func TestCrossBackendDifferential(t *testing.T) {
 				if d := math.Abs(res.H - ref.H); d > tol {
 					fail("%s H = %v ± %v, %s H = %v ± %v (Δ=%v > tol %v)",
 						kind, res.H, res.StdErr, capable[0], ref.H, ref.StdErr, d, tol)
+				}
+				if cfg.Faults != nil {
+					if d := math.Abs(res.DeliveryRate - ref.DeliveryRate); d > 0.05 {
+						fail("%s delivery = %v, %s delivery = %v (Δ=%v)",
+							kind, res.DeliveryRate, capable[0], ref.DeliveryRate, d)
+					}
+					if d := math.Abs(res.HDegraded - ref.HDegraded); d > tol+0.05 {
+						fail("%s HDegraded = %v, %s HDegraded = %v (Δ=%v)",
+							kind, res.HDegraded, capable[0], ref.HDegraded, d)
+					}
 				}
 				if res.Rounds != ref.Rounds || len(res.HRounds) != len(ref.HRounds) {
 					fail("%s rounds shape (%d, %d) != %s (%d, %d)",

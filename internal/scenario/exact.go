@@ -14,6 +14,7 @@ import (
 	"anonmix/internal/adversary"
 	"anonmix/internal/entropy"
 	"anonmix/internal/events"
+	"anonmix/internal/faults"
 	"anonmix/internal/montecarlo"
 	"anonmix/internal/pathsel"
 	"anonmix/internal/scenario/capability"
@@ -34,8 +35,38 @@ func (exactBackend) Run(cfg Config) (Result, error) {
 		return Result{}, capability.Unsupported(string(BackendExact),
 			capability.ErrComplicatedPaths, cfg.Strategy.Name)
 	}
+	deliveryRate := 1.0
+	if cfg.Faults != nil {
+		// The closed forms cover PolicyNone link loss exactly: conditioning
+		// on delivery reweights the path-length prior to
+		// P'(l) ∝ P(l)·(1−q)^(l+1), and the engine evaluates H under P'.
+		// Retry policies and crash schedules leak timing evidence the
+		// enumeration does not model — those run on the sampling backends.
+		if cfg.Reliability.Policy != faults.PolicyNone {
+			return Result{}, capability.Unsupported(string(BackendExact),
+				capability.ErrFaults, "retry policies ("+cfg.Reliability.Policy.String()+") are sampled-backend-only; the closed form covers PolicyNone loss")
+		}
+		if len(cfg.Faults.Crashes) > 0 {
+			return Result{}, capability.Unsupported(string(BackendExact),
+				capability.ErrFaults, "crash schedules are sampled-backend-only")
+		}
+		eff, rate, err := faults.EffectiveLength(cfg.Strategy.Length, cfg.Faults.LinkLoss)
+		if err != nil {
+			return Result{}, err
+		}
+		if rate == 0 {
+			// Total loss: nothing delivers, the adversary sees no completed
+			// traffic, and H over delivered messages is vacuously zero.
+			return Result{
+				H: 0, HDegraded: 0, DeliveryRate: 0, MeanAttempts: 1,
+				MaxH: entropy.Max(cfg.N),
+			}, nil
+		}
+		cfg.Strategy.Length = eff
+		deliveryRate = rate
+	}
 	if len(cfg.phases) > 0 {
-		return runExactTimeline(cfg)
+		return runExactTimeline(cfg, deliveryRate)
 	}
 	e, err := Engine(cfg.N, len(cfg.Adversary.Compromised), engineOptions(cfg)...)
 	if err != nil {
@@ -61,12 +92,20 @@ func (exactBackend) Run(cfg Config) (Result, error) {
 		}
 		compShare = 0
 	}
-	return Result{
+	res := Result{
 		H:                      h,
 		MaxH:                   e.MaxAnonymity(),
 		Normalized:             entropy.Normalized(h, cfg.N),
 		CompromisedSenderShare: compShare,
-	}, nil
+	}
+	if cfg.Faults != nil {
+		// PolicyNone drops on first loss: one attempt per message, and no
+		// retry evidence — the degraded degree equals the lossless one.
+		res.DeliveryRate = deliveryRate
+		res.MeanAttempts = 1
+		res.HDegraded = h
+	}
+	return res, nil
 }
 
 // runExactRounds executes the repeated-communication regime on the exact
@@ -170,7 +209,7 @@ func runExactRounds(cfg Config, e *events.Engine) (Result, error) {
 // timeline feeds the union-space accumulator across the phase boundaries
 // with exact per-round posteriors, serially from one RNG stream — the
 // reference the parallel Monte-Carlo timeline is cross-validated against.
-func runExactTimeline(cfg Config) (Result, error) {
+func runExactTimeline(cfg Config, deliveryRate float64) (Result, error) {
 	if timelineRounds(cfg.phases) {
 		return runPhasedRounds(cfg, string(BackendExact), 1)
 	}
@@ -211,6 +250,14 @@ func runExactTimeline(cfg Config) (Result, error) {
 		})
 	}
 	res.Normalized = res.H / res.MaxH
+	if cfg.Faults != nil {
+		// The loss rate is population-independent (it depends only on the
+		// shared length distribution), so the per-phase delivery rates
+		// coincide and the blend is the caller's single rate.
+		res.DeliveryRate = deliveryRate
+		res.MeanAttempts = 1
+		res.HDegraded = res.H
+	}
 	return res, nil
 }
 

@@ -24,6 +24,12 @@ func (mcBackend) Run(cfg Config) (Result, error) {
 		return Result{}, capability.Unsupported(string(BackendMonteCarlo),
 			capability.ErrProtocol, cfg.Protocol.String())
 	}
+	if cfg.Faults != nil && len(cfg.Faults.Crashes) > 0 {
+		// Crash outages are timing phenomena of the event kernel; the
+		// timing-free sampler has no clock to schedule them on.
+		return Result{}, capability.Unsupported(string(BackendMonteCarlo),
+			capability.ErrFaults, "crash schedules are testbed-only")
+	}
 	if len(cfg.phases) > 0 {
 		return runMCTimeline(cfg)
 	}
@@ -31,7 +37,7 @@ func (mcBackend) Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	res, err := montecarlo.EstimateH(montecarlo.Config{
+	mcCfg := montecarlo.Config{
 		N:             cfg.N,
 		Compromised:   cfg.Adversary.Compromised,
 		Strategy:      cfg.Strategy,
@@ -44,7 +50,9 @@ func (mcBackend) Run(cfg Config) (Result, error) {
 		Workers:       cfg.Workload.Workers,
 		EngineOptions: engineOptions(cfg),
 		Engine:        engine,
-	})
+	}
+	applyFaults(&mcCfg, cfg)
+	res, err := montecarlo.EstimateH(mcCfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -60,7 +68,22 @@ func (mcBackend) Run(cfg Config) (Result, error) {
 		HRounds:                res.HRounds,
 		IdentifiedShare:        res.IdentifiedShare,
 		MeanRoundsToIdentify:   res.MeanRoundsToIdentify,
+		DeliveryRate:           res.DeliveryRate,
+		MeanAttempts:           res.MeanAttempts,
+		HDegraded:              res.HDegraded,
 	}, nil
+}
+
+// applyFaults threads a scenario fault plan into an estimator config
+// (loss probability and retry policy; jitter is timing-only and crashes
+// were rejected above).
+func applyFaults(mcCfg *montecarlo.Config, cfg Config) {
+	if cfg.Faults == nil {
+		return
+	}
+	mcCfg.LinkLoss = cfg.Faults.LinkLoss
+	mcCfg.Policy = cfg.Reliability.Policy
+	mcCfg.MaxAttempts = cfg.Reliability.MaxAttempts
 }
 
 // runMCTimeline executes a dynamic-population scenario by sampling. A
@@ -107,6 +130,7 @@ func runMCTimeline(cfg Config) (Result, error) {
 			EngineOptions: engineOptions(cfg),
 			Engine:        engine,
 		}
+		applyFaults(&mcCfg, cfg)
 		if cfg.Workload.FixedSender {
 			mcCfg.FixedSender = true
 			mcCfg.Sender = trace.NodeID(p.denseOf[cfg.Workload.Sender])
@@ -120,6 +144,9 @@ func runMCTimeline(cfg Config) (Result, error) {
 		variance += w * w * pr.StdErr * pr.StdErr
 		res.Trials += pr.Trials
 		res.CompromisedSenderShare += w * pr.CompromisedSenderShare
+		res.DeliveryRate += w * pr.DeliveryRate
+		res.MeanAttempts += w * pr.MeanAttempts
+		res.HDegraded += w * pr.HDegraded
 		er.H = pr.H
 		res.Epochs = append(res.Epochs, er)
 	}

@@ -37,6 +37,7 @@ import (
 
 	"anonmix/internal/dist"
 	"anonmix/internal/events"
+	"anonmix/internal/faults"
 	"anonmix/internal/pathsel"
 	"anonmix/internal/scenario/capability"
 	"anonmix/internal/trace"
@@ -294,6 +295,21 @@ type Config struct {
 	// EngineOptions are forwarded to the exact engine in addition to the
 	// options derived from Adversary (e.g. events.WithInference).
 	EngineOptions []events.Option
+	// Faults, when non-nil, injects deterministic delivery faults: per-link
+	// loss, per-node crash windows at virtual times, and extra hop jitter
+	// (see faults.Plan and faults.ParseFaults). All draws derive from
+	// Workload.Seed, so a faulted run is exactly as reproducible as a
+	// lossless one. Fault-injected scenarios are single-shot: Rounds > 1,
+	// Confidence tracking, and Crowds are rejected. The exact backend
+	// models PolicyNone loss in closed form via the effective-delivery
+	// length distribution; crashes and retry policies run on the sampling
+	// backends.
+	Faults *faults.Plan
+	// Reliability selects how the system reacts to a lost transmission or
+	// crashed hop: drop (PolicyNone, the default), per-link retransmission
+	// with capped exponential backoff, or end-to-end rerouting over a
+	// fresh path. Meaningful only with Faults set.
+	Reliability faults.Reliability
 
 	// phases is the normalized membership schedule derived from Timeline
 	// (computed by normalize; backends read it, callers never set it).
@@ -410,6 +426,22 @@ type Result struct {
 	// timeline order (nil for static scenarios); H, HRounds, and the other
 	// top-level fields hold the blended values.
 	Epochs []EpochResult
+	// DeliveryRate is the fraction of messages delivered end to end under
+	// the configured fault plan (1 for lossless runs). H describes the
+	// delivered messages only — the traffic the adversary's receiver-side
+	// evidence exists for.
+	DeliveryRate float64
+	// MeanAttempts is the mean number of transmission attempts per
+	// injected message: 1 under PolicyNone, 1 plus the mean retransmission
+	// count under PolicyRetransmit, and the mean number of end-to-end path
+	// attempts under PolicyReroute.
+	MeanAttempts float64
+	// HDegraded is the retry-degraded anonymity degree: H recomputed with
+	// the adversary additionally folding the evidence leaked by
+	// retransmissions and failed rerouting attempts (partial traces
+	// analyzed under the uncompromised-receiver model). Equal to H for
+	// lossless runs; always ≤ H, with the gap growing in the loss rate.
+	HDegraded float64
 	// Elapsed is the wall-clock backend runtime.
 	Elapsed time.Duration
 	// Kernel reports testbed kernel counters (nil elsewhere).
@@ -485,6 +517,13 @@ func Run(cfg Config) (Result, error) {
 	res.Backend = norm.Backend
 	res.Strategy = norm.Strategy
 	res.Rounds = norm.Workload.Rounds
+	if norm.Faults == nil {
+		// Lossless runs deliver everything in one attempt and leak nothing
+		// beyond the base observations.
+		res.DeliveryRate = 1
+		res.MeanAttempts = 1
+		res.HDegraded = res.H
+	}
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
@@ -568,6 +607,9 @@ func normalize(cfg Config) (Config, error) {
 		return Config{}, fmt.Errorf("%w: MaxHopDelay %v", ErrBadConfig, cfg.Workload.MaxHopDelay)
 	}
 	if err := normalizeTimeline(&cfg); err != nil {
+		return Config{}, err
+	}
+	if err := normalizeFaults(&cfg); err != nil {
 		return Config{}, err
 	}
 	// Every sampled run needs a positive message budget. Validating here

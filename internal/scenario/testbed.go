@@ -64,6 +64,9 @@ func (testbedBackend) Run(cfg Config) (Result, error) {
 	if len(cfg.phases) > 0 {
 		return runRoutedTimeline(cfg)
 	}
+	if cfg.Faults != nil {
+		return runRoutedFaulty(cfg)
+	}
 	return runRouted(cfg)
 }
 
@@ -327,10 +330,10 @@ func runRoutedTimeline(cfg Config) (Result, error) {
 	// Phase windows: wide enough that every event of phase e has a logical
 	// time below T[e+1] (injections advance the clock by one each; every
 	// hop, mix release included, adds at most 1+jitter ticks over the
-	// phase's running maximum, and a path has at most hi+2 such steps).
-	jitter := uint64(cfg.Workload.MaxHopDelay)
-	_, hi := cfg.Strategy.Length.Support()
-	span := func(m int) uint64 { return uint64(m) + uint64(hi+3)*(1+jitter) + 4 }
+	// phase's running maximum — fault-plan jitter and the retransmit
+	// backoff budget included, see phaseSpan — and a path has at most hi+2
+	// such steps).
+	span := func(m int) uint64 { return phaseSpan(&cfg, m) }
 	T := make([]uint64, len(phases)+1)
 	for e := range phases {
 		m := phases[e].epoch.Messages
@@ -384,6 +387,7 @@ func runRoutedTimeline(cfg Config) (Result, error) {
 		Seed:        cfg.Workload.Seed,
 		MaxHopDelay: cfg.Workload.MaxHopDelay,
 	}
+	faultNetConfig(&nwCfg, &cfg)
 	var ring *onion.KeyRing
 	if cfg.Protocol == ProtocolOnion {
 		var secret [8]byte
@@ -489,8 +493,20 @@ func runRoutedTimeline(cfg Config) (Result, error) {
 		}
 	}
 	elapsed := time.Since(start)
-	if drops := nw.Dropped(); len(drops) > 0 {
-		return Result{}, fmt.Errorf("scenario: testbed dropped %d packets: %w", len(drops), drops[0])
+	var fa *faultAnalysis
+	if cfg.Faults == nil {
+		if drops := nw.Dropped(); len(drops) > 0 {
+			return Result{}, fmt.Errorf("scenario: testbed dropped %d packets: %w", len(drops), drops[0])
+		}
+	} else {
+		// Loss and crash drops are the configured fault process; anything
+		// else is still a defect.
+		if err := checkUnexpectedDrops(nw); err != nil {
+			return Result{}, err
+		}
+		if fa, err = newTimelineFaultAnalysis(cfg, nw); err != nil {
+			return Result{}, err
+		}
 	}
 	traces := trace.Collate(nw.Tuples())
 
@@ -499,7 +515,7 @@ func runRoutedTimeline(cfg Config) (Result, error) {
 	if rounds {
 		res, err = analyzeRoutedTimeline(cfg, analysts, traces, senders, ids)
 	} else {
-		res, err = analyzeSingleShotTimeline(cfg, analysts, traces, phaseSenders, phaseIDs)
+		res, err = analyzeSingleShotTimeline(cfg, analysts, traces, phaseSenders, phaseIDs, fa)
 	}
 	if err != nil {
 		return Result{}, err
@@ -513,12 +529,16 @@ func runRoutedTimeline(cfg Config) (Result, error) {
 // analyzeSingleShotTimeline measures a Messages timeline: every phase's
 // traffic is analyzed with that phase's adversary in its dense space, in
 // injection order for bit-reproducibility, and the phases blend into the
-// pooled empirical mean.
+// pooled empirical mean. A non-nil faultAnalysis restricts H to delivered
+// messages and folds the retransmission evidence into HDegraded, exactly
+// as the static faulted path does (see runRoutedFaulty).
 func analyzeSingleShotTimeline(cfg Config, analysts []*adversary.Analyst,
 	traces map[trace.MessageID]*trace.MessageTrace,
-	phaseSenders [][]trace.NodeID, phaseIDs [][]trace.MessageID) (Result, error) {
+	phaseSenders [][]trace.NodeID, phaseIDs [][]trace.MessageID,
+	fa *faultAnalysis) (Result, error) {
 	var (
-		sum          stats.Summary
+		sum, sumDeg  stats.Summary
+		injected     int
 		compSenders  int
 		deanonymized int
 		epochs       []EpochResult
@@ -527,14 +547,19 @@ func analyzeSingleShotTimeline(cfg Config, analysts []*adversary.Analyst,
 		p := &cfg.phases[e]
 		var pSum stats.Summary
 		for m, sender := range phaseSenders[e] {
+			injected++
+			id := phaseIDs[e][m]
+			if fa != nil && !fa.delivered[id] {
+				continue // undelivered: excluded from H, counted in delivery stats
+			}
 			if p.compSet[sender] {
 				sum.Add(0)
 				pSum.Add(0)
+				sumDeg.Add(0)
 				compSenders++
 				deanonymized++
 				continue
 			}
-			id := phaseIDs[e][m]
 			mt := traces[id]
 			if mt == nil {
 				return Result{}, fmt.Errorf("scenario: message %d has no trace", id)
@@ -552,6 +577,29 @@ func analyzeSingleShotTimeline(cfg Config, analysts []*adversary.Analyst,
 			}
 			sum.Add(h)
 			pSum.Add(h)
+			if fa == nil {
+				continue
+			}
+			// Degraded fold: each retransmission the kernel logged for this
+			// message leaked the delivered trace's prefix up to the retrying
+			// observer, analyzed in the phase's dense space.
+			var partials []*trace.MessageTrace
+			for _, rt := range fa.retries[id] {
+				do, ok := p.denseOf[rt.Observer]
+				if !ok {
+					continue
+				}
+				partials = append(partials, truncateAtObserver(dmt, trace.NodeID(do)))
+			}
+			if len(partials) == 0 {
+				sumDeg.Add(h)
+				continue
+			}
+			hd, err := foldDegraded(analysts[e], fa.analystsU[e], dmt, partials)
+			if err != nil {
+				return Result{}, fmt.Errorf("scenario: message %d degraded fold: %w", id, err)
+			}
+			sumDeg.Add(hd)
 		}
 		er := EpochResult{Index: e, N: p.n(), C: p.c(), Messages: p.epoch.Messages}
 		if pSum.N() > 0 {
@@ -559,16 +607,26 @@ func analyzeSingleShotTimeline(cfg Config, analysts []*adversary.Analyst,
 		}
 		epochs = append(epochs, er)
 	}
-	return Result{
-		H:                      sum.Mean(),
-		StdErr:                 sum.StdErr(),
-		CI95:                   sum.CI95(),
-		Estimated:              true,
-		Trials:                 sum.N(),
-		CompromisedSenderShare: float64(compSenders) / float64(sum.N()),
-		Deanonymized:           deanonymized,
-		Epochs:                 epochs,
-	}, nil
+	res := Result{
+		Estimated:    true,
+		Trials:       sum.N(),
+		Deanonymized: deanonymized,
+		Epochs:       epochs,
+	}
+	if sum.N() > 0 {
+		res.H = sum.Mean()
+		res.StdErr = sum.StdErr()
+		res.CI95 = sum.CI95()
+		res.CompromisedSenderShare = float64(compSenders) / float64(sum.N())
+	}
+	if fa != nil {
+		res.DeliveryRate = float64(sum.N()) / float64(injected)
+		res.MeanAttempts = fa.meanAttempts(injected)
+		if sumDeg.N() > 0 {
+			res.HDegraded = sumDeg.Mean()
+		}
+	}
+	return res, nil
 }
 
 // analyzeRoutedTimeline folds a Rounds timeline's collected traces through

@@ -24,12 +24,14 @@ package simnet
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"anonmix/internal/faults"
 	"anonmix/internal/pool"
 	"anonmix/internal/stats"
 	"anonmix/internal/trace"
@@ -68,6 +70,10 @@ type Packet struct {
 	// hops counts forwarding steps taken, indexing the deterministic
 	// per-hop delay stream.
 	hops uint64
+	// tries counts delivery attempts into a crashed node on the current
+	// link (PolicyRetransmit); it resets whenever the packet is processed
+	// by a live node, so the retry budget is per link.
+	tries int
 }
 
 // Forwarder decides, at each node, where a packet goes next. Implementations
@@ -199,6 +205,128 @@ type Config struct {
 	// arrival order, so multi-shard mix runs vary with scheduling (see
 	// Seed); use Shards = 1 to reproduce exact tuple streams.
 	BatchThreshold int
+	// LinkLoss is the per-link, per-attempt transmission loss probability
+	// in [0, 1]. Every loss is a pure function of (Seed, message, hop,
+	// attempt) — see faults.Lost — so lossy runs are reproducible under
+	// any shard count, like the per-hop jitter stream.
+	LinkLoss float64
+	// Crashes schedules fault-injection outages: a crashed node stays a
+	// member (injectors may still route through it) but fails to process
+	// traffic until it recovers, which is what exercises the reliability
+	// policy. Windows per node must not overlap (faults.Plan semantics).
+	Crashes []faults.Crash
+	// Policy is the delivery-reliability reaction to a lost transmission
+	// or a crashed next hop: drop (PolicyNone, the default), per-link
+	// retransmission with capped exponential backoff (PolicyRetransmit),
+	// or hand the message back to the driver for an end-to-end retry over
+	// a fresh path (PolicyReroute; see TakeFailed).
+	Policy faults.Policy
+	// MaxAttempts bounds transmissions per link under PolicyRetransmit
+	// (and is echoed by drivers as the reroute injection budget); 0 means
+	// faults.DefaultMaxAttempts. The bound is what makes Settle terminate
+	// under 100% loss.
+	MaxAttempts int
+	// RetryBackoff is the base retransmission timeout in
+	// nanoseconds-as-ticks; retry k waits RetryBackoff << min(k,
+	// faults.BackoffCap). 0 means faults.DefaultRetryBackoff.
+	RetryBackoff time.Duration
+}
+
+// Drop causes recorded in DropStats.
+const (
+	// DropBadHop marks a forwarder returning an out-of-range next hop.
+	DropBadHop = "bad-hop"
+	// DropForwarder marks a forwarder error (e.g. an onion peel failure).
+	DropForwarder = "forwarder"
+	// DropAbsent marks traffic routed through a non-member node.
+	DropAbsent = "absent"
+	// DropCrash marks a packet retired at a crashed node after the policy
+	// gave up (or immediately, under PolicyNone).
+	DropCrash = "crash"
+	// DropLoss marks a packet lost on a link after the policy gave up (or
+	// on the first loss, under PolicyNone).
+	DropLoss = "loss"
+)
+
+// dropSampleCap bounds the ring of sampled drop errors retained for
+// diagnostics. Counting is exact; only the examples are sampled.
+const dropSampleCap = 16
+
+// DropStats summarizes discarded packets in bounded memory: exact totals
+// by cause plus a ring of the most recent example errors. It replaces the
+// unbounded per-drop error slice, which at million-node lossy scale
+// retained one allocation per drop.
+type DropStats struct {
+	// Total is the exact number of packets discarded.
+	Total uint64
+	// ByCause is the exact per-cause breakdown (keys are the Drop*
+	// constants).
+	ByCause map[string]uint64
+	// Samples holds up to dropSampleCap recent example errors, oldest
+	// first.
+	Samples []error
+}
+
+// dropLog is the bounded drop accumulator behind DropStats.
+type dropLog struct {
+	mu      sync.Mutex
+	total   uint64
+	byCause map[string]uint64
+	ring    [dropSampleCap]error
+	next    uint64
+}
+
+// add records one drop.
+func (d *dropLog) add(cause string, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.total++
+	if d.byCause == nil {
+		d.byCause = make(map[string]uint64, 4)
+	}
+	d.byCause[cause]++
+	d.ring[d.next%dropSampleCap] = err
+	d.next++
+}
+
+// snapshot copies the accumulated statistics.
+func (d *dropLog) snapshot() DropStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := DropStats{Total: d.total, Samples: d.samplesLocked()}
+	if len(d.byCause) > 0 {
+		out.ByCause = make(map[string]uint64, len(d.byCause))
+		for k, v := range d.byCause {
+			out.ByCause[k] = v
+		}
+	}
+	return out
+}
+
+// samplesLocked returns the example ring oldest-first.
+func (d *dropLog) samplesLocked() []error {
+	n := d.next
+	if n > dropSampleCap {
+		n = dropSampleCap
+	}
+	out := make([]error, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, d.ring[(d.next-n+i)%dropSampleCap])
+	}
+	return out
+}
+
+// Failure records a logical message the kernel retired undelivered and
+// handed back to the driver (PolicyReroute): the packet's path hit a lost
+// link or a crashed node, and end-to-end recovery — a fresh path over the
+// live membership — is the driver's job.
+type Failure struct {
+	// Msg is the failed message.
+	Msg trace.MessageID
+	// Time is the logical time of the terminal fault.
+	Time uint64
+	// Cause is the fault class (DropLoss or DropCrash).
+	Cause string
 }
 
 // Metrics is a snapshot of kernel counters.
@@ -211,6 +339,11 @@ type Metrics struct {
 	BatchFlushes uint64
 	// Churn is the number of scheduled membership/compromise transitions.
 	Churn int
+	// Retries counts retransmission attempts performed by
+	// PolicyRetransmit (link losses and crashed-hop timeouts).
+	Retries uint64
+	// Dropped is the exact total of discarded packets (see DropStats).
+	Dropped uint64
 }
 
 // boolSched is a per-node piecewise-constant boolean timeline: the state is
@@ -340,6 +473,17 @@ type Network struct {
 	liveSched map[trace.NodeID]*boolSched
 	compSched map[trace.NodeID]*boolSched
 
+	// crashSched holds the fault-injection outage timelines (true =
+	// crashed), kept apart from liveSched because a crashed node is still
+	// a member — churn and crashes are orthogonal axes. Immutable after
+	// New. lossProb/policy/maxAttempts/backoffBase mirror the validated
+	// reliability configuration.
+	crashSched  map[trace.NodeID]*boolSched
+	lossProb    float64
+	policy      faults.Policy
+	maxAttempts int
+	backoffBase uint64
+
 	nextMsg atomic.Uint64
 	injTime atomic.Uint64 // injection logical clock
 
@@ -359,11 +503,15 @@ type Network struct {
 
 	events  atomic.Uint64
 	flushes atomic.Uint64
+	retries atomic.Uint64
+
+	drops dropLog
 
 	mu         sync.Mutex
 	tuples     []trace.Tuple
 	deliveries []Delivery
-	dropped    []error
+	retryObs   []trace.Tuple
+	failures   []Failure
 
 	msgWG sync.WaitGroup // in-flight messages
 
@@ -410,6 +558,28 @@ func New(cfg Config) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.LinkLoss < 0 || cfg.LinkLoss > 1 || math.IsNaN(cfg.LinkLoss) {
+		return nil, fmt.Errorf("%w: link loss %v outside [0,1]", ErrBadConfig, cfg.LinkLoss)
+	}
+	if cfg.Policy > faults.PolicyReroute {
+		return nil, fmt.Errorf("%w: reliability policy %v", ErrBadConfig, cfg.Policy)
+	}
+	if cfg.MaxAttempts < 0 {
+		return nil, fmt.Errorf("%w: MaxAttempts %d", ErrBadConfig, cfg.MaxAttempts)
+	}
+	if cfg.MaxAttempts == 0 {
+		cfg.MaxAttempts = faults.DefaultMaxAttempts
+	}
+	if cfg.RetryBackoff < 0 {
+		return nil, fmt.Errorf("%w: RetryBackoff %v", ErrBadConfig, cfg.RetryBackoff)
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = faults.DefaultRetryBackoff
+	}
+	crashSched, err := buildCrashes(cfg.N, cfg.Crashes)
+	if err != nil {
+		return nil, err
+	}
 	if cfg.Forwarder == nil {
 		cfg.Forwarder = PlainForwarder{}
 	}
@@ -430,6 +600,11 @@ func New(cfg Config) (*Network, error) {
 		down:        down,
 		liveSched:   liveSched,
 		compSched:   compSched,
+		crashSched:  crashSched,
+		lossProb:    cfg.LinkLoss,
+		policy:      cfg.Policy,
+		maxAttempts: cfg.MaxAttempts,
+		backoffBase: uint64(cfg.RetryBackoff),
 		shards:      make([]*shard, cfg.Shards),
 	}
 	for i := range nw.shards {
@@ -514,12 +689,56 @@ func buildChurn(n int, churn []ChurnEvent, down, comp map[trace.NodeID]bool) (li
 	return liveSched, compSched, nil
 }
 
+// buildCrashes validates the fault-injection outage schedule and
+// materializes per-node crash timelines (true = crashed). Validation
+// reuses the faults.Plan semantics: node IDs in range, recover strictly
+// after crash, per-node windows non-overlapping.
+func buildCrashes(n int, crashes []faults.Crash) (map[trace.NodeID]*boolSched, error) {
+	if len(crashes) == 0 {
+		return nil, nil
+	}
+	plan := faults.Plan{Crashes: crashes}
+	if err := plan.Validate(n); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	sorted := append([]faults.Crash(nil), crashes...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Node != sorted[j].Node {
+			return sorted[i].Node < sorted[j].Node
+		}
+		return sorted[i].At < sorted[j].At
+	})
+	out := make(map[trace.NodeID]*boolSched)
+	for _, c := range sorted {
+		s, ok := out[c.Node]
+		if !ok {
+			s = &boolSched{}
+			out[c.Node] = s
+		}
+		s.set(c.At, true)
+		if c.Recover != 0 {
+			s.set(c.Recover, false)
+		}
+	}
+	return out, nil
+}
+
 // isLive reports membership of a node at logical time t.
 func (nw *Network) isLive(id trace.NodeID, t uint64) bool {
 	if s := nw.liveSched[id]; s != nil {
 		return s.at(t)
 	}
 	return !nw.down[id]
+}
+
+// isCrashed reports a fault-injection outage at logical time t. Crashes
+// are orthogonal to membership: a crashed node is still a member, it just
+// fails to process traffic until it recovers.
+func (nw *Network) isCrashed(id trace.NodeID, t uint64) bool {
+	if s := nw.crashSched[id]; s != nil {
+		return s.at(t)
+	}
+	return false
 }
 
 // isCompromised reports whether the adversary taps a node at logical time
@@ -700,25 +919,44 @@ func (nw *Network) flushBatch(s *shard, q []event) {
 
 // hopAt executes the forwarding step of a packet at a node at logical time
 // t: asks the forwarder for the next hop, taps the traffic if the node is
-// compromised, and schedules the next arrival (or delivers).
+// compromised, and schedules the next arrival (or delivers). A crashed
+// node hands the packet to the reliability policy instead of processing
+// it — including packets released from a partial mix batch, which route
+// through here as well, so a crashing mix never leaks its held traffic.
 func (nw *Network) hopAt(self trace.NodeID, pkt Packet, t uint64) {
-	var next trace.NodeID
-	var err error
 	if !nw.isLive(self, t) {
 		// The packet reached a node outside the live membership (left, or
 		// not yet joined) — the injector routed through a non-member.
-		err = fmt.Errorf("%w: %v at t=%d", ErrAbsent, self, t)
-	} else {
-		next, err = nw.fwd.Next(self, &pkt)
+		nw.drop(pkt.Msg, DropAbsent, fmt.Errorf("simnet: drop msg %d at %v: %w: %v at t=%d",
+			pkt.Msg, self, ErrAbsent, self, t))
+		return
 	}
+	if nw.isCrashed(self, t) {
+		// Fault-injection outage. PolicyRetransmit models the upstream
+		// node timing out and retransmitting: the arrival is rescheduled
+		// after a capped exponential backoff, bounded by the per-link
+		// budget. The upstream node's own predecessor is no longer in the
+		// packet, so crash retries add no adversary observation (unlike
+		// link-loss retries, where the retransmitting node is local).
+		if nw.policy == faults.PolicyRetransmit && pkt.tries+1 < nw.maxAttempts {
+			delay := faults.Backoff(nw.backoffBase, uint64(pkt.tries))
+			pkt.tries++
+			nw.retries.Add(1)
+			nw.schedule(event{time: t + delay, node: self, pkt: pkt})
+			return
+		}
+		nw.fail(pkt.Msg, self, t, DropCrash)
+		return
+	}
+	pkt.tries = 0
+	next, err := nw.fwd.Next(self, &pkt)
+	cause := DropForwarder
 	if err == nil && next != trace.Receiver && (int(next) < 0 || int(next) >= nw.cfg.N) {
 		err = fmt.Errorf("%w: %v at node %v", ErrBadHop, next, self)
+		cause = DropBadHop
 	}
 	if err != nil {
-		nw.mu.Lock()
-		nw.dropped = append(nw.dropped, fmt.Errorf("simnet: drop msg %d at %v: %w", pkt.Msg, self, err))
-		nw.mu.Unlock()
-		nw.msgWG.Done()
+		nw.drop(pkt.Msg, cause, fmt.Errorf("simnet: drop msg %d at %v: %w", pkt.Msg, self, err))
 		return
 	}
 	if nw.isCompromised(self, t) {
@@ -728,14 +966,77 @@ func (nw *Network) hopAt(self trace.NodeID, pkt Packet, t uint64) {
 		})
 		nw.mu.Unlock()
 	}
+	pred := pkt.From
 	pkt.From = self
 	pkt.hops++
-	t2 := t + 1 + nw.hopJitter(pkt.Msg, pkt.hops)
+	tA, ok := nw.linkUp(self, next, pred, pkt, t)
+	if !ok {
+		return
+	}
+	t2 := tA + 1 + nw.hopJitter(pkt.Msg, pkt.hops)
 	if next == trace.Receiver {
 		nw.deliver(pkt, t2)
 		return
 	}
 	nw.schedule(event{time: t2, node: next, pkt: pkt})
+}
+
+// linkUp resolves the per-attempt loss draws for the transmission of pkt
+// from self toward next starting at logical time t. It returns the time
+// of the successful attempt (advanced by retransmission backoffs) and
+// true; or, when the policy gives the packet up, it retires the message
+// (drop or reroute handoff) and returns false — so exactly one of
+// schedule/deliver/drop/handoff happens per transmission and the
+// in-flight count is conserved.
+func (nw *Network) linkUp(self, next, pred trace.NodeID, pkt Packet, t uint64) (uint64, bool) {
+	if nw.lossProb <= 0 {
+		return t, true
+	}
+	for attempt := uint64(0); ; attempt++ {
+		if !faults.Lost(nw.cfg.Seed, pkt.Msg, pkt.hops, attempt, nw.lossProb) {
+			return t, true
+		}
+		if nw.policy != faults.PolicyRetransmit || int(attempt)+1 >= nw.maxAttempts {
+			nw.fail(pkt.Msg, self, t, DropLoss)
+			return 0, false
+		}
+		// Retransmit over the same link. The retransmitting node re-handles
+		// the packet, so a compromised self collects a duplicate
+		// observation — kept out of the main tuple stream (a second report
+		// from the same observer would break simple-path collation) and
+		// exposed via RetryObservations for the degraded-H accounting. The
+		// injection link (hops == 0... the sender's own first transmission)
+		// is exempt: the sender observing itself leaks nothing.
+		if pkt.hops > 0 && nw.isCompromised(self, t) {
+			nw.mu.Lock()
+			nw.retryObs = append(nw.retryObs, trace.Tuple{
+				Time: t, Observer: self, Msg: pkt.Msg, Pred: pred, Succ: next,
+			})
+			nw.mu.Unlock()
+		}
+		nw.retries.Add(1)
+		t += faults.Backoff(nw.backoffBase, attempt)
+	}
+}
+
+// drop retires a packet into the bounded drop statistics.
+func (nw *Network) drop(msg trace.MessageID, cause string, err error) {
+	nw.drops.add(cause, err)
+	nw.msgWG.Done()
+}
+
+// fail retires a packet that hit a terminal fault: under PolicyReroute the
+// message is handed back to the driver for an end-to-end retry, otherwise
+// it is dropped.
+func (nw *Network) fail(msg trace.MessageID, at trace.NodeID, t uint64, cause string) {
+	if nw.policy == faults.PolicyReroute {
+		nw.mu.Lock()
+		nw.failures = append(nw.failures, Failure{Msg: msg, Time: t, Cause: cause})
+		nw.mu.Unlock()
+		nw.msgWG.Done()
+		return
+	}
+	nw.drop(msg, cause, fmt.Errorf("simnet: drop msg %d at %v: %s at t=%d", msg, at, cause, t))
 }
 
 // deliver records the receiver's tap and the delivery, and retires the
@@ -797,7 +1098,14 @@ func (nw *Network) Inject(sender, first trace.NodeID, pkt Packet) (trace.Message
 		nw.msgWG.Done()
 		return 0, fmt.Errorf("%w: sender %v at t=%d", ErrAbsent, sender, t0)
 	}
-	t := t0 + nw.hopJitter(pkt.Msg, 0)
+	tA, ok := nw.linkUp(sender, first, sender, pkt, t0)
+	if !ok {
+		// The injection-link transmission was lost and the policy gave the
+		// message up; the fault is already recorded (drop or reroute
+		// handoff), so the injection itself succeeded.
+		return pkt.Msg, nil
+	}
+	t := tA + nw.hopJitter(pkt.Msg, 0)
 	if first == trace.Receiver {
 		nw.deliver(pkt, t+1)
 	} else {
@@ -881,11 +1189,48 @@ func (nw *Network) Deliveries() []Delivery {
 	return append([]Delivery(nil), nw.deliveries...)
 }
 
-// Dropped returns the errors of packets discarded by forwarders.
+// Dropped returns sampled errors of discarded packets (up to
+// dropSampleCap recent examples, oldest first). It remains the quick
+// "anything wrong?" view — empty exactly when no packet was dropped — but
+// the exact accounting lives in DropStats, which is bounded no matter how
+// many packets a million-node lossy run discards.
 func (nw *Network) Dropped() []error {
+	nw.drops.mu.Lock()
+	defer nw.drops.mu.Unlock()
+	return nw.drops.samplesLocked()
+}
+
+// DropStats returns the bounded drop accounting: exact totals by cause
+// plus the sampled example ring.
+func (nw *Network) DropStats() DropStats {
+	return nw.drops.snapshot()
+}
+
+// RetryObservations returns the duplicate observations compromised nodes
+// collected from link-loss retransmissions (PolicyRetransmit), in
+// collection order. They are kept out of Tuples because a second report
+// from the same (message, observer) pair would break the analyst's
+// simple-path collation; the degraded-H accounting folds them in
+// explicitly. The caller owns the slice.
+func (nw *Network) RetryObservations() []trace.Tuple {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
-	return append([]error(nil), nw.dropped...)
+	return append([]trace.Tuple(nil), nw.retryObs...)
+}
+
+// TakeFailed drains the reroute handoff list: messages retired
+// undelivered under PolicyReroute since the last call, sorted by message
+// ID so a driver's retry loop is deterministic under any shard
+// interleaving. Call it after Settle, re-inject with fresh paths, settle
+// again, and repeat until it returns nothing or the attempt budget is
+// spent.
+func (nw *Network) TakeFailed() []Failure {
+	nw.mu.Lock()
+	out := nw.failures
+	nw.failures = nil
+	nw.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Msg < out[j].Msg })
+	return out
 }
 
 // Metrics returns a snapshot of the kernel counters.
@@ -895,6 +1240,8 @@ func (nw *Network) Metrics() Metrics {
 		Events:       nw.events.Load(),
 		BatchFlushes: nw.flushes.Load(),
 		Churn:        len(nw.cfg.Churn),
+		Retries:      nw.retries.Load(),
+		Dropped:      nw.drops.snapshot().Total,
 	}
 }
 
