@@ -11,6 +11,7 @@ import (
 	"crypto/rand"
 	"fmt"
 	"math"
+	"runtime"
 	"testing"
 	"time"
 
@@ -660,23 +661,74 @@ func BenchmarkDegradation(b *testing.B) {
 // path behind the degradation figure and the degrade façade — and reports
 // the first- and final-round anonymity of the curve.
 func BenchmarkDegradationRounds(b *testing.B) {
+	cfg := scenario.Config{
+		N:            50,
+		Backend:      scenario.BackendMonteCarlo,
+		StrategySpec: "uniform:1,7",
+		Adversary:    scenario.Adversary{Count: 3},
+		Workload:     scenario.Workload{Messages: 1500, Rounds: 16, Seed: 1, Workers: 4},
+	}
+	// Warm the engine caches so the allocation budget below measures the
+	// steady-state sampling loop, not first-run memoization.
+	if _, err := scenario.Run(cfg); err != nil {
+		b.Fatal(err)
+	}
 	var h1, hk float64
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := scenario.Run(scenario.Config{
-			N:            50,
-			Backend:      scenario.BackendMonteCarlo,
-			StrategySpec: "uniform:1,7",
-			Adversary:    scenario.Adversary{Count: 3},
-			Workload:     scenario.Workload{Messages: 1500, Rounds: 16, Seed: 1, Workers: 4},
-		})
+		res, err := scenario.Run(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
 		h1, hk = res.HRounds[0], res.HRounds[15]
 	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	allocsPerOp := float64(after.Mallocs-before.Mallocs) / float64(b.N)
+	b.ReportMetric(allocsPerOp, "trial_allocs/op")
+	// The pre-arena hot loop spent ~366k allocations per op; the zero-
+	// allocation fast path must stay two orders of magnitude below that.
+	if allocsPerOp > 3660 {
+		b.Fatalf("sampling fast path regressed: %.0f allocs/op, budget 3660 (seed baseline ~366000)", allocsPerOp)
+	}
 	b.ReportMetric(h1, "H1_bits")
 	b.ReportMetric(hk, "H16_bits")
 	b.ReportMetric(h1-hk, "decay_bits")
+}
+
+// BenchmarkMCTrialsPerSecond is the headline sampling-throughput number:
+// one op estimates single-shot anonymity from 5000 Monte-Carlo trials, and
+// the metric reports raw trials per second through the arena fast path.
+func BenchmarkMCTrialsPerSecond(b *testing.B) {
+	const trials = 5000
+	strat, err := pathsel.UniformLength(1, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := montecarlo.Config{
+		N:           50,
+		Compromised: []trace.NodeID{3, 11, 27},
+		Strategy:    strat,
+		Trials:      trials,
+		Seed:        1,
+		Workers:     4,
+	}
+	if _, err := montecarlo.EstimateH(cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var h float64
+	for i := 0; i < b.N; i++ {
+		res, err := montecarlo.EstimateH(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h = res.H
+	}
+	b.ReportMetric(float64(b.N)*trials/b.Elapsed().Seconds(), "trials/s")
+	b.ReportMetric(h, "H_bits")
 }
 
 // BenchmarkChurnSweep measures the dynamic-population figure: three

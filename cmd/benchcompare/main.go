@@ -1,14 +1,21 @@
 // Command benchcompare diffs the two newest BENCH_<date>_<sha>.json
-// snapshots (as written by `make bench`, i.e. `go test -json -bench`) and
-// fails when any benchmark of the smoke set regressed by more than the
-// threshold. `make bench-compare` and the non-blocking CI step run exactly
-// this command, so the local gate and the CI gate cannot diverge.
+// snapshots (as written by `make bench`, i.e. `go test -json -bench
+// -benchmem`) and fails when any benchmark of the smoke set regressed by
+// more than the threshold — in wall clock (ns/op) or in memory (B/op,
+// allocs/op). `make bench-compare` and the non-blocking CI step run
+// exactly this command, so the local gate and the CI gate cannot diverge.
 //
 // Usage:
 //
 //	benchcompare                      # newest two BENCH_*.json in .
 //	benchcompare old.json new.json    # explicit baseline and candidate
 //	benchcompare -threshold 1.5       # tolerate up to +50% ns/op
+//	benchcompare -memthreshold 2      # tolerate up to 2x B/op, allocs/op
+//
+// Memory gating only applies where both snapshots carry -benchmem columns,
+// and small absolute movements (≤64 B/op, ≤16 allocs/op) never fail the
+// gate: near-zero footprints — the point of the arena fast path — would
+// otherwise turn one stray allocation into a 2x "regression".
 //
 // With fewer than two snapshots available the command reports that there
 // is nothing to compare and exits 0 — the first snapshot of a trajectory
@@ -21,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -39,7 +47,8 @@ func main() {
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("benchcompare", flag.ContinueOnError)
 	var (
-		threshold = fs.Float64("threshold", 1.2, "maximum allowed new/old ns-per-op ratio")
+		threshold    = fs.Float64("threshold", 1.2, "maximum allowed new/old ns-per-op ratio")
+		memThreshold = fs.Float64("memthreshold", 1.3, "maximum allowed new/old B-per-op and allocs-per-op ratio")
 		// The Makefile's SMOKE variable is the single definition of the
 		// gated set and is passed in by `make bench-compare`; the empty
 		// default gates every benchmark the snapshots share, so a bare
@@ -75,18 +84,18 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 	oldFile, newFile := files[0], files[1]
-	oldNs, err := parseBench(oldFile)
+	oldRes, err := parseBench(oldFile)
 	if err != nil {
 		return err
 	}
-	newNs, err := parseBench(newFile)
+	newRes, err := parseBench(newFile)
 	if err != nil {
 		return err
 	}
 
-	names := make([]string, 0, len(newNs))
-	for name := range newNs {
-		if _, ok := oldNs[name]; ok {
+	names := make([]string, 0, len(newRes))
+	for name := range newRes {
+		if _, ok := oldRes[name]; ok {
 			names = append(names, name)
 		}
 	}
@@ -96,27 +105,75 @@ func run(args []string, w io.Writer) error {
 	}
 
 	fmt.Fprintf(w, "baseline  %s\ncandidate %s\n\n", oldFile, newFile)
-	fmt.Fprintf(w, "%-28s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	fmt.Fprintf(w, "%-28s %14s %14s %8s %11s %11s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "ratio", "old allocs", "new allocs", "ratio")
 	var failed []string
 	for _, name := range names {
-		o, n := oldNs[name], newNs[name]
-		ratio := n / o
+		o, n := oldRes[name], newRes[name]
+		ratio := n.ns / o.ns
 		gated := re.MatchString(name)
-		mark := ""
+		var marks []string
 		if gated && ratio > *threshold {
-			mark = "  REGRESSION"
-			failed = append(failed, name)
-		} else if gated {
+			marks = append(marks, "ns/op")
+		}
+		allocCols := fmt.Sprintf("%11s %11s %8s", "-", "-", "-")
+		if o.hasMem && n.hasMem {
+			allocCols = fmt.Sprintf("%11.0f %11.0f %7.2fx", o.allocs, n.allocs, memRatio(o.allocs, n.allocs))
+			if gated {
+				// Floors keep near-zero footprints from flagging noise: a
+				// benchmark at 5 allocs/op may jitter to 8 without meaning
+				// anything, while 500 → 700 is a real leak.
+				if n.bytes > o.bytes**memThreshold && n.bytes-o.bytes > 64 {
+					marks = append(marks, "B/op")
+				}
+				if n.allocs > o.allocs**memThreshold && n.allocs-o.allocs > 16 {
+					marks = append(marks, "allocs/op")
+				}
+			}
+		}
+		mark := ""
+		switch {
+		case len(marks) > 0:
+			mark = "  REGRESSION(" + strings.Join(marks, ",") + ")"
+			failed = append(failed, name+" ("+strings.Join(marks, ",")+")")
+		case gated:
 			mark = "  (gated)"
 		}
-		fmt.Fprintf(w, "%-28s %14.0f %14.0f %7.2fx%s\n", name, o, n, ratio, mark)
+		fmt.Fprintf(w, "%-28s %14.0f %14.0f %7.2fx %s%s\n", name, o.ns, n.ns, ratio, allocCols, mark)
 	}
 	if len(failed) > 0 {
-		return fmt.Errorf("%d smoke benchmark(s) regressed beyond %.0f%%: %s",
-			len(failed), (*threshold-1)*100, strings.Join(failed, ", "))
+		return fmt.Errorf("%d smoke benchmark(s) regressed beyond ns +%.0f%% / mem +%.0f%%: %s",
+			len(failed), (*threshold-1)*100, (*memThreshold-1)*100, strings.Join(failed, ", "))
 	}
-	fmt.Fprintf(w, "\nOK: no gated benchmark regressed beyond %.0f%%\n", (*threshold-1)*100)
+	fmt.Fprintf(w, "\nOK: no gated benchmark regressed beyond ns +%.0f%% / mem +%.0f%%\n",
+		(*threshold-1)*100, (*memThreshold-1)*100)
 	return nil
+}
+
+// minResult folds two samples of the same benchmark into their per-metric
+// minimum; a sample without -benchmem columns contributes only ns/op.
+func minResult(a, b result) result {
+	out := result{ns: math.Min(a.ns, b.ns)}
+	switch {
+	case a.hasMem && b.hasMem:
+		out.bytes, out.allocs, out.hasMem = math.Min(a.bytes, b.bytes), math.Min(a.allocs, b.allocs), true
+	case a.hasMem:
+		out.bytes, out.allocs, out.hasMem = a.bytes, a.allocs, true
+	case b.hasMem:
+		out.bytes, out.allocs, out.hasMem = b.bytes, b.allocs, true
+	}
+	return out
+}
+
+// memRatio guards the display ratio against a zero baseline.
+func memRatio(old, new float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return new / old
 }
 
 // newestSnapshots returns the two most recent BENCH_*.json files (by
@@ -154,17 +211,35 @@ func newestSnapshots(dir string) ([]string, error) {
 	return out, nil
 }
 
+// result carries one benchmark's parsed metrics. hasMem marks lines that
+// ran under -benchmem; custom b.ReportMetric columns are ignored.
+type result struct {
+	ns     float64
+	bytes  float64
+	allocs float64
+	hasMem bool
+}
+
 // benchLine matches a benchmark result line inside a test2json Output
-// field, e.g. "BenchmarkFig3a-4   1   123456789 ns/op".
+// field, e.g. "BenchmarkFig3a-4   1   123456789 ns/op". Custom metrics may
+// follow ns/op before the -benchmem columns, so those are matched
+// separately by memCols.
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
 
-// parseBench extracts name → ns/op from a `go test -json -bench` stream.
+// memCols matches the -benchmem suffix anywhere after ns/op, tolerating
+// the ReportMetric columns benchmarks insert in between.
+var memCols = regexp.MustCompile(`([0-9.]+(?:e[+-]?[0-9]+)?) B/op\s+([0-9.]+(?:e[+-]?[0-9]+)?) allocs/op`)
+
+// parseBench extracts name → metrics from a `go test -json -bench` stream.
 // The testing package prints a benchmark's name before running it and its
 // numbers after, so test2json usually splits one result line across
 // several output events; the events are therefore reassembled into a flat
-// text stream before line-wise matching. Benchmarks appearing multiple
-// times keep their last value.
-func parseBench(path string) (map[string]float64, error) {
+// text stream before line-wise matching. A benchmark appearing multiple
+// times (`-count=N`) keeps its per-metric minimum: contention on a shared
+// runner only ever slows a sample down, so min-of-N is the robust
+// estimator of the code's actual cost and is what the snapshot targets
+// record (`make bench-smoke-snapshot` runs -count=3).
+func parseBench(path string) (map[string]result, error) {
 	file, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -188,9 +263,10 @@ func parseBench(path string) (map[string]float64, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	out := make(map[string]float64)
+	out := make(map[string]result)
 	for _, line := range strings.Split(text.String(), "\n") {
-		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		line = strings.TrimSpace(line)
+		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
 		}
@@ -198,7 +274,19 @@ func parseBench(path string) (map[string]float64, error) {
 		if err != nil {
 			continue
 		}
-		out[strings.TrimPrefix(m[1], "Benchmark")] = ns
+		r := result{ns: ns}
+		if mm := memCols.FindStringSubmatch(line); mm != nil {
+			b, errB := strconv.ParseFloat(mm[1], 64)
+			a, errA := strconv.ParseFloat(mm[2], 64)
+			if errB == nil && errA == nil {
+				r.bytes, r.allocs, r.hasMem = b, a, true
+			}
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		if prev, ok := out[name]; ok {
+			r = minResult(prev, r)
+		}
+		out[name] = r
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("%s: no benchmark results found", path)

@@ -30,6 +30,28 @@ func snapshot(t *testing.T, dir, name string, ns map[string]float64) string {
 	return path
 }
 
+// memSnapshot writes a bench stream with -benchmem columns and a custom
+// ReportMetric column between ns/op and B/op, mirroring real output.
+func memSnapshot(t *testing.T, dir, name string, res map[string][3]float64) string {
+	t.Helper()
+	var sb strings.Builder
+	for bench, v := range res {
+		line := fmt.Sprintf("Benchmark%s-4 \t       1\t%10.0f ns/op\t         2.908 H16_bits\t%8.0f B/op\t%8.0f allocs/op\n",
+			bench, v[0], v[1], v[2])
+		b, err := json.Marshal(map[string]string{"Action": "output", "Output": line})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.Write(b)
+		sb.WriteByte('\n')
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
 // smokeSet mirrors the Makefile's SMOKE variable for tests that exercise
 // the narrowed gate.
 const smokeSet = `^(Fig3a|Fig4[abcd]|Weights|DegreeLargeC|WeightsLargeC)$`
@@ -70,6 +92,99 @@ func TestCompareFailsOnRegression(t *testing.T) {
 	sb.Reset()
 	if err := run([]string{"-threshold", "1.6", old, new}, &sb); err != nil {
 		t.Fatalf("threshold 1.6: %v", err)
+	}
+}
+
+func TestCompareGatesAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	// ns/op is flat; allocs/op grows 100 → 1000, B/op 1kB → 100kB.
+	old := memSnapshot(t, dir, "BENCH_20260101_aaaa.json", map[string][3]float64{
+		"Fig3a": {1000, 1024, 100},
+	})
+	new := memSnapshot(t, dir, "BENCH_20260102_bbbb.json", map[string][3]float64{
+		"Fig3a": {1000, 102400, 1000},
+	})
+	var sb strings.Builder
+	err := run([]string{old, new}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "Fig3a") ||
+		!strings.Contains(err.Error(), "allocs/op") || !strings.Contains(err.Error(), "B/op") {
+		t.Fatalf("err = %v\n%s", err, sb.String())
+	}
+	// A looser memory threshold tolerates the same delta.
+	sb.Reset()
+	if err := run([]string{"-memthreshold", "1000", old, new}, &sb); err != nil {
+		t.Fatalf("memthreshold 1000: %v\n%s", err, sb.String())
+	}
+}
+
+func TestCompareAllocFloorToleratesNoise(t *testing.T) {
+	dir := t.TempDir()
+	// 2 → 10 allocs is a 5x ratio but only +8 allocs — below the floor, so
+	// a near-zero footprint never fails on one stray allocation.
+	old := memSnapshot(t, dir, "BENCH_20260101_aaaa.json", map[string][3]float64{
+		"Fig3a": {1000, 32, 2},
+	})
+	new := memSnapshot(t, dir, "BENCH_20260102_bbbb.json", map[string][3]float64{
+		"Fig3a": {1000, 80, 10},
+	})
+	var sb strings.Builder
+	if err := run([]string{old, new}, &sb); err != nil {
+		t.Fatalf("floor did not absorb small drift: %v\n%s", err, sb.String())
+	}
+}
+
+// rawSnapshot writes pre-formatted bench lines verbatim, for streams the
+// map-based helpers cannot express (e.g. -count=N duplicate samples).
+func rawSnapshot(t *testing.T, dir, name string, lines []string) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, line := range lines {
+		b, err := json.Marshal(map[string]string{"Action": "output", "Output": line + "\n"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.Write(b)
+		sb.WriteByte('\n')
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareMinOfCountSamples(t *testing.T) {
+	dir := t.TempDir()
+	old := memSnapshot(t, dir, "BENCH_20260101_aaaa.json", map[string][3]float64{
+		"Fig3a": {1000, 1024, 100},
+	})
+	// Three -count samples of the candidate: two contention-inflated, one
+	// clean. Min-of-N must gate on the clean one (1100 ns, 1.1x) instead of
+	// the last (2500 ns, 2.5x).
+	new := rawSnapshot(t, dir, "BENCH_20260102_bbbb.json", []string{
+		"BenchmarkFig3a-4 \t 1\t 2000 ns/op\t 1024 B/op\t 100 allocs/op",
+		"BenchmarkFig3a-4 \t 1\t 1100 ns/op\t 1024 B/op\t 100 allocs/op",
+		"BenchmarkFig3a-4 \t 1\t 2500 ns/op\t 1024 B/op\t 100 allocs/op",
+	})
+	var sb strings.Builder
+	if err := run([]string{old, new}, &sb); err != nil {
+		t.Fatalf("min-of-count did not absorb contention spikes: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "1100") {
+		t.Errorf("table should show the minimum sample:\n%s", sb.String())
+	}
+}
+
+func TestCompareMixedMemColumns(t *testing.T) {
+	dir := t.TempDir()
+	// Baseline without -benchmem, candidate with: only ns/op is gated.
+	old := snapshot(t, dir, "BENCH_20260101_aaaa.json", map[string]float64{"Fig3a": 1000})
+	new := memSnapshot(t, dir, "BENCH_20260102_bbbb.json", map[string][3]float64{
+		"Fig3a": {1050, 1 << 20, 100000},
+	})
+	var sb strings.Builder
+	if err := run([]string{old, new}, &sb); err != nil {
+		t.Fatalf("mixed columns: %v\n%s", err, sb.String())
 	}
 }
 

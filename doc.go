@@ -220,13 +220,44 @@
 //     task writes only its own output slot, which keeps parallel results
 //     byte-identical to the serial reference path (pool.SetWorkers(1)).
 //
+//   - The sampling hot path — every Monte-Carlo trial and testbed
+//     session — is allocation-free at steady state. Path lengths draw
+//     from a Vose alias table (dist.Alias, O(1) per draw, effective PMF
+//     within 1e-12 of the source distribution), distinct intermediates
+//     from per-worker scratch arenas (pathsel.Sampler: a reusable path
+//     buffer plus an open-addressed rejection set in the sparse regime, a
+//     Fisher–Yates pool in the dense one), and adversarial analysis runs
+//     through adversary.Scratch / Accumulator.ObserveScratch — the
+//     classify-fold-snapshot pipeline with zero heap traffic once the
+//     engine's memoized class statistics are warm (StatsFor itself looks
+//     up cached statistics through pooled binary keys, no strings). The
+//     multi-round degradation benchmark dropped from ~93ms / 57MB / 366k
+//     allocations per op to ~21ms / 15kB / ~120 allocations, and
+//     BenchmarkDegradationRounds fails if the per-op allocation count
+//     regresses past 1% of the old baseline.
+//
+//   - Randomness in the trial loops is counter-based (stats.Stream, a
+//     SplitMix64 stream): trial t of seed s draws a pure function of
+//     (s, t, draw index), so estimates are bit-identical at any worker
+//     count — workers steal fixed-size trial batches and merge partial
+//     Welford statistics in batch order. The stream derivation shares
+//     stats.ForkSeed's lineage with the kernel's per-message draws.
+//     Changing the mixing constants, the per-trial draw order, or the
+//     stream derivation is a breaking change to every seed-pinned golden
+//     (anonbench TSVs, TestSeedDeterminism, the differential harness
+//     corpus): regenerate them in the same commit and say so, as
+//     documented in internal/stats/stream.go.
+//
 // The benchmark harness doubles as the regression gate:
 //
 //	make bench-smoke     # perf acceptance suite (same command CI runs)
 //	go test -race ./...  # cache-layer safety
 //	make bench           # snapshot BENCH_<date>_<sha>.json
+//	make bench-compare   # gate ns/op, B/op, allocs/op vs the baseline
+//	make profile         # CPU + heap pprof over the smoke set
 //
 // EXPERIMENTS.md records the current numbers, including the measured
-// speedup of the cache layer over the serial baseline and of the bucketed
-// engine over the per-class enumeration.
+// speedup of the cache layer over the serial baseline, of the bucketed
+// engine over the per-class enumeration, and of the zero-allocation
+// sampling fast path over the seed hot loop.
 package anonmix

@@ -285,10 +285,18 @@ func (a *Analyst) Entropy(mt *trace.MessageTrace) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	// Witnessed holds the observed uncompromised identities (the candidate
-	// included), which are exactly the nodes Posterior excludes from the
-	// slab — so the expected slab size follows by counting.
-	if rest := a.engine.N() - a.engine.C() - len(obs.Witnessed); rest != st.Rest {
+	// Witnessed holds the observed identities (the candidate included),
+	// which together with the compromised set are exactly the nodes
+	// Posterior excludes from the slab — so the expected slab size follows
+	// by counting. A partial trace's lost-link target can itself be
+	// compromised, so only honest witnesses shrink the slab further.
+	w := 0
+	for id := range obs.Witnessed {
+		if !a.compromised[id] {
+			w++
+		}
+	}
+	if rest := a.engine.N() - a.engine.C() - w; rest != st.Rest {
 		return 0, fmt.Errorf("%w: %d slab candidates reconstructed, engine expects %d",
 			ErrCorruptTrace, rest, st.Rest)
 	}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package adversary_test
+
+const raceEnabled = false

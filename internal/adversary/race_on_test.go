@@ -1,0 +1,7 @@
+//go:build race
+
+package adversary_test
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation budgets are meaningless under its shadow-memory overhead.
+const raceEnabled = true

@@ -1,0 +1,116 @@
+package dist
+
+import "fmt"
+
+// Alias is a Vose alias table over a Length distribution's support: an O(K)
+// preprocessing of the PMF (K = support width) that turns every subsequent
+// draw into O(1) work — one uniform column index plus one uniform threshold
+// comparison — with no allocation. It is the sampling counterpart of the
+// exact engine's bucketed enumeration: pay once per distribution, then each
+// of the millions of Monte-Carlo trials costs two random numbers.
+//
+// Column i holds prob[i]/K of the mass for value lo+i and (1-prob[i])/K for
+// value lo+alias[i]; EffectivePMF reconstructs the distribution the table
+// actually samples, which property tests pin to the source PMF within 1e-12.
+type Alias struct {
+	lo    int
+	prob  []float64
+	alias []int32
+}
+
+// NewAlias builds the alias table for d. The distribution is validated
+// first; construction is O(K) in the support width.
+func NewAlias(d Length) (*Alias, error) {
+	if err := Validate(d); err != nil {
+		return nil, err
+	}
+	lo, hi := d.Support()
+	k := hi - lo + 1
+	a := &Alias{lo: lo, prob: make([]float64, k), alias: make([]int32, k)}
+
+	// Scale each atom to p[i]·K/sum so the average column weight is exactly
+	// 1; dividing by the observed sum (rather than assuming 1) keeps the
+	// table exact even when the source PMF carries ~1e-16 normalization
+	// error, which is what lets EffectivePMF match within 1e-12.
+	scaled := make([]float64, k)
+	var sum float64
+	for i := 0; i < k; i++ {
+		scaled[i] = d.PMF(lo + i)
+		sum += scaled[i]
+	}
+	fk := float64(k)
+	for i := range scaled {
+		scaled[i] *= fk / sum
+	}
+
+	// Vose's two-worklist construction: underfull columns (weight < 1) are
+	// topped up from overfull ones. Zero-mass atoms land on the small list
+	// with prob 0 and are never drawn (u >= 0 is never < 0).
+	small := make([]int32, 0, k)
+	large := make([]int32, 0, k)
+	for i := k - 1; i >= 0; i-- {
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, l)
+		}
+	}
+	// Leftovers are exactly-full columns up to rounding; aliasing them to
+	// themselves makes the threshold irrelevant.
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a, nil
+}
+
+// K returns the number of columns (the support width).
+func (a *Alias) K() int { return len(a.prob) }
+
+// Lo returns the value of column 0 (the support's lower bound).
+func (a *Alias) Lo() int { return a.lo }
+
+// Draw maps a uniform column col in [0, K()) and a uniform threshold u in
+// [0, 1) to a sample from the distribution. It is pure: the same inputs
+// always give the same value.
+func (a *Alias) Draw(col int, u float64) int {
+	if u < a.prob[col] {
+		return a.lo + col
+	}
+	return a.lo + int(a.alias[col])
+}
+
+// EffectivePMF returns the exact distribution the table samples when col
+// and u are ideal uniforms: out[l-lo] accumulates prob[i]/K from each
+// column's primary value and (1-prob[i])/K from its alias.
+func (a *Alias) EffectivePMF() []float64 {
+	k := len(a.prob)
+	out := make([]float64, k)
+	inv := 1 / float64(k)
+	for i := 0; i < k; i++ {
+		out[i] += a.prob[i] * inv
+		out[int(a.alias[i])] += (1 - a.prob[i]) * inv
+	}
+	return out
+}
+
+// String renders the support for diagnostics.
+func (a *Alias) String() string {
+	return fmt.Sprintf("Alias(%d..%d)", a.lo, a.lo+len(a.prob)-1)
+}

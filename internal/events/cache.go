@@ -36,11 +36,37 @@ func distKey(d dist.Length) string {
 	return string(buf)
 }
 
-// singleKey identifies one (class, distribution) posterior query.
-type singleKey struct {
-	class string // Class.String() is injective over valid signatures
-	dist  string
+// appendClassKey appends an injective binary encoding of a valid class
+// signature: run count, run lengths, gap flags, tail flag, exact tail.
+// Unlike Class.String() it allocates nothing when buf has capacity, which
+// keeps the StatsFor hot path allocation-free on cache hits.
+func appendClassKey(buf []byte, cl Class) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(cl.Runs)))
+	for _, r := range cl.Runs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r))
+	}
+	for _, g := range cl.Gaps {
+		buf = append(buf, byte(g))
+	}
+	buf = append(buf, byte(cl.Tail))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(cl.ExactTail))
+	return buf
 }
+
+// appendDistKey appends distKey's fingerprint without the string copy.
+func appendDistKey(buf []byte, d dist.Length) []byte {
+	lo, hi := d.Support()
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(lo))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(hi))
+	for l := lo; l <= hi; l++ {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(d.PMF(l)))
+	}
+	return buf
+}
+
+// statsKeyPool recycles the key buffers StatsFor encodes into, so the
+// per-trial lookups stay off the heap.
+var statsKeyPool = sync.Pool{New: func() any { return new([]byte) }}
 
 // weightKey identifies one Weights support range.
 type weightKey struct{ lo, hi int }
@@ -51,7 +77,7 @@ type engineMemo struct {
 	classStats  map[string][]Stats
 	bucketStats map[string][]BucketStats
 	degrees     map[string]float64
-	single      map[singleKey]Stats
+	single      map[string]Stats
 	weights     map[weightKey][]ClassWeights
 }
 
@@ -103,19 +129,21 @@ func (m *engineMemo) storeDegree(key string, h float64) {
 	m.mu.Unlock()
 }
 
-func (m *engineMemo) loadSingle(key singleKey) (Stats, bool) {
+// loadSingle looks up a (class, distribution) binary key. The direct
+// m.single[string(key)] index lets the compiler elide the string copy.
+func (m *engineMemo) loadSingle(key []byte) (Stats, bool) {
 	m.mu.RLock()
-	st, ok := m.single[key]
+	st, ok := m.single[string(key)]
 	m.mu.RUnlock()
 	return st, ok
 }
 
-func (m *engineMemo) storeSingle(key singleKey, st Stats) {
+func (m *engineMemo) storeSingle(key []byte, st Stats) {
 	m.mu.Lock()
 	if m.single == nil || len(m.single) >= maxMemoEntries {
-		m.single = make(map[singleKey]Stats)
+		m.single = make(map[string]Stats)
 	}
-	m.single[key] = st
+	m.single[string(key)] = st
 	m.mu.Unlock()
 }
 

@@ -501,15 +501,20 @@ func (e *Engine) StatsFor(cl Class, d dist.Length) (Stats, error) {
 	if cl.K() > e.c {
 		return Stats{}, fmt.Errorf("%w: class has %d compromised, system has %d", ErrClassMismatch, cl.K(), e.c)
 	}
-	key := singleKey{class: cl.String(), dist: distKey(d)}
-	if st, ok := e.memo.loadSingle(key); ok {
-		return st, nil
+	kp := statsKeyPool.Get().(*[]byte)
+	key := appendDistKey(appendClassKey((*kp)[:0], cl), d)
+	st, ok := e.memo.loadSingle(key)
+	if !ok {
+		var err error
+		if st, err = e.statsFor(cl, d); err != nil {
+			*kp = key
+			statsKeyPool.Put(kp)
+			return Stats{}, err
+		}
+		e.memo.storeSingle(key, st)
 	}
-	st, err := e.statsFor(cl, d)
-	if err != nil {
-		return Stats{}, err
-	}
-	e.memo.storeSingle(key, st)
+	*kp = key
+	statsKeyPool.Put(kp)
 	return st, nil
 }
 

@@ -10,7 +10,7 @@ package montecarlo
 // retry-observation accounting draw for draw in distribution.
 
 import (
-	"math/rand"
+	"sync/atomic"
 
 	"anonmix/internal/adversary"
 	"anonmix/internal/events"
@@ -38,10 +38,22 @@ type partialAttempt struct {
 // never reports. It is the failed-attempt counterpart of Synthesize.
 func SynthesizePartial(msg trace.MessageID, sender trace.NodeID, path []trace.NodeID,
 	upto int, compromised func(trace.NodeID) bool) *trace.MessageTrace {
+	mt := &trace.MessageTrace{}
+	SynthesizePartialInto(mt, msg, sender, path, upto, compromised)
+	return mt
+}
+
+// SynthesizePartialInto is SynthesizePartial into a caller-owned trace,
+// reusing its Reports buffer. Every field of mt is overwritten.
+func SynthesizePartialInto(mt *trace.MessageTrace, msg trace.MessageID, sender trace.NodeID,
+	path []trace.NodeID, upto int, compromised func(trace.NodeID) bool) {
 	if upto > len(path) {
 		upto = len(path)
 	}
-	mt := &trace.MessageTrace{Msg: msg}
+	mt.Msg = msg
+	mt.ReceiverSeen = false
+	mt.ReceiverPred = 0
+	mt.Reports = mt.Reports[:0]
 	prev := sender
 	for i := 0; i < upto; i++ {
 		hop := path[i]
@@ -60,7 +72,6 @@ func SynthesizePartial(msg trace.MessageID, sender trace.NodeID, path []trace.No
 		}
 		prev = hop
 	}
-	return mt
 }
 
 // lossyTrial is the outcome of one simulated delivery.
@@ -71,6 +82,38 @@ type lossyTrial struct {
 	partials  []partialAttempt // retry/failure evidence leaked to the adversary
 }
 
+// pathArena is a pool of reusable path snapshots for the reroute policy,
+// where up to maxAttempts failed paths must stay alive at once while the
+// sampler's own buffer is redrawn.
+type pathArena struct {
+	bufs [][]trace.NodeID
+	used int
+}
+
+// clone snapshots p into the next reusable buffer.
+func (pa *pathArena) clone(p []trace.NodeID) []trace.NodeID {
+	if pa.used == len(pa.bufs) {
+		pa.bufs = append(pa.bufs, nil)
+	}
+	b := append(pa.bufs[pa.used][:0], p...)
+	pa.bufs[pa.used] = b
+	pa.used++
+	return b
+}
+
+func (pa *pathArena) reset() { pa.used = 0 }
+
+// lossyArena is the per-worker scratch of the loss-aware trial loop.
+type lossyArena struct {
+	sampler  *pathsel.Sampler
+	sc       adversary.Scratch
+	mt       trace.MessageTrace
+	pmt      trace.MessageTrace
+	acc      *adversary.Accumulator
+	paths    pathArena
+	partials []partialAttempt
+}
+
 // simulateDelivery runs one message through the sampled loss process. A
 // path of l intermediates crosses l+1 links; link k's transmitter is the
 // sender for k = 0, path[k-1] otherwise. The partials returned match what
@@ -78,13 +121,18 @@ type lossyTrial struct {
 // one prefix per non-terminal lost attempt whose transmitter is a
 // compromised intermediate (an honest or injecting transmitter leaks
 // nothing); under reroute, every failed end-to-end attempt truncated at
-// its first lost link.
-func simulateDelivery(rng *rand.Rand, sel func() ([]trace.NodeID, error),
+// its first lost link. Returned paths and partials live in the arena and
+// are valid until its sampler or path buffers are reused.
+func simulateDelivery(rng *stats.Stream, ar *lossyArena, sender trace.NodeID,
 	q float64, policy faults.Policy, maxAttempts int,
 	compromised func(trace.NodeID) bool) (lossyTrial, error) {
+	ar.paths.reset()
+	ar.partials = ar.partials[:0]
 	switch policy {
 	case faults.PolicyRetransmit:
-		path, err := sel()
+		// One path per trial: the partial prefixes can reference the
+		// sampler's buffer directly, it is not redrawn before analysis.
+		path, err := ar.sampler.SelectPath(rng, sender)
 		if err != nil {
 			return lossyTrial{}, err
 		}
@@ -100,18 +148,19 @@ func simulateDelivery(rng *rand.Rand, sel func() ([]trace.NodeID, error),
 				}
 				out.attempts++
 				if k >= 1 && compromised(path[k-1]) {
-					out.partials = append(out.partials, partialAttempt{path: path, upto: k})
+					ar.partials = append(ar.partials, partialAttempt{path: path, upto: k})
 				}
 			}
 			if !out.delivered {
 				break
 			}
 		}
+		out.partials = ar.partials
 		return out, nil
 	case faults.PolicyReroute:
 		var out lossyTrial
 		for a := 0; a < maxAttempts && !out.delivered; a++ {
-			path, err := sel()
+			path, err := ar.sampler.SelectPath(rng, sender)
 			if err != nil {
 				return lossyTrial{}, err
 			}
@@ -127,12 +176,15 @@ func simulateDelivery(rng *rand.Rand, sel func() ([]trace.NodeID, error),
 				out.delivered = true
 				out.path = path
 			} else {
-				out.partials = append(out.partials, partialAttempt{path: path, upto: lostAt})
+				// The sampler buffer is redrawn on the next attempt, so a
+				// failed path is snapshotted into the arena.
+				ar.partials = append(ar.partials, partialAttempt{path: ar.paths.clone(path), upto: lostAt})
 			}
 		}
+		out.partials = ar.partials
 		return out, nil
 	default: // PolicyNone: drop on first loss
-		path, err := sel()
+		path, err := ar.sampler.SelectPath(rng, sender)
 		if err != nil {
 			return lossyTrial{}, err
 		}
@@ -153,13 +205,11 @@ func simulateDelivery(rng *rand.Rand, sel func() ([]trace.NodeID, error),
 // receiver report). Partial traces the analyst cannot classify are
 // skipped — the conservative adversary discards evidence it cannot fit
 // to its model rather than guessing.
-func degradedEntropy(analyst, analystU *adversary.Analyst, mt *trace.MessageTrace,
-	sender trace.NodeID, path []trace.NodeID, partials []partialAttempt) (float64, error) {
-	acc, err := adversary.NewAccumulator(analyst)
-	if err != nil {
-		return 0, err
-	}
-	if err := acc.Observe(mt); err != nil {
+func degradedEntropy(ar *lossyArena, analystU *adversary.Analyst,
+	sender trace.NodeID, path []trace.NodeID, partials []partialAttempt,
+	compromised func(trace.NodeID) bool) (float64, error) {
+	ar.acc.Reset()
+	if err := ar.acc.ObserveScratch(&ar.mt, &ar.sc); err != nil {
 		return 0, err
 	}
 	for _, pa := range partials {
@@ -167,23 +217,20 @@ func degradedEntropy(analyst, analystU *adversary.Analyst, mt *trace.MessageTrac
 		if p == nil {
 			p = path
 		}
-		pmt := SynthesizePartial(mt.Msg, sender, p, pa.upto, analyst.Compromised)
-		post, err := analystU.Posterior(pmt)
-		if err != nil {
+		SynthesizePartialInto(&ar.pmt, ar.mt.Msg, sender, p, pa.upto, compromised)
+		if err := ar.acc.FoldObservation(analystU, &ar.pmt, &ar.sc); err != nil {
 			continue
 		}
-		if err := acc.FoldPosterior(post.P); err != nil {
-			return 0, err
-		}
 	}
-	return acc.Entropy()
+	h, _, _, err := ar.acc.SnapshotFast()
+	return h, err
 }
 
 // estimateLossy is the single-shot loss-aware estimation path. H averages
 // over delivered trials only (matching the exact backend's
 // effective-delivery conditioning), HDegraded additionally folds retry
 // evidence, and the delivery statistics aggregate over every trial. Like
-// the lossless paths it is a pure function of (Seed, Trials, Workers).
+// the lossless paths it is a pure function of (Seed, Trials).
 func estimateLossy(cfg Config, analyst *adversary.Analyst, selector *pathsel.Selector) (Result, error) {
 	uOpts := append(append([]events.Option{}, cfg.EngineOptions...), events.WithUncompromisedReceiver())
 	engineU, err := events.New(cfg.N, len(cfg.Compromised), uOpts...)
@@ -195,6 +242,18 @@ func estimateLossy(cfg Config, analyst *adversary.Analyst, selector *pathsel.Sel
 		return Result{}, err
 	}
 
+	newArena := func() (*lossyArena, error) {
+		sp, err := selector.NewSampler()
+		if err != nil {
+			return nil, err
+		}
+		acc, err := adversary.NewAccumulator(analyst)
+		if err != nil {
+			return nil, err
+		}
+		return &lossyArena{sampler: sp, acc: acc}, nil
+	}
+
 	type part struct {
 		sum, sumDeg stats.Summary
 		compSender  int
@@ -202,63 +261,74 @@ func estimateLossy(cfg Config, analyst *adversary.Analyst, selector *pathsel.Sel
 		injected    int
 		err         error
 	}
-	parts := make([]part, cfg.Workers)
-	per := cfg.Trials / cfg.Workers
-	extra := cfg.Trials % cfg.Workers
+	batches := numBatches(cfg.Trials)
+	parts := make([]part, batches)
+	compromised := analyst.Compromised
 
-	pool.ForEach(cfg.Workers, func(w int) {
-		trials := per
-		if w < extra {
-			trials++
-		}
-		if trials == 0 {
+	var nextBatch atomic.Int64
+	workers := cfg.Workers
+	if workers > batches {
+		workers = batches
+	}
+	pool.ForEach(workers, func(int) {
+		ar, err := newArena()
+		if err != nil {
+			if b := int(nextBatch.Add(1)) - 1; b < batches {
+				parts[b].err = err
+			}
 			return
 		}
-		rng := stats.Fork(cfg.Seed, int64(w))
-		p := &parts[w]
-		for t := 0; t < trials; t++ {
-			sender := cfg.Sender
-			if !cfg.FixedSender {
-				sender = trace.NodeID(rng.Intn(cfg.N))
-			}
-			sel := func() ([]trace.NodeID, error) { return selector.SelectPath(rng, sender) }
-			trial, err := simulateDelivery(rng, sel, cfg.LinkLoss, cfg.Policy, cfg.MaxAttempts, analyst.Compromised)
-			if err != nil {
-				p.err = err
+		for {
+			b := int(nextBatch.Add(1)) - 1
+			if b >= batches {
 				return
 			}
-			p.injected++
-			p.attempts += trial.attempts
-			if !trial.delivered {
-				// Undelivered messages carry no receiver-side event; they
-				// enter the delivery statistics but not the H average.
-				continue
+			p := &parts[b]
+			lo, hi := batchBounds(b, cfg.Trials)
+			for t := lo; t < hi; t++ {
+				rng := stats.NewStream(cfg.Seed, int64(t))
+				sender := cfg.Sender
+				if !cfg.FixedSender {
+					sender = trace.NodeID(rng.Intn(cfg.N))
+				}
+				trial, err := simulateDelivery(&rng, ar, sender, cfg.LinkLoss, cfg.Policy, cfg.MaxAttempts, compromised)
+				if err != nil {
+					p.err = err
+					return
+				}
+				p.injected++
+				p.attempts += trial.attempts
+				if !trial.delivered {
+					// Undelivered messages carry no receiver-side event; they
+					// enter the delivery statistics but not the H average.
+					continue
+				}
+				if compromised(sender) {
+					// Local-eavesdropper branch: identified outright, retries
+					// add nothing.
+					p.sum.Add(0)
+					p.sumDeg.Add(0)
+					p.compSender++
+					continue
+				}
+				SynthesizeInto(&ar.mt, 1, sender, trial.path, compromised)
+				h, err := analyst.EntropyScratch(&ar.mt, &ar.sc)
+				if err != nil {
+					p.err = err
+					return
+				}
+				p.sum.Add(h)
+				if len(trial.partials) == 0 {
+					p.sumDeg.Add(h)
+					continue
+				}
+				hd, err := degradedEntropy(ar, analystU, sender, trial.path, trial.partials, compromised)
+				if err != nil {
+					p.err = err
+					return
+				}
+				p.sumDeg.Add(hd)
 			}
-			if analyst.Compromised(sender) {
-				// Local-eavesdropper branch: identified outright, retries
-				// add nothing.
-				p.sum.Add(0)
-				p.sumDeg.Add(0)
-				p.compSender++
-				continue
-			}
-			mt := Synthesize(1, sender, trial.path, analyst.Compromised)
-			h, err := analyst.Entropy(mt)
-			if err != nil {
-				p.err = err
-				return
-			}
-			p.sum.Add(h)
-			if len(trial.partials) == 0 {
-				p.sumDeg.Add(h)
-				continue
-			}
-			hd, err := degradedEntropy(analyst, analystU, mt, sender, trial.path, trial.partials)
-			if err != nil {
-				p.err = err
-				return
-			}
-			p.sumDeg.Add(hd)
 		}
 	})
 

@@ -7,12 +7,21 @@
 // and to extend the analysis to configurations the exact enumeration does
 // not cover (for example more compromised nodes than the class space
 // allows).
+//
+// The trial loops run on a zero-allocation fast path: every trial derives
+// its own counter-based RNG stream (stats.NewStream(Seed, trial)), draws
+// paths through a per-worker alias-table sampler (pathsel.Sampler), and
+// analyzes them through per-worker scratch arenas (adversary.Scratch plus
+// reusable accumulators). Trials are scheduled in fixed batches whose
+// partial Welford summaries merge in batch order, so the estimate is a
+// pure function of (Seed, Trials) — the worker count only sets the
+// parallelism.
 package montecarlo
 
 import (
 	"errors"
 	"fmt"
-	"math/rand"
+	"sync/atomic"
 
 	"anonmix/internal/adversary"
 	"anonmix/internal/dist"
@@ -38,6 +47,12 @@ var (
 	// ErrComplicated, and capability.ErrComplicatedPaths as one error.
 	ErrComplicatedPaths = capability.ErrComplicatedPaths
 )
+
+// trialBatchSize is the work-stealing granule of the estimators: trials
+// [b·64, (b+1)·64) form batch b. Each batch's partial statistics are
+// computed from that batch's per-trial streams alone and merged in batch
+// order, so results are invariant to how batches land on workers.
+const trialBatchSize = 64
 
 // Config parameterizes an estimation run.
 type Config struct {
@@ -69,9 +84,10 @@ type Config struct {
 	// Seed makes the run reproducible.
 	Seed int64
 	// Workers sets the number of sampling goroutines; it defaults to the
-	// shared pool width (pool.Workers()) so sampling saturates the
-	// machine. The estimate is a pure function of (Seed, Trials, Workers),
-	// so pin Workers explicitly when runs must reproduce across machines.
+	// shared pool width (pool.Workers()) so sampling saturates the machine.
+	// Every trial draws from its own counter-based stream, so the estimate
+	// is a pure function of (Seed, Trials) alone — Workers only controls
+	// how fast it is computed.
 	Workers int
 	// EngineOptions are forwarded to the exact engine (inference mode,
 	// receiver assumptions).
@@ -136,6 +152,21 @@ type Result struct {
 	// retransmissions and failed rerouting attempts into each delivered
 	// trial's posterior. Equal to H for lossless runs.
 	HDegraded float64
+}
+
+// numBatches returns the batch count for a trial budget.
+func numBatches(trials int) int {
+	return (trials + trialBatchSize - 1) / trialBatchSize
+}
+
+// batchBounds returns the half-open trial range of batch b.
+func batchBounds(b, trials int) (lo, hi int) {
+	lo = b * trialBatchSize
+	hi = lo + trialBatchSize
+	if hi > trials {
+		hi = trials
+	}
+	return lo, hi
 }
 
 // EstimateH runs the sampled estimation of H*(S).
@@ -222,55 +253,72 @@ func EstimateH(cfg Config) (Result, error) {
 		return estimateLossy(cfg, analyst, selector)
 	}
 
+	type arena struct {
+		sampler *pathsel.Sampler
+		sc      adversary.Scratch
+		mt      trace.MessageTrace
+	}
 	type part struct {
 		sum        stats.Summary
 		compSender int
 		err        error
 	}
-	parts := make([]part, cfg.Workers)
-	per := cfg.Trials / cfg.Workers
-	extra := cfg.Trials % cfg.Workers
+	batches := numBatches(cfg.Trials)
+	parts := make([]part, batches)
+	compromised := analyst.Compromised
 
-	// Each stream owns a forked RNG and a private accumulator, and the
-	// streams are merged in index order below, so the estimate is a pure
-	// function of (Seed, Trials, Workers) regardless of how the shared pool
-	// schedules them.
-	pool.ForEach(cfg.Workers, func(w int) {
-		trials := per
-		if w < extra {
-			trials++
-		}
-		if trials == 0 {
+	// Workers steal whole batches from a shared counter; each batch's
+	// partial summary depends only on its own trials' streams, and the
+	// batch-ordered merge below makes the result scheduling-independent.
+	var nextBatch atomic.Int64
+	workers := cfg.Workers
+	if workers > batches {
+		workers = batches
+	}
+	pool.ForEach(workers, func(int) {
+		sp, err := selector.NewSampler()
+		if err != nil {
+			if b := int(nextBatch.Add(1)) - 1; b < batches {
+				parts[b].err = err
+			}
 			return
 		}
-		rng := stats.Fork(cfg.Seed, int64(w))
-		p := &parts[w]
-		for t := 0; t < trials; t++ {
-			sender := cfg.Sender
-			if !cfg.FixedSender {
-				sender = trace.NodeID(rng.Intn(cfg.N))
-			}
-			if analyst.Compromised(sender) {
-				// Local-eavesdropper branch: sender identified.
-				p.sum.Add(0)
-				p.compSender++
-				continue
-			}
-			path, err := selector.SelectPath(rng, sender)
-			if err != nil {
-				p.err = err
+		ar := &arena{sampler: sp}
+		for {
+			b := int(nextBatch.Add(1)) - 1
+			if b >= batches {
 				return
 			}
-			mt := Synthesize(1, sender, path, analyst.Compromised)
-			// Entropy is the O(reports) fast path: it skips the N-entry
-			// posterior vector, which is what keeps million-node
-			// estimation linear in the path length rather than in N.
-			h, err := analyst.Entropy(mt)
-			if err != nil {
-				p.err = err
-				return
+			p := &parts[b]
+			lo, hi := batchBounds(b, cfg.Trials)
+			for t := lo; t < hi; t++ {
+				rng := stats.NewStream(cfg.Seed, int64(t))
+				sender := cfg.Sender
+				if !cfg.FixedSender {
+					sender = trace.NodeID(rng.Intn(cfg.N))
+				}
+				if compromised(sender) {
+					// Local-eavesdropper branch: sender identified.
+					p.sum.Add(0)
+					p.compSender++
+					continue
+				}
+				path, err := ar.sampler.SelectPath(&rng, sender)
+				if err != nil {
+					p.err = err
+					return
+				}
+				SynthesizeInto(&ar.mt, 1, sender, path, compromised)
+				// EntropyScratch is the O(reports) fast path: it skips the
+				// N-entry posterior vector, which is what keeps million-node
+				// estimation linear in the path length rather than in N.
+				h, err := analyst.EntropyScratch(&ar.mt, &ar.sc)
+				if err != nil {
+					p.err = err
+					return
+				}
+				p.sum.Add(h)
 			}
-			p.sum.Add(h)
 		}
 	})
 
@@ -295,48 +343,79 @@ func EstimateH(cfg Config) (Result, error) {
 	}, nil
 }
 
-// Session runs one repeated-communication session: the fixed sender sends
-// `rounds` messages over fresh paths drawn from the selector, each
-// synthesized trace is folded into an adversary.Accumulator, and the
-// accumulated posterior entropy after every round is returned. When
-// confidence ∈ (0,1), identifiedAt is the first round (1-based) at which
-// the accumulated posterior put at least that mass on the true sender
-// (0 when the threshold was never reached or tracking is off). The exact
-// and Monte-Carlo scenario backends both fold their sessions through this
-// function, so the two sampled degradation estimates share one definition
-// of a round.
-func Session(analyst *adversary.Analyst, sel *pathsel.Selector, rng *rand.Rand,
-	sender trace.NodeID, rounds int, confidence float64) (entropies []float64, identifiedAt int, err error) {
+// SessionArena holds the reusable state of repeated-communication
+// sessions: the path sampler, the classification scratch, the synthesized
+// trace, the posterior accumulator, and the per-round entropy buffer. One
+// arena serves any number of sequential sessions; it is not safe for
+// concurrent use.
+type SessionArena struct {
+	analyst   *adversary.Analyst
+	sampler   *pathsel.Sampler
+	acc       *adversary.Accumulator
+	sc        adversary.Scratch
+	mt        trace.MessageTrace
+	entropies []float64
+}
+
+// NewSessionArena builds a session arena for `rounds`-message sessions
+// analyzed by the analyst over paths from the selector.
+func NewSessionArena(analyst *adversary.Analyst, sel *pathsel.Selector, rounds int) (*SessionArena, error) {
+	if rounds < 1 {
+		return nil, fmt.Errorf("%w: rounds = %d", ErrBadConfig, rounds)
+	}
+	sp, err := sel.NewSampler()
+	if err != nil {
+		return nil, err
+	}
 	acc, err := adversary.NewAccumulator(analyst)
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
-	entropies = make([]float64, rounds)
-	for r := 0; r < rounds; r++ {
-		path, err := sel.SelectPath(rng, sender)
+	return &SessionArena{
+		analyst:   analyst,
+		sampler:   sp,
+		acc:       acc,
+		entropies: make([]float64, rounds),
+	}, nil
+}
+
+// Session runs one repeated-communication session: the fixed sender sends
+// the arena's round count of messages over fresh paths, each synthesized
+// trace is folded into the accumulator, and the accumulated posterior
+// entropy after every round is returned (the slice is the arena's buffer,
+// valid until the next call). When confidence ∈ (0,1), identifiedAt is the
+// first round (1-based) at which the accumulated posterior put at least
+// that mass on the true sender (0 when the threshold was never reached or
+// tracking is off). The exact and Monte-Carlo scenario backends both fold
+// their sessions through this method, so the two sampled degradation
+// estimates share one definition of a round.
+func (ar *SessionArena) Session(rng *stats.Stream, sender trace.NodeID, confidence float64) (entropies []float64, identifiedAt int, err error) {
+	ar.acc.Reset()
+	for r := range ar.entropies {
+		path, err := ar.sampler.SelectPath(rng, sender)
 		if err != nil {
 			return nil, 0, err
 		}
-		mt := Synthesize(trace.MessageID(r+1), sender, path, analyst.Compromised)
-		if err := acc.Observe(mt); err != nil {
+		SynthesizeInto(&ar.mt, trace.MessageID(r+1), sender, path, ar.analyst.Compromised)
+		if err := ar.acc.ObserveScratch(&ar.mt, &ar.sc); err != nil {
 			return nil, 0, err
 		}
-		h, top, mass, err := acc.Snapshot()
+		h, top, mass, err := ar.acc.SnapshotFast()
 		if err != nil {
 			return nil, 0, err
 		}
-		entropies[r] = h
+		ar.entropies[r] = h
 		if identifiedAt == 0 && confidence > 0 && top == sender && mass >= confidence {
 			identifiedAt = r + 1
 		}
 	}
-	return entropies, identifiedAt, nil
+	return ar.entropies, identifiedAt, nil
 }
 
 // estimateRounds is the multi-round estimation path: each trial is one
 // repeated-communication session, and the merged result carries the
 // degradation curve next to the final-round summary. Like the single-shot
-// path it is a pure function of (Seed, Trials, Workers).
+// path it is a pure function of (Seed, Trials).
 func estimateRounds(cfg Config, analyst *adversary.Analyst, selector *pathsel.Selector) (Result, error) {
 	type part struct {
 		sum         stats.Summary
@@ -346,49 +425,60 @@ func estimateRounds(cfg Config, analyst *adversary.Analyst, selector *pathsel.Se
 		roundsSum   int
 		err         error
 	}
-	parts := make([]part, cfg.Workers)
-	per := cfg.Trials / cfg.Workers
-	extra := cfg.Trials % cfg.Workers
+	batches := numBatches(cfg.Trials)
+	parts := make([]part, batches)
 
-	pool.ForEach(cfg.Workers, func(w int) {
-		trials := per
-		if w < extra {
-			trials++
-		}
-		if trials == 0 {
+	var nextBatch atomic.Int64
+	workers := cfg.Workers
+	if workers > batches {
+		workers = batches
+	}
+	pool.ForEach(workers, func(int) {
+		ar, err := NewSessionArena(analyst, selector, cfg.Rounds)
+		if err != nil {
+			if b := int(nextBatch.Add(1)) - 1; b < batches {
+				parts[b].err = err
+			}
 			return
 		}
-		rng := stats.Fork(cfg.Seed, int64(w))
-		p := &parts[w]
-		p.entropySums = make([]float64, cfg.Rounds)
-		for t := 0; t < trials; t++ {
-			sender := cfg.Sender
-			if !cfg.FixedSender {
-				sender = trace.NodeID(rng.Intn(cfg.N))
-			}
-			if analyst.Compromised(sender) {
-				// Local-eavesdropper branch: the session is identified at
-				// its first message and contributes zero entropy throughout.
-				p.sum.Add(0)
-				p.compSender++
-				if cfg.Confidence > 0 {
-					p.identified++
-					p.roundsSum++
-				}
-				continue
-			}
-			entropies, identifiedAt, err := Session(analyst, selector, rng, sender, cfg.Rounds, cfg.Confidence)
-			if err != nil {
-				p.err = err
+		for {
+			b := int(nextBatch.Add(1)) - 1
+			if b >= batches {
 				return
 			}
-			for r, h := range entropies {
-				p.entropySums[r] += h
-			}
-			p.sum.Add(entropies[cfg.Rounds-1])
-			if identifiedAt > 0 {
-				p.identified++
-				p.roundsSum += identifiedAt
+			p := &parts[b]
+			p.entropySums = make([]float64, cfg.Rounds)
+			lo, hi := batchBounds(b, cfg.Trials)
+			for t := lo; t < hi; t++ {
+				rng := stats.NewStream(cfg.Seed, int64(t))
+				sender := cfg.Sender
+				if !cfg.FixedSender {
+					sender = trace.NodeID(rng.Intn(cfg.N))
+				}
+				if analyst.Compromised(sender) {
+					// Local-eavesdropper branch: the session is identified at
+					// its first message and contributes zero entropy throughout.
+					p.sum.Add(0)
+					p.compSender++
+					if cfg.Confidence > 0 {
+						p.identified++
+						p.roundsSum++
+					}
+					continue
+				}
+				entropies, identifiedAt, err := ar.Session(&rng, sender, cfg.Confidence)
+				if err != nil {
+					p.err = err
+					return
+				}
+				for r, h := range entropies {
+					p.entropySums[r] += h
+				}
+				p.sum.Add(entropies[cfg.Rounds-1])
+				if identifiedAt > 0 {
+					p.identified++
+					p.roundsSum += identifiedAt
+				}
 			}
 		}
 	})
@@ -436,7 +526,19 @@ func estimateRounds(cfg Config, analyst *adversary.Analyst, selector *pathsel.Se
 // hand-built paths.
 func Synthesize(msg trace.MessageID, sender trace.NodeID, path []trace.NodeID,
 	compromised func(trace.NodeID) bool) *trace.MessageTrace {
-	mt := &trace.MessageTrace{Msg: msg, ReceiverSeen: true}
+	mt := &trace.MessageTrace{}
+	SynthesizeInto(mt, msg, sender, path, compromised)
+	return mt
+}
+
+// SynthesizeInto is Synthesize into a caller-owned trace, reusing its
+// Reports buffer — the trial loops' zero-allocation entry point. Every
+// field of mt is overwritten.
+func SynthesizeInto(mt *trace.MessageTrace, msg trace.MessageID, sender trace.NodeID,
+	path []trace.NodeID, compromised func(trace.NodeID) bool) {
+	mt.Msg = msg
+	mt.ReceiverSeen = true
+	mt.Reports = mt.Reports[:0]
 	prev := sender
 	for i, hop := range path {
 		if compromised(hop) {
@@ -455,5 +557,4 @@ func Synthesize(msg trace.MessageID, sender trace.NodeID, path []trace.NodeID,
 		prev = hop
 	}
 	mt.ReceiverPred = prev
-	return mt
 }

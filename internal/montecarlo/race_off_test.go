@@ -1,0 +1,5 @@
+//go:build !race
+
+package montecarlo_test
+
+const raceEnabled = false

@@ -113,7 +113,7 @@ func TestEstimateHRoundsValidation(t *testing.T) {
 	}
 }
 
-// TestSessionAccumulates drives Session directly: entropies are
+// TestSessionAccumulates drives a SessionArena directly: entropies are
 // non-negative, and an honest sender in a small system is identified
 // within a generous horizon.
 func TestSessionAccumulates(t *testing.T) {
@@ -135,7 +135,12 @@ func TestSessionAccumulates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	entropies, identifiedAt, err := montecarlo.Session(analyst, sel, stats.NewRand(3), 8, 200, 0.95)
+	arena, err := montecarlo.NewSessionArena(analyst, sel, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewStream(3, 0)
+	entropies, identifiedAt, err := arena.Session(&rng, 8, 0.95)
 	if err != nil {
 		t.Fatal(err)
 	}

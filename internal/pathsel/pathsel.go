@@ -108,18 +108,27 @@ func (s *Selector) Strategy() Strategy { return s.strategy }
 func (s *Selector) N() int { return s.n }
 
 // SampleLength draws a path length from the strategy's distribution by
-// inverse-CDF sampling.
+// inverse-CDF sampling. Floating-point CDFs can sum to slightly less than
+// one, so a draw can fall off the table's end; it then clamps to the last
+// length that carries positive mass (not blindly to the support's upper
+// bound, which may be a zero atom).
 func (s *Selector) SampleLength(rng *rand.Rand) int {
 	lo, hi := s.strategy.Length.Support()
 	u := rng.Float64()
 	var cum float64
+	last := hi
 	for l := lo; l <= hi; l++ {
-		cum += s.strategy.Length.PMF(l)
+		p := s.strategy.Length.PMF(l)
+		if p <= 0 {
+			continue
+		}
+		last = l
+		cum += p
 		if u < cum {
 			return l
 		}
 	}
-	return hi
+	return last
 }
 
 // SelectPath implements Figure 2: it draws a length and returns the ordered

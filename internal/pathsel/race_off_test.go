@@ -1,0 +1,5 @@
+//go:build !race
+
+package pathsel
+
+const raceEnabled = false

@@ -1,0 +1,335 @@
+package pathsel
+
+import (
+	"testing"
+
+	"anonmix/internal/dist"
+	"anonmix/internal/stats"
+	"anonmix/internal/trace"
+)
+
+// leakyPMF is an adversarial distribution for the inverse-CDF tail
+// regression: its mass sums to 0.9 (far outside dist.Validate's tolerance,
+// so it can only enter a Selector built as an in-package literal) and its
+// top support atom carries zero mass. A u drawn in [0.9, 1) falls off the
+// CDF table, and the pre-fix clamp-to-hi behavior would return the
+// zero-mass length 4.
+type leakyPMF struct{}
+
+func (leakyPMF) Support() (int, int) { return 1, 4 }
+func (leakyPMF) PMF(l int) float64 {
+	switch l {
+	case 1:
+		return 0.5
+	case 2:
+		return 0.4
+	}
+	return 0
+}
+func (leakyPMF) Mean() float64  { return 1.3 }
+func (leakyPMF) String() string { return "leaky" }
+
+// TestSampleLengthTailClamp is satellite (a)'s regression: when the CDF
+// sums short of a draw, SampleLength must clamp to the last length with
+// positive mass, never to a zero-mass atom at the support's end.
+func TestSampleLengthTailClamp(t *testing.T) {
+	sel := &Selector{n: 50, strategy: Strategy{Name: "leaky", Length: leakyPMF{}, Kind: Simple}}
+	rng := stats.NewRand(1)
+	sawTail := false
+	for i := 0; i < 2000; i++ {
+		l := sel.SampleLength(rng)
+		if (leakyPMF{}).PMF(l) == 0 {
+			t.Fatalf("draw %d: length %d has zero mass", i, l)
+		}
+		if l == 2 {
+			sawTail = true
+		}
+	}
+	if !sawTail {
+		t.Error("no draw reached the last positive atom")
+	}
+}
+
+// TestSamplerLengthAgreesWithPMF: chi-square agreement between the alias
+// sampler's length draws and the source distribution, for a distribution
+// with interior structure. 6 degrees of freedom; 1e-3 quantile ~22.5.
+func TestSamplerLengthAgreesWithPMF(t *testing.T) {
+	strat, err := UniformLength(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := NewSelector(40, strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := sel.NewSampler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const draws = 140000
+	rng := stats.NewStream(3, 0)
+	counts := make(map[int]int)
+	for i := 0; i < draws; i++ {
+		counts[sp.SampleLength(&rng)]++
+	}
+	var chi2 float64
+	for l := 1; l <= 7; l++ {
+		exp := draws / 7.0
+		d := float64(counts[l]) - exp
+		chi2 += d * d / exp
+	}
+	if chi2 > 22.5 {
+		t.Errorf("chi-square = %v over %v", chi2, counts)
+	}
+}
+
+// TestSamplerDrawCounts pins the stream-consumption contract goldens rely
+// on: a point mass consumes zero draws, everything else exactly two.
+func TestSamplerDrawCounts(t *testing.T) {
+	fixed, err := FixedLength(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	selF, err := NewSelector(10, fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spF, err := selF.NewSampler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := stats.NewStream(11, 0), stats.NewStream(11, 0)
+	if l := spF.SampleLength(&a); l != 3 {
+		t.Fatalf("fixed length draw = %d", l)
+	}
+	if a.Uint64() != b.Uint64() {
+		t.Error("point mass consumed stream draws")
+	}
+
+	uni, err := UniformLength(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	selU, err := NewSelector(10, uni)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spU, err := selU.NewSampler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b = stats.NewStream(11, 0), stats.NewStream(11, 0)
+	spU.SampleLength(&a)
+	b.Uint64()
+	b.Uint64()
+	if a.Uint64() != b.Uint64() {
+		t.Error("non-point distribution did not consume exactly two draws")
+	}
+}
+
+// TestSamplerPathProperties: both route shapes produce well-formed paths
+// in both the sparse (rejection) and dense (Fisher–Yates) regimes, and
+// the returned slice is the sampler's reused buffer.
+func TestSamplerPathProperties(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		n    int
+		lo   int
+		hi   int
+		kind PathKind
+	}{
+		{"simple sparse", 200, 1, 6, Simple},    // l*16 <= n: rejection set
+		{"simple dense", 12, 4, 9, Simple},      // Fisher–Yates pool
+		{"simple boundary", 8, 7, 7, Simple},    // l = n-1: every other node
+		{"complicated", 15, 1, 10, Complicated}, // cycles allowed
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			u, err := dist.NewUniform(tc.lo, tc.hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sel, err := NewSelector(tc.n, Strategy{Name: "t", Length: u, Kind: tc.kind})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp, err := sel.NewSampler()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := stats.NewStream(9, 0)
+			const sender = trace.NodeID(2)
+			for i := 0; i < 3000; i++ {
+				path, err := sp.SelectPath(&rng, sender)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(path) < tc.lo || len(path) > tc.hi {
+					t.Fatalf("path length %d outside [%d,%d]", len(path), tc.lo, tc.hi)
+				}
+				seen := make(map[trace.NodeID]bool)
+				prev := sender
+				for _, v := range path {
+					if int(v) < 0 || int(v) >= tc.n {
+						t.Fatalf("node %d outside system", v)
+					}
+					if tc.kind == Simple {
+						if v == sender {
+							t.Fatal("simple path contains the sender")
+						}
+						if seen[v] {
+							t.Fatalf("simple path repeats node %d", v)
+						}
+						seen[v] = true
+					} else if v == prev {
+						t.Fatalf("complicated path forwarded to the current holder %d", v)
+					}
+					prev = v
+				}
+			}
+		})
+	}
+}
+
+// TestSamplerMatchesSelectorDistribution: the sampler and the classic
+// selector draw hop marginals from the same distribution — checked on the
+// first-hop frequencies of a sparse simple strategy, which exercises the
+// open-addressed rejection set against the map-based original. Each node
+// other than the sender should appear first with probability 1/(n-1);
+// 18 dof, 1e-3 quantile ~42.3.
+func TestSamplerMatchesSelectorDistribution(t *testing.T) {
+	const n, draws = 20, 190000
+	strat, err := UniformLength(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := NewSelector(n, strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := sel.NewSampler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sender = trace.NodeID(0)
+	for _, src := range []string{"sampler", "selector"} {
+		counts := make([]int, n)
+		switch src {
+		case "sampler":
+			rng := stats.NewStream(21, 0)
+			for i := 0; i < draws; i++ {
+				path, err := sp.SelectPath(&rng, sender)
+				if err != nil {
+					t.Fatal(err)
+				}
+				counts[path[0]]++
+			}
+		case "selector":
+			rng := stats.NewRand(21)
+			for i := 0; i < draws; i++ {
+				path, err := sel.SelectPath(rng, sender)
+				if err != nil {
+					t.Fatal(err)
+				}
+				counts[path[0]]++
+			}
+		}
+		if counts[sender] != 0 {
+			t.Fatalf("%s: sender drawn as first hop", src)
+		}
+		exp := float64(draws) / float64(n-1)
+		var chi2 float64
+		for v := 1; v < n; v++ {
+			d := float64(counts[v]) - exp
+			chi2 += d * d / exp
+		}
+		if chi2 > 42.3 {
+			t.Errorf("%s: first-hop chi-square = %v", src, chi2)
+		}
+	}
+}
+
+// TestSamplerBufferReuse pins the arena contract: successive draws share
+// one backing array, and a retained path is overwritten by the next call.
+func TestSamplerBufferReuse(t *testing.T) {
+	strat, err := FixedLength(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := NewSelector(30, strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := sel.NewSampler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewStream(4, 0)
+	p1, err := sp.SelectPath(&rng, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := sp.SelectPath(&rng, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &p1[0] != &p2[0] {
+		t.Error("sampler allocated a fresh path buffer per draw")
+	}
+}
+
+// TestSamplerRejectsBadSender mirrors the selector's bounds check.
+func TestSamplerRejectsBadSender(t *testing.T) {
+	strat, err := FixedLength(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := NewSelector(10, strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := sel.NewSampler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewStream(1, 0)
+	for _, s := range []trace.NodeID{trace.NodeID(-1), 10, 99} {
+		if _, err := sp.SelectPath(&rng, s); err == nil {
+			t.Errorf("sender %d accepted", s)
+		}
+	}
+}
+
+// TestSamplerZeroAllocSteadyState asserts the tentpole's core claim at
+// the unit level: once warm, a simple-path draw performs zero heap
+// allocations in both regimes.
+func TestSamplerZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation inflates allocation counts")
+	}
+	for _, tc := range []struct {
+		name string
+		n    int
+	}{{"sparse", 200}, {"dense", 10}} {
+		strat, err := UniformLength(1, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel, err := NewSelector(tc.n, strat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := sel.NewSampler()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := stats.NewStream(8, 0)
+		allocs := testing.AllocsPerRun(500, func() {
+			if _, err := sp.SelectPath(&rng, 3); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: %v allocs per draw, want 0", tc.name, allocs)
+		}
+	}
+}

@@ -112,10 +112,11 @@ func (exactBackend) Run(cfg Config) (Result, error) {
 // engine: Workload.Messages independent sessions, each sending
 // Workload.Rounds messages from one sender over freshly drawn simple
 // paths, with the adversary accumulating exact per-round posteriors. The
-// loop is intentionally serial (one RNG stream, Workers ignored): it is
-// the reference implementation the parallel Monte-Carlo backend is
-// cross-validated against, and its output is a pure function of
-// (Seed, Messages, Rounds) alone.
+// loop is intentionally serial (Workers ignored) and draws every session
+// from its own counter-based stream — the same per-trial streams the
+// parallel Monte-Carlo backend consumes — so it is the reference
+// implementation that backend is cross-validated against, and its output
+// is a pure function of (Seed, Messages, Rounds) alone.
 func runExactRounds(cfg Config, e *events.Engine) (Result, error) {
 	if e.Mode() != events.InferenceStandard {
 		return Result{}, capability.Unsupported(string(BackendExact),
@@ -136,10 +137,13 @@ func runExactRounds(cfg Config, e *events.Engine) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	arena, err := montecarlo.NewSessionArena(analyst, sel, cfg.Workload.Rounds)
+	if err != nil {
+		return Result{}, err
+	}
 	var (
 		rounds   = cfg.Workload.Rounds
 		sessions = cfg.Workload.Messages
-		rng      = stats.NewRand(cfg.Workload.Seed)
 		hSums    = make([]float64, rounds)
 		sum      stats.Summary
 		comp     int
@@ -149,6 +153,7 @@ func runExactRounds(cfg Config, e *events.Engine) (Result, error) {
 		conf     = cfg.Workload.Confidence
 	)
 	for s := 0; s < sessions; s++ {
+		rng := stats.NewStream(cfg.Workload.Seed, int64(s))
 		sender := cfg.Workload.Sender
 		if !cfg.Workload.FixedSender {
 			sender = trace.NodeID(rng.Intn(cfg.N))
@@ -163,7 +168,7 @@ func runExactRounds(cfg Config, e *events.Engine) (Result, error) {
 			}
 			continue
 		}
-		entropies, identifiedAt, err := montecarlo.Session(analyst, sel, rng, sender, rounds, conf)
+		entropies, identifiedAt, err := arena.Session(&rng, sender, conf)
 		if err != nil {
 			return Result{}, err
 		}

@@ -65,7 +65,12 @@ func TestFoldDegradedSkipsUnusablePartials(t *testing.T) {
 		{Msg: 7, Time: 2, Observer: 0, Pred: 0, Succ: 0},
 		{Msg: 7, Time: 3, Observer: 0, Pred: 0, Succ: 0},
 	}}
-	h, err := foldDegraded(analyst, analystU, mt, []*trace.MessageTrace{nil, junk})
+	acc, err := adversary.NewAccumulator(analyst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc adversary.Scratch
+	h, err := foldDegraded(acc, analystU, mt, []*trace.MessageTrace{nil, junk}, &sc)
 	if err != nil {
 		t.Fatal(err)
 	}

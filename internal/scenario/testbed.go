@@ -145,17 +145,26 @@ func runRouted(cfg Config) (Result, error) {
 	rounds := cfg.Workload.Rounds
 
 	start := time.Now()
-	rng := stats.NewRand(cfg.Workload.Seed)
+	// Each session draws from its own counter-based stream — the same
+	// streams the Monte-Carlo estimator consumes per trial, so backend
+	// agreement is draw-for-draw, not just statistical. The sampler's path
+	// buffer is reused across injections: SendRoute copies the route and
+	// onion.Build consumes it synchronously.
+	sp, err := sel.NewSampler()
+	if err != nil {
+		return Result{}, err
+	}
 	senders := make([]trace.NodeID, sessions)
 	ids := make([]trace.MessageID, sessions*rounds)
 	for s := 0; s < sessions; s++ {
+		rng := stats.NewStream(cfg.Workload.Seed, int64(s))
 		sender := cfg.Workload.Sender
 		if !cfg.Workload.FixedSender {
 			sender = trace.NodeID(rng.Intn(cfg.N))
 		}
 		senders[s] = sender
 		for r := 0; r < rounds; r++ {
-			path, err := sel.SelectPath(rng, sender)
+			path, err := sp.SelectPath(&rng, sender)
 			if err != nil {
 				return Result{}, err
 			}
@@ -215,8 +224,14 @@ func analyzeRouted(cfg Config, analyst *adversary.Analyst,
 	var sum stats.Summary
 	var compSenders, deanonymized, idCount, idRounds int
 	var hSums []float64
+	var sc adversary.Scratch
+	var acc *adversary.Accumulator
 	if degradation {
 		hSums = make([]float64, rounds)
+		var err error
+		if acc, err = adversary.NewAccumulator(analyst); err != nil {
+			return Result{}, err
+		}
 	}
 	for s := 0; s < sessions; s++ {
 		sender := senders[s]
@@ -237,7 +252,7 @@ func analyzeRouted(cfg Config, analyst *adversary.Analyst,
 			if mt == nil {
 				return Result{}, fmt.Errorf("scenario: message %d has no trace", ids[s])
 			}
-			h, err := analyst.Entropy(mt)
+			h, err := analyst.EntropyScratch(mt, &sc)
 			if err != nil {
 				return Result{}, fmt.Errorf("scenario: message %d: %w", ids[s], err)
 			}
@@ -247,10 +262,7 @@ func analyzeRouted(cfg Config, analyst *adversary.Analyst,
 			sum.Add(h)
 			continue
 		}
-		acc, err := adversary.NewAccumulator(analyst)
-		if err != nil {
-			return Result{}, err
-		}
+		acc.Reset()
 		identifiedAt := 0
 		final := 0.0
 		for r := 0; r < rounds; r++ {
@@ -259,10 +271,10 @@ func analyzeRouted(cfg Config, analyst *adversary.Analyst,
 			if mt == nil {
 				return Result{}, fmt.Errorf("scenario: message %d has no trace", id)
 			}
-			if err := acc.Observe(mt); err != nil {
+			if err := acc.ObserveScratch(mt, &sc); err != nil {
 				return Result{}, fmt.Errorf("scenario: message %d: %w", id, err)
 			}
-			h, top, mass, err := acc.Snapshot()
+			h, top, mass, err := acc.SnapshotFast()
 			if err != nil {
 				return Result{}, fmt.Errorf("scenario: message %d: %w", id, err)
 			}
@@ -417,9 +429,16 @@ func runRoutedTimeline(cfg Config) (Result, error) {
 	defer nw.Close()
 
 	start := time.Now()
-	rng := stats.NewRand(cfg.Workload.Seed)
-	inject := func(e int, sender trace.NodeID) (trace.MessageID, error) {
-		path, err := drawPhasePath(&phases[e], sels[e], rng, sender)
+	// Per-phase samplers over the dense spaces; drawPhasePath maps the
+	// reusable dense buffer to a fresh union-identity route.
+	samplers := make([]*pathsel.Sampler, len(sels))
+	for i := range sels {
+		if samplers[i], err = sels[i].NewSampler(); err != nil {
+			return Result{}, err
+		}
+	}
+	inject := func(e int, rng *stats.Stream, sender trace.NodeID) (trace.MessageID, error) {
+		path, err := drawPhasePath(&phases[e], samplers[e], rng, sender)
 		if err != nil {
 			return 0, err
 		}
@@ -436,20 +455,26 @@ func runRoutedTimeline(cfg Config) (Result, error) {
 	var (
 		k             = cfg.Workload.Rounds
 		senders       []trace.NodeID    // rounds mode: one per session
+		strs          []stats.Stream    // rounds mode: one per session
 		ids           []trace.MessageID // rounds mode: session-major [s*k+r]
 		phaseSenders  [][]trace.NodeID  // messages mode
 		phaseIDs      [][]trace.MessageID
 		maxGoroutines int
 	)
 	if rounds {
+		// One counter-based stream per session — the same streams the
+		// Monte-Carlo timeline consumes — so every session's sender and
+		// path draws are independent of the phase-major injection order.
 		senders = make([]trace.NodeID, sessions)
+		strs = make([]stats.Stream, sessions)
 		ids = make([]trace.MessageID, sessions*k)
 		pool := senderPool(phases)
 		for s := range senders {
+			strs[s] = stats.NewStream(cfg.Workload.Seed, int64(s))
 			if cfg.Workload.FixedSender {
 				senders[s] = cfg.Workload.Sender
 			} else {
-				senders[s] = pool[rng.Intn(len(pool))]
+				senders[s] = pool[strs[s].Intn(len(pool))]
 			}
 		}
 	} else {
@@ -465,7 +490,7 @@ func runRoutedTimeline(cfg Config) (Result, error) {
 		if rounds {
 			for j := 0; j < p.epoch.Rounds; j++ {
 				for s := 0; s < sessions; s++ {
-					id, err := inject(e, senders[s])
+					id, err := inject(e, &strs[s], senders[s])
 					if err != nil {
 						return Result{}, err
 					}
@@ -475,11 +500,15 @@ func runRoutedTimeline(cfg Config) (Result, error) {
 			}
 		} else {
 			for m := 0; m < p.epoch.Messages; m++ {
+				// Messages mode: each message draws from its own stream
+				// under the phase's derived seed, matching the per-phase
+				// sub-runs of the Monte-Carlo timeline.
+				rng := stats.NewStream(phaseSeed(cfg.Workload.Seed, e), int64(m))
 				sender := cfg.Workload.Sender
 				if !cfg.Workload.FixedSender {
 					sender = p.live[rng.Intn(p.n())]
 				}
-				id, err := inject(e, sender)
+				id, err := inject(e, &rng, sender)
 				if err != nil {
 					return Result{}, err
 				}
@@ -542,10 +571,19 @@ func analyzeSingleShotTimeline(cfg Config, analysts []*adversary.Analyst,
 		compSenders  int
 		deanonymized int
 		epochs       []EpochResult
+		sc           adversary.Scratch
+		partials     []*trace.MessageTrace
 	)
 	for e := range cfg.phases {
 		p := &cfg.phases[e]
 		var pSum stats.Summary
+		var acc *adversary.Accumulator
+		if fa != nil {
+			var err error
+			if acc, err = adversary.NewAccumulator(analysts[e]); err != nil {
+				return Result{}, err
+			}
+		}
 		for m, sender := range phaseSenders[e] {
 			injected++
 			id := phaseIDs[e][m]
@@ -568,7 +606,7 @@ func analyzeSingleShotTimeline(cfg Config, analysts []*adversary.Analyst,
 			if err != nil {
 				return Result{}, fmt.Errorf("scenario: message %d: %w", id, err)
 			}
-			h, err := analysts[e].Entropy(dmt)
+			h, err := analysts[e].EntropyScratch(dmt, &sc)
 			if err != nil {
 				return Result{}, fmt.Errorf("scenario: message %d: %w", id, err)
 			}
@@ -583,7 +621,7 @@ func analyzeSingleShotTimeline(cfg Config, analysts []*adversary.Analyst,
 			// Degraded fold: each retransmission the kernel logged for this
 			// message leaked the delivered trace's prefix up to the retrying
 			// observer, analyzed in the phase's dense space.
-			var partials []*trace.MessageTrace
+			partials = partials[:0]
 			for _, rt := range fa.retries[id] {
 				do, ok := p.denseOf[rt.Observer]
 				if !ok {
@@ -595,7 +633,7 @@ func analyzeSingleShotTimeline(cfg Config, analysts []*adversary.Analyst,
 				sumDeg.Add(h)
 				continue
 			}
-			hd, err := foldDegraded(analysts[e], fa.analystsU[e], dmt, partials)
+			hd, err := foldDegraded(acc, fa.analystsU[e], dmt, partials, &sc)
 			if err != nil {
 				return Result{}, fmt.Errorf("scenario: message %d degraded fold: %w", id, err)
 			}
@@ -649,17 +687,24 @@ func analyzeRoutedTimeline(cfg Config, analysts []*adversary.Analyst,
 		idRounds   int
 		hRounds    = make([]float64, k)
 	)
-	for s := 0; s < sessions; s++ {
-		sender := senders[s]
-		draw := func(pi, r int) (*trace.MessageTrace, error) {
-			id := ids[s*k+r]
-			mt := traces[id]
-			if mt == nil {
-				return nil, fmt.Errorf("scenario: message %d has no trace", id)
-			}
-			return phases[pi].denseTrace(mt)
+	pa, err := adversary.NewPhasedAccumulator(totalIDs)
+	if err != nil {
+		return Result{}, err
+	}
+	var sc adversary.Scratch
+	entropies := make([]float64, k)
+	s := 0
+	draw := func(pi, r int) (*trace.MessageTrace, error) {
+		id := ids[s*k+r]
+		mt := traces[id]
+		if mt == nil {
+			return nil, fmt.Errorf("scenario: message %d has no trace", id)
 		}
-		entropies, identifiedAt, err := phasedSession(phases, analysts, totalIDs, sender, conf, draw)
+		return phases[pi].denseTrace(mt)
+	}
+	for s = 0; s < sessions; s++ {
+		sender := senders[s]
+		identifiedAt, err := phasedSession(phases, analysts, pa, &sc, entropies, sender, conf, draw)
 		if err != nil {
 			return Result{}, err
 		}

@@ -107,33 +107,29 @@ func truncateAtObserver(mt *trace.MessageTrace, obs trace.NodeID) *trace.Message
 }
 
 // foldDegraded accumulates one delivered message's retry-degraded
-// posterior: the full delivered trace through the primary analyst, then
-// every leaked partial trace through the uncompromised-receiver analyst.
+// posterior into the caller's reusable accumulator (reset here): the full
+// delivered trace through the accumulator's own analyst, then every
+// leaked partial trace through the uncompromised-receiver analyst.
 // Partials the model cannot classify (e.g. a lossy link whose target is
 // itself compromised, breaking the witnessed-set arithmetic) are skipped —
 // the conservative adversary discards what it cannot fit.
-func foldDegraded(analyst, analystU *adversary.Analyst, mt *trace.MessageTrace,
-	partials []*trace.MessageTrace) (float64, error) {
-	acc, err := adversary.NewAccumulator(analyst)
-	if err != nil {
-		return 0, err
-	}
-	if err := acc.Observe(mt); err != nil {
+func foldDegraded(acc *adversary.Accumulator, analystU *adversary.Analyst,
+	mt *trace.MessageTrace, partials []*trace.MessageTrace,
+	sc *adversary.Scratch) (float64, error) {
+	acc.Reset()
+	if err := acc.ObserveScratch(mt, sc); err != nil {
 		return 0, err
 	}
 	for _, pmt := range partials {
 		if pmt == nil {
 			continue
 		}
-		post, err := analystU.Posterior(pmt)
-		if err != nil {
+		if err := acc.FoldObservation(analystU, pmt, sc); err != nil {
 			continue
 		}
-		if err := acc.FoldPosterior(post.P); err != nil {
-			return 0, err
-		}
 	}
-	return acc.Entropy()
+	h, _, _, err := acc.SnapshotFast()
+	return h, err
 }
 
 // runRoutedFaulty executes a fault-injected single-shot scenario on the
@@ -217,20 +213,30 @@ func runRoutedFaulty(cfg Config) (Result, error) {
 
 	sessions := cfg.Workload.Messages
 	start := time.Now()
-	rng := stats.NewRand(cfg.Workload.Seed)
+	// One counter-based stream per session, so a reroute wave's redraws
+	// come from the failed session's own stream — deterministic regardless
+	// of which sessions fail or in what order the waves return them. The
+	// sampler's path buffer is reused: SendRoute copies the route and
+	// onion.Build consumes it synchronously.
+	sp, err := sel.NewSampler()
+	if err != nil {
+		return Result{}, err
+	}
 	var (
 		senders  = make([]trace.NodeID, sessions)
+		strs     = make([]stats.Stream, sessions)
 		lastID   = make([]trace.MessageID, sessions)
 		attempts = make([]int, sessions)
 		failed   = make([][]trace.MessageID, sessions)
 		originOf = make(map[trace.MessageID]int, sessions)
 	)
 	for s := 0; s < sessions; s++ {
+		strs[s] = stats.NewStream(cfg.Workload.Seed, int64(s))
 		sender := cfg.Workload.Sender
 		if !cfg.Workload.FixedSender {
-			sender = trace.NodeID(rng.Intn(cfg.N))
+			sender = trace.NodeID(strs[s].Intn(cfg.N))
 		}
-		path, err := sel.SelectPath(rng, sender)
+		path, err := sp.SelectPath(&strs[s], sender)
 		if err != nil {
 			return Result{}, err
 		}
@@ -263,7 +269,7 @@ func runRoutedFaulty(cfg Config) (Result, error) {
 				if attempts[s] >= cfg.Reliability.MaxAttempts {
 					continue // budget spent: the message stays undelivered
 				}
-				path, err := sel.SelectPath(rng, senders[s])
+				path, err := sp.SelectPath(&strs[s], senders[s])
 				if err != nil {
 					return Result{}, err
 				}
@@ -296,10 +302,16 @@ func runRoutedFaulty(cfg Config) (Result, error) {
 	traces := trace.Collate(nw.Tuples())
 	retryByMsg := sortedRetryObservations(nw)
 
+	acc, err := adversary.NewAccumulator(analyst)
+	if err != nil {
+		return Result{}, err
+	}
 	var (
 		sum, sumDeg stats.Summary
 		comp        int
 		deanon      int
+		sc          adversary.Scratch
+		partials    []*trace.MessageTrace
 	)
 	for s := 0; s < sessions; s++ {
 		id := lastID[s]
@@ -318,7 +330,7 @@ func runRoutedFaulty(cfg Config) (Result, error) {
 		if mt == nil {
 			return Result{}, fmt.Errorf("scenario: message %d has no trace", id)
 		}
-		h, err := analyst.Entropy(mt)
+		h, err := analyst.EntropyScratch(mt, &sc)
 		if err != nil {
 			return Result{}, fmt.Errorf("scenario: message %d: %w", id, err)
 		}
@@ -326,7 +338,7 @@ func runRoutedFaulty(cfg Config) (Result, error) {
 			deanon++
 		}
 		sum.Add(h)
-		var partials []*trace.MessageTrace
+		partials = partials[:0]
 		for _, fid := range failed[s] {
 			pmt := traces[fid]
 			if pmt == nil {
@@ -343,7 +355,7 @@ func runRoutedFaulty(cfg Config) (Result, error) {
 			sumDeg.Add(h)
 			continue
 		}
-		hd, err := foldDegraded(analyst, analystU, mt, partials)
+		hd, err := foldDegraded(acc, analystU, mt, partials, &sc)
 		if err != nil {
 			return Result{}, fmt.Errorf("scenario: message %d degraded fold: %w", id, err)
 		}

@@ -26,10 +26,10 @@ package scenario
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"anonmix/internal/adversary"
 	"anonmix/internal/events"
@@ -439,26 +439,21 @@ func (p *phase) denseTrace(mt *trace.MessageTrace) (*trace.MessageTrace, error) 
 }
 
 // phasedSession folds one persistent session through the phases of a
-// degradation timeline: the accumulator lives over the union space, each
-// round's trace is produced by draw (phase index, global round) in the
-// phase's dense space, and a sender compromised during a phase is
-// identified outright from its first round there on (the adversary's agent
-// at the sender — once burned, always burned, recovery notwithstanding).
-// Exact and Monte-Carlo sessions synthesize the draw; the testbed looks up
-// collected traces. Entropies are indexed by global round; identifiedAt is
-// the first 1-based round reaching the confidence threshold (0 = never).
-func phasedSession(phases []phase, analysts []*adversary.Analyst, total int,
+// degradation timeline: the caller's union-space accumulator (reset here,
+// so one allocation serves every session) collects each round's trace,
+// produced by draw (phase index, global round) in the phase's dense space,
+// and a sender compromised during a phase is identified outright from its
+// first round there on (the adversary's agent at the sender — once burned,
+// always burned, recovery notwithstanding). Exact and Monte-Carlo sessions
+// synthesize the draw; the testbed looks up collected traces. Entropies
+// are written into the caller's buffer, indexed by global round (its
+// length must be the timeline's total rounds); identifiedAt is the first
+// 1-based round reaching the confidence threshold (0 = never).
+func phasedSession(phases []phase, analysts []*adversary.Analyst,
+	pa *adversary.PhasedAccumulator, sc *adversary.Scratch, entropies []float64,
 	sender trace.NodeID, conf float64,
-	draw func(pi, r int) (*trace.MessageTrace, error)) (entropies []float64, identifiedAt int, err error) {
-	k := 0
-	for i := range phases {
-		k += phases[i].epoch.Rounds
-	}
-	entropies = make([]float64, k)
-	pa, err := adversary.NewPhasedAccumulator(total)
-	if err != nil {
-		return nil, 0, err
-	}
+	draw func(pi, r int) (*trace.MessageTrace, error)) (identifiedAt int, err error) {
+	pa.Reset()
 	r := 0
 	dead := false // sender observed as compromised: identified for good
 	for pi := range phases {
@@ -477,14 +472,14 @@ func phasedSession(phases []phase, analysts []*adversary.Analyst, total int,
 			}
 			mt, err := draw(pi, r)
 			if err != nil {
-				return nil, 0, err
+				return 0, err
 			}
-			if err := pa.Observe(analysts[pi], mt, p.live); err != nil {
-				return nil, 0, err
+			if err := pa.ObserveScratch(analysts[pi], mt, p.live, sc); err != nil {
+				return 0, err
 			}
-			h, top, mass, err := pa.Snapshot()
+			h, top, mass, err := pa.SnapshotFast()
 			if err != nil {
-				return nil, 0, err
+				return 0, err
 			}
 			entropies[r] = h
 			if identifiedAt == 0 && conf > 0 && top == sender && mass >= conf {
@@ -493,7 +488,7 @@ func phasedSession(phases []phase, analysts []*adversary.Analyst, total int,
 			r++
 		}
 	}
-	return entropies, identifiedAt, nil
+	return identifiedAt, nil
 }
 
 // epochResults summarizes a degradation run's blended curve per phase: the
@@ -573,11 +568,13 @@ func ParseTimeline(s string) ([]Epoch, error) {
 	return out, nil
 }
 
-// drawPhasePath draws one rerouting path for a session round: the selector
+// drawPhasePath draws one rerouting path for a session round: the sampler
 // works in the phase's dense space, and the result is mapped back to union
-// identities when the caller needs concrete network routes.
-func drawPhasePath(p *phase, sel *pathsel.Selector, rng *rand.Rand, sender trace.NodeID) ([]trace.NodeID, error) {
-	dense, err := sel.SelectPath(rng, trace.NodeID(p.denseOf[sender]))
+// identities when the caller needs concrete network routes. The mapped
+// copy is freshly allocated — it crosses the kernel boundary and outlives
+// the sampler's reusable buffer.
+func drawPhasePath(p *phase, sp *pathsel.Sampler, rng *stats.Stream, sender trace.NodeID) ([]trace.NodeID, error) {
+	dense, err := sp.SelectPath(rng, trace.NodeID(p.denseOf[sender]))
 	if err != nil {
 		return nil, err
 	}
@@ -633,13 +630,36 @@ func firstTrafficPhase(phases []phase) int {
 	return 0
 }
 
+// sessionBatchSize is the work-stealing granule of the phased session
+// loop, mirroring the static Monte-Carlo estimator's trial batching: each
+// batch's partial sums are merged in batch-index order so the result is
+// bit-identical for any worker count.
+const sessionBatchSize = 64
+
+// phasedArena is the per-worker scratch of a degradation-timeline run:
+// per-phase samplers, a reusable union-space accumulator, classification
+// scratch, one trace buffer, and the per-session entropy curve. The draw
+// closure is built once per arena (capturing only the arena) so the
+// session loop allocates nothing.
+type phasedArena struct {
+	samplers  []*pathsel.Sampler
+	pa        *adversary.PhasedAccumulator
+	sc        adversary.Scratch
+	mt        trace.MessageTrace
+	entropies []float64
+	rng       stats.Stream
+	sender    trace.NodeID
+	draw      func(pi, r int) (*trace.MessageTrace, error)
+}
+
 // runPhasedRounds executes a degradation timeline analytically:
 // Workload.Messages persistent sessions spanning the phases, each round
 // synthesized in its phase's dense space and folded through a union-space
-// PhasedAccumulator. workers = 1 is the exact backend's serial reference;
-// larger counts split sessions across forked RNG streams exactly like the
-// static Monte-Carlo estimator, so the output is a pure function of
-// (Seed, Messages, Workers).
+// PhasedAccumulator. Every session draws from its own counter-based
+// stream, so the output is a pure function of (Seed, Messages) alone —
+// workers only bounds how many sessions run concurrently (the exact
+// backend passes 1 and stays the serial reference, with identical
+// results).
 func runPhasedRounds(cfg Config, backend string, workers int) (Result, error) {
 	analysts, sels, err := phasedMachinery(cfg, backend)
 	if err != nil {
@@ -657,6 +677,37 @@ func runPhasedRounds(cfg Config, backend string, workers int) (Result, error) {
 	if !cfg.Workload.FixedSender {
 		pool = senderPool(phases)
 	}
+	comps := make([]func(trace.NodeID) bool, len(analysts))
+	for i, a := range analysts {
+		comps[i] = a.Compromised
+	}
+	newArena := func() (*phasedArena, error) {
+		ar := &phasedArena{
+			samplers:  make([]*pathsel.Sampler, len(sels)),
+			entropies: make([]float64, k),
+		}
+		for i, sel := range sels {
+			var err error
+			if ar.samplers[i], err = sel.NewSampler(); err != nil {
+				return nil, err
+			}
+		}
+		var err error
+		if ar.pa, err = adversary.NewPhasedAccumulator(total); err != nil {
+			return nil, err
+		}
+		ar.draw = func(pi, r int) (*trace.MessageTrace, error) {
+			ph := &phases[pi]
+			ds := trace.NodeID(ph.denseOf[ar.sender])
+			dense, err := ar.samplers[pi].SelectPath(&ar.rng, ds)
+			if err != nil {
+				return nil, err
+			}
+			montecarlo.SynthesizeInto(&ar.mt, trace.MessageID(r+1), ds, dense, comps[pi])
+			return &ar.mt, nil
+		}
+		return ar, nil
+	}
 	type part struct {
 		sum         stats.Summary
 		entropySums []float64
@@ -666,53 +717,59 @@ func runPhasedRounds(cfg Config, backend string, workers int) (Result, error) {
 		roundsSum   int
 		err         error
 	}
-	parts := make([]part, workers)
-	per := sessions / workers
-	extra := sessions % workers
-	workpool.ForEach(workers, func(w int) {
-		n := per
-		if w < extra {
-			n++
-		}
-		if n == 0 {
+	batches := (sessions + sessionBatchSize - 1) / sessionBatchSize
+	parts := make([]part, batches)
+	var nextBatch atomic.Int64
+	if workers > batches {
+		workers = batches
+	}
+	workpool.ForEach(workers, func(int) {
+		ar, err := newArena()
+		if err != nil {
+			if b := int(nextBatch.Add(1)) - 1; b < batches {
+				parts[b].err = err
+			}
 			return
 		}
-		rng := stats.Fork(cfg.Workload.Seed, int64(w))
-		p := &parts[w]
-		p.entropySums = make([]float64, k)
-		for t := 0; t < n; t++ {
-			sender := cfg.Workload.Sender
-			if !cfg.Workload.FixedSender {
-				sender = pool[rng.Intn(len(pool))]
-			}
-			draw := func(pi, r int) (*trace.MessageTrace, error) {
-				ph := &phases[pi]
-				dense, err := sels[pi].SelectPath(rng, trace.NodeID(ph.denseOf[sender]))
-				if err != nil {
-					return nil, err
-				}
-				return montecarlo.Synthesize(trace.MessageID(r+1),
-					trace.NodeID(ph.denseOf[sender]), dense, analysts[pi].Compromised), nil
-			}
-			entropies, identifiedAt, err := phasedSession(phases, analysts, total, sender, conf, draw)
-			if err != nil {
-				p.err = err
+		for {
+			b := int(nextBatch.Add(1)) - 1
+			if b >= batches {
 				return
 			}
-			if phases[first].compSet[sender] {
-				p.compSender++
+			p := &parts[b]
+			p.entropySums = make([]float64, k)
+			lo, hi := b*sessionBatchSize, (b+1)*sessionBatchSize
+			if hi > sessions {
+				hi = sessions
 			}
-			for r, h := range entropies {
-				p.entropySums[r] += h
-			}
-			final := entropies[k-1]
-			p.sum.Add(final)
-			if final < 1e-9 {
-				p.deanon++
-			}
-			if identifiedAt > 0 {
-				p.identified++
-				p.roundsSum += identifiedAt
+			for s := lo; s < hi; s++ {
+				ar.rng = stats.NewStream(cfg.Workload.Seed, int64(s))
+				sender := cfg.Workload.Sender
+				if !cfg.Workload.FixedSender {
+					sender = pool[ar.rng.Intn(len(pool))]
+				}
+				ar.sender = sender
+				identifiedAt, err := phasedSession(phases, analysts, ar.pa, &ar.sc,
+					ar.entropies, sender, conf, ar.draw)
+				if err != nil {
+					p.err = err
+					return
+				}
+				if phases[first].compSet[sender] {
+					p.compSender++
+				}
+				for r, h := range ar.entropies {
+					p.entropySums[r] += h
+				}
+				final := ar.entropies[k-1]
+				p.sum.Add(final)
+				if final < 1e-9 {
+					p.deanon++
+				}
+				if identifiedAt > 0 {
+					p.identified++
+					p.roundsSum += identifiedAt
+				}
 			}
 		}
 	})

@@ -1,0 +1,66 @@
+package stats
+
+// Stream is a counter-based SplitMix64 generator: a value type whose whole
+// state is one word, so per-trial streams cost nothing to create and every
+// draw is a pure function of (seed, stream, draw index). It is the
+// trial-loop counterpart of the fault layer's per-decision loss draws
+// (faults.Lost) and uses the same mixing constants as ForkSeed, which
+// derives its initial state — so adjacent streams are decorrelated by the
+// same argument.
+//
+// The sampling estimators derive one Stream per trial (stream = trial
+// index), which makes their estimates independent of the worker count: any
+// scheduling of trials over goroutines replays exactly the same draws.
+//
+// RNG-stream versioning: the draw sequence is part of the repository's
+// reproducibility contract. Changing the mixing constants, the draw order
+// of a consumer, or the per-trial stream derivation is a breaking change
+// that must regenerate every seed-pinned golden (see doc.go, "Randomness
+// and reproducibility").
+
+import "math/bits"
+
+// Stream is a reproducible counter-based random source. The zero value is
+// a valid stream (seed 0); NewStream derives decorrelated ones. Copying a
+// Stream forks it: both copies replay the same subsequent draws.
+type Stream struct {
+	state uint64
+}
+
+// NewStream returns the counter-based stream for (seed, stream index) —
+// the same derivation as ForkSeed, so Stream n here and Fork(seed, n)
+// start from the same point in seed space.
+func NewStream(seed, stream int64) Stream {
+	return Stream{state: uint64(ForkSeed(seed, stream))}
+}
+
+// Uint64 returns the next 64 uniformly random bits (SplitMix64).
+func (s *Stream) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 random bits.
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n) without modulo bias (Lemire's
+// multiply-shift rejection). It panics when n <= 0, matching rand.Intn.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive bound")
+	}
+	un := uint64(n)
+	hi, lo := bits.Mul64(s.Uint64(), un)
+	if lo < un {
+		thresh := -un % un
+		for lo < thresh {
+			hi, lo = bits.Mul64(s.Uint64(), un)
+		}
+	}
+	return int(hi)
+}

@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestStreamDeterminism pins the counter-based draw contract: same (seed,
+// stream) replays identically, copies fork, and distinct streams differ.
+func TestStreamDeterminism(t *testing.T) {
+	a := NewStream(42, 7)
+	b := NewStream(42, 7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("draw %d diverged between identical streams", i)
+		}
+	}
+	// Copy semantics: a value copy replays the same future draws.
+	c := a
+	if a.Uint64() != c.Uint64() {
+		t.Error("copied stream diverged")
+	}
+	d := NewStream(42, 8)
+	e := NewStream(43, 7)
+	base := NewStream(42, 7)
+	if base.Uint64() == d.Uint64() {
+		t.Error("adjacent streams collide on first draw")
+	}
+	base = NewStream(42, 7)
+	if base.Uint64() == e.Uint64() {
+		t.Error("adjacent seeds collide on first draw")
+	}
+}
+
+// TestStreamMatchesForkSeed pins the derivation: stream n of a seed starts
+// from the same point of seed space as ForkSeed(seed, n), so the fault
+// layer's per-decision draws and the trial streams share one lineage.
+func TestStreamMatchesForkSeed(t *testing.T) {
+	s := NewStream(99, 3)
+	manual := Stream{state: uint64(ForkSeed(99, 3))}
+	if s.Uint64() != manual.Uint64() {
+		t.Error("NewStream does not match ForkSeed derivation")
+	}
+}
+
+// TestStreamFloat64Range: every draw lands in [0, 1).
+func TestStreamFloat64Range(t *testing.T) {
+	s := NewStream(1, 0)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("draw %d: Float64 = %v", i, f)
+		}
+	}
+}
+
+// TestStreamIntn: draws stay in [0, n), every residue is reachable, and a
+// non-positive bound panics like rand.Intn.
+func TestStreamIntn(t *testing.T) {
+	s := NewStream(5, 1)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 30} {
+		seen := make(map[int]bool)
+		for i := 0; i < 2000; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d", n, v)
+			}
+			seen[v] = true
+		}
+		if n <= 7 && len(seen) != n {
+			t.Errorf("Intn(%d) reached only %d residues in 2000 draws", n, len(seen))
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	s.Intn(0)
+}
+
+// TestStreamIntnUnbiased: a coarse chi-square uniformity check on Intn
+// over a bound that exercises the rejection threshold (not a power of
+// two). 9 degrees of freedom; the 1e-3 quantile is ~27.9.
+func TestStreamIntnUnbiased(t *testing.T) {
+	const n, draws = 10, 100000
+	s := NewStream(17, 0)
+	var counts [n]int
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(n)]++
+	}
+	exp := float64(draws) / n
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - exp
+		chi2 += d * d / exp
+	}
+	if chi2 > 27.9 {
+		t.Errorf("chi-square = %v over %v counts", chi2, counts)
+	}
+}
+
+// TestStreamConcurrentIndependence: per-trial streams drawn concurrently
+// (as the estimator workers do) reproduce the serial draws exactly — the
+// worker-count-independence property at the RNG layer. Run under -race
+// this also proves streams share no hidden state.
+func TestStreamConcurrentIndependence(t *testing.T) {
+	const trials, draws = 64, 32
+	serial := make([][]uint64, trials)
+	for tr := range serial {
+		s := NewStream(7, int64(tr))
+		serial[tr] = make([]uint64, draws)
+		for i := range serial[tr] {
+			serial[tr][i] = s.Uint64()
+		}
+	}
+	parallel := make([][]uint64, trials)
+	var wg sync.WaitGroup
+	for tr := 0; tr < trials; tr++ {
+		wg.Add(1)
+		go func(tr int) {
+			defer wg.Done()
+			s := NewStream(7, int64(tr))
+			parallel[tr] = make([]uint64, draws)
+			for i := range parallel[tr] {
+				parallel[tr][i] = s.Uint64()
+			}
+		}(tr)
+	}
+	wg.Wait()
+	for tr := range serial {
+		for i := range serial[tr] {
+			if serial[tr][i] != parallel[tr][i] {
+				t.Fatalf("trial %d draw %d: concurrent draw diverged", tr, i)
+			}
+		}
+	}
+}
