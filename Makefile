@@ -6,15 +6,22 @@ DATE := $(shell date +%Y%m%d)
 # stack of PRs landing together) never clobbers an earlier measurement.
 SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo nogit)
 
-.PHONY: all build vet test race bench bench-smoke bench-compare cover fuzz-smoke profile clean
+.PHONY: all build vet lint test race bench bench-smoke bench-compare cover fuzz-smoke profile clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint runs go vet plus anonlint, the repository's own static-analysis
+# suite (internal/analysis): determinism-contract, seed-purity,
+# error-contract, and float-comparison invariants. Suppressions use
+# //anonlint:allow <analyzer>(<reason>) with a mandatory reason.
+lint: vet
+	$(GO) run ./cmd/anonlint ./...
 
 test:
 	$(GO) test ./...
@@ -93,8 +100,9 @@ FUZZTIME = 10s
 # fuzz-smoke runs every fuzz target briefly (one -fuzz regex per package
 # invocation, as the toolchain requires): the scenario configuration
 # surface, the CLI epoch syntax, the fault-plan syntax, the strategy
-# registry, and the onion codec.
+# registry, the onion codec, and the anonlint suppression parser.
 fuzz-smoke:
+	$(GO) test ./internal/analysis/allow -run '^$$' -fuzz '^FuzzParseAllow$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/scenario -run '^$$' -fuzz '^FuzzNormalize$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/scenario -run '^$$' -fuzz '^FuzzParseTimeline$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/faults -run '^$$' -fuzz '^FuzzParseFaults$$' -fuzztime $(FUZZTIME)

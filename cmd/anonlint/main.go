@@ -1,0 +1,61 @@
+// Command anonlint runs the repository's static-analysis suite (see
+// internal/analysis) over the named packages and prints positional
+// diagnostics, go vet style. `make lint` and the CI lint step run
+// `anonlint ./...`; the suite self-check test runs the same suite
+// in-process, so a CI failure always reproduces locally.
+//
+// Usage:
+//
+//	anonlint [-dir moduleRoot] [packages...]
+//
+// Exit status: 0 when the tree is clean, 1 when any diagnostic was
+// reported, 2 on a load or internal error.
+//
+// Suppressions use the form //anonlint:allow <analyzer>(<reason>) with a
+// mandatory reason; malformed anonlint comments are themselves reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"anonmix/internal/analysis/anonlint"
+	"anonmix/internal/analysis/suite"
+)
+
+func main() {
+	fs := flag.NewFlagSet("anonlint", flag.ExitOnError)
+	dir := fs.String("dir", ".", "module directory to resolve package patterns in")
+	list := fs.Bool("analyzers", false, "print the suite's analyzers and exit")
+	fs.Parse(os.Args[1:])
+
+	if *list {
+		for _, c := range suite.Analyzers() {
+			fmt.Printf("%-12s %s\n", c.Analyzer.Name, c.Analyzer.Doc)
+		}
+		return
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	prog, err := anonlint.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags, err := prog.Run(suite.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "anonlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s: %s\n", prog.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "anonlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

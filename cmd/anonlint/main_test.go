@@ -1,0 +1,57 @@
+package main_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExitCodeOnFindings builds a throwaway module with a seedpurity
+// violation and checks the command contract: exit status 1, positional
+// go-vet-style diagnostics on stdout, and a finding count on stderr.
+func TestExitCodeOnFindings(t *testing.T) {
+	tmp := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module anonlintcorpus\n\ngo 1.24\n",
+		"bad.go": `package bad
+
+import "math/rand"
+
+func Ambient() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+`,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(tmp, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cmd := exec.Command("go", "run", "anonmix/cmd/anonlint", "-dir", tmp, "./...")
+	cmd.Dir = "../.." // module root, so go run resolves the command
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("expected exit error, got %v\nstdout:\n%s\nstderr:\n%s", err, stdout.String(), stderr.String())
+	}
+	if code := ee.ExitCode(); code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "bad.go:6:") {
+		t.Errorf("stdout lacks positional diagnostic for bad.go line 6:\n%s", out)
+	}
+	if !strings.Contains(out, "seedpurity") || !strings.Contains(out, "the constant 42") {
+		t.Errorf("stdout lacks the seedpurity finding:\n%s", out)
+	}
+	if !strings.Contains(stderr.String(), "finding(s)") {
+		t.Errorf("stderr lacks the finding count:\n%s", stderr.String())
+	}
+}

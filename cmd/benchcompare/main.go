@@ -19,7 +19,10 @@
 //
 // With fewer than two snapshots available the command reports that there
 // is nothing to compare and exits 0 — the first snapshot of a trajectory
-// is never a failure.
+// is never a failure. The opposite degradation is loud: when an explicit
+// -smoke pattern is given, a gated benchmark that is absent from either
+// snapshot, carries NaN metrics, or matches nothing at all fails the
+// comparison instead of silently dropping out of the gate.
 package main
 
 import (
@@ -93,6 +96,10 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 
+	if err := checkGated(re, *smoke, oldRes, newRes, oldFile, newFile); err != nil {
+		return err
+	}
+
 	names := make([]string, 0, len(newRes))
 	for name := range newRes {
 		if _, ok := oldRes[name]; ok {
@@ -147,6 +154,59 @@ func run(args []string, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "\nOK: no gated benchmark regressed beyond ns +%.0f%% / mem +%.0f%%\n",
 		(*threshold-1)*100, (*memThreshold-1)*100)
+	return nil
+}
+
+// checkGated validates the smoke set before any ratios are computed. A
+// gated benchmark that is absent from one snapshot, or whose metrics
+// parsed as NaN or non-positive, must fail loudly: falling through to
+// the common-name comparison would silently drop it from the gate, so a
+// benchmark that vanished (renamed, build-tagged away, crashed mid-run)
+// or recorded garbage would read as "no regression". Absence is only
+// enforced when an explicit -smoke pattern names the gated set; with the
+// gate-everything default, snapshots from different commits legitimately
+// disagree about which benchmarks exist.
+func checkGated(re *regexp.Regexp, pattern string, oldRes, newRes map[string]result, oldFile, newFile string) error {
+	union := make(map[string]bool, len(oldRes)+len(newRes))
+	for name := range oldRes {
+		union[name] = true
+	}
+	for name := range newRes {
+		union[name] = true
+	}
+	var problems []string
+	gated := 0
+	for name := range union {
+		if !re.MatchString(name) {
+			continue
+		}
+		gated++
+		for _, side := range []struct {
+			res  map[string]result
+			file string
+		}{{oldRes, oldFile}, {newRes, newFile}} {
+			r, ok := side.res[name]
+			if !ok {
+				if pattern != "" {
+					problems = append(problems, fmt.Sprintf("%s absent from %s", name, side.file))
+				}
+				continue
+			}
+			if math.IsNaN(r.ns) || r.ns <= 0 {
+				problems = append(problems, fmt.Sprintf("%s has unusable ns/op %v in %s", name, r.ns, side.file))
+			}
+			if r.hasMem && (math.IsNaN(r.bytes) || math.IsNaN(r.allocs)) {
+				problems = append(problems, fmt.Sprintf("%s has NaN memory columns in %s", name, side.file))
+			}
+		}
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		return fmt.Errorf("smoke set is not comparable: %s", strings.Join(problems, "; "))
+	}
+	if pattern != "" && gated == 0 {
+		return fmt.Errorf("smoke pattern %q matched no benchmark in either snapshot: the gate would check nothing", pattern)
+	}
 	return nil
 }
 
@@ -224,11 +284,13 @@ type result struct {
 // field, e.g. "BenchmarkFig3a-4   1   123456789 ns/op". Custom metrics may
 // follow ns/op before the -benchmem columns, so those are matched
 // separately by memCols.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// NaN is matched so a corrupt sample surfaces in checkGated instead of
+// silently failing the line match and vanishing from the gate.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+|NaN) ns/op`)
 
 // memCols matches the -benchmem suffix anywhere after ns/op, tolerating
 // the ReportMetric columns benchmarks insert in between.
-var memCols = regexp.MustCompile(`([0-9.]+(?:e[+-]?[0-9]+)?) B/op\s+([0-9.]+(?:e[+-]?[0-9]+)?) allocs/op`)
+var memCols = regexp.MustCompile(`([0-9.]+(?:e[+-]?[0-9]+)?|NaN) B/op\s+([0-9.]+(?:e[+-]?[0-9]+)?|NaN) allocs/op`)
 
 // parseBench extracts name → metrics from a `go test -json -bench` stream.
 // The testing package prints a benchmark's name before running it and its

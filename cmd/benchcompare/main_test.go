@@ -244,6 +244,62 @@ func TestCompareErrors(t *testing.T) {
 	}
 }
 
+func TestCompareRejectsNaNSmokeEntry(t *testing.T) {
+	dir := t.TempDir()
+	old := snapshot(t, dir, "BENCH_20260101_aaaa.json", map[string]float64{"Fig3a": 1000})
+	// A crashed or truncated run can record NaN; gating must fail loudly,
+	// not treat the entry as 0 (which would read as an infinite speedup).
+	new := rawSnapshot(t, dir, "BENCH_20260102_bbbb.json", []string{
+		"BenchmarkFig3a-4 \t 1\t NaN ns/op",
+	})
+	var sb strings.Builder
+	err := run([]string{"-smoke", smokeSet, old, new}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "unusable ns/op") || !strings.Contains(err.Error(), "Fig3a") {
+		t.Fatalf("err = %v\n%s", err, sb.String())
+	}
+	// NaN memory columns are equally unusable.
+	sb.Reset()
+	nanMem := rawSnapshot(t, dir, "BENCH_20260103_cccc.json", []string{
+		"BenchmarkFig3a-4 \t 1\t 1000 ns/op\t NaN B/op\t NaN allocs/op",
+	})
+	err = run([]string{"-smoke", smokeSet, old, nanMem}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "NaN memory columns") {
+		t.Fatalf("err = %v\n%s", err, sb.String())
+	}
+}
+
+func TestCompareRejectsAbsentSmokeEntry(t *testing.T) {
+	dir := t.TempDir()
+	old := snapshot(t, dir, "BENCH_20260101_aaaa.json", map[string]float64{
+		"Fig3a": 1000, "Weights": 500,
+	})
+	new := snapshot(t, dir, "BENCH_20260102_bbbb.json", map[string]float64{
+		"Fig3a": 1000, // Weights vanished from the candidate
+	})
+	var sb strings.Builder
+	err := run([]string{"-smoke", smokeSet, old, new}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "Weights absent from") {
+		t.Fatalf("err = %v\n%s", err, sb.String())
+	}
+	// Without an explicit smoke pattern, differing benchmark sets are the
+	// normal cross-commit case and only common names are compared.
+	sb.Reset()
+	if err := run([]string{old, new}, &sb); err != nil {
+		t.Fatalf("gate-all with differing sets: %v\n%s", err, sb.String())
+	}
+}
+
+func TestCompareRejectsEmptySmokeMatch(t *testing.T) {
+	dir := t.TempDir()
+	old := snapshot(t, dir, "BENCH_20260101_aaaa.json", map[string]float64{"Fig3a": 1000})
+	new := snapshot(t, dir, "BENCH_20260102_bbbb.json", map[string]float64{"Fig3a": 1000})
+	var sb strings.Builder
+	err := run([]string{"-smoke", "^NoSuchBenchmark$", old, new}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "matched no benchmark") {
+		t.Fatalf("err = %v\n%s", err, sb.String())
+	}
+}
+
 func TestCompareSingleExplicitFileRejected(t *testing.T) {
 	dir := t.TempDir()
 	one := snapshot(t, dir, "BENCH_20260101_aaaa.json", map[string]float64{"Fig3a": 1})

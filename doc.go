@@ -248,10 +248,50 @@
 //     corpus): regenerate them in the same commit and say so, as
 //     documented in internal/stats/stream.go.
 //
+// # Static invariants
+//
+// The determinism and error contracts above are not just documented —
+// they are machine-checked. internal/analysis is a small go/analysis-
+// style framework (stdlib-only: packages load via `go list -json -deps
+// -export`, module sources are type-checked into one shared universe,
+// and object facts propagate across package boundaries) carrying four
+// analyzers, run by cmd/anonlint, `make lint`, the CI lint step, and
+// the suite self-check test:
+//
+//   - detrand: in the determinism-contract packages (simnet, montecarlo,
+//     events, faults, adversary, scenario, optimize, pathsel, stats) no
+//     time.Now, no global math/rand draws, and no order-sensitive `for
+//     range` over a map — writes keyed by the loop key, commutative
+//     integer accumulation, and the collect-then-sort idiom pass;
+//     appends, sends, early returns, and float reductions do not.
+//
+//   - seedpurity: every RNG constructor (math/rand.NewSource,
+//     stats.NewRand/Fork/ForkSeed/NewStream, and — via derived facts —
+//     any helper that feeds a parameter into one of them) must be seeded
+//     from an explicit parameter or field, never a literal, a
+//     package-level variable, or the wall clock.
+//
+//   - errcontract: errors born inside Validate/normalize/Parse*
+//     functions must stay errors.Is-matchable against a package sentinel
+//     (%w-wrapping or errors.Join), because the differential harness and
+//     the fuzz targets assert sentinel identity across backends.
+//
+//   - floatcmp: no exact ==/!= between two computed floating-point
+//     values; comparisons against constants and the x != x NaN test are
+//     exempt.
+//
+// A deliberate exception is annotated in place as
+// //anonlint:allow <analyzer>(<reason>) — the reason is mandatory, the
+// annotation covers only its own line and the next, and a malformed
+// annotation is itself a lint failure rather than a silent no-op, so
+// `grep -rn 'anonlint:allow'` always enumerates the complete, justified
+// exception list.
+//
 // The benchmark harness doubles as the regression gate:
 //
 //	make bench-smoke     # perf acceptance suite (same command CI runs)
 //	go test -race ./...  # cache-layer safety
+//	make lint            # go vet + anonlint (static invariants)
 //	make bench           # snapshot BENCH_<date>_<sha>.json
 //	make bench-compare   # gate ns/op, B/op, allocs/op vs the baseline
 //	make profile         # CPU + heap pprof over the smoke set

@@ -120,7 +120,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rng := stats.NewRand(2026)
+	rng := stats.NewRand(2026) //anonlint:allow seedpurity(fixed demo seed keeps the example output reproducible)
 	for v := 0; v < voters; v++ {
 		voter := trace.NodeID(rng.Intn(nodes))
 		path, err := sel.SelectPath(rng, voter)
@@ -148,7 +148,7 @@ func main() {
 	}
 
 	// 4. The authority-side threshold mix decorrelates arrival order.
-	mix, err := mixbatch.NewThreshold(10, 7)
+	mix, err := mixbatch.NewThreshold(10, 7) //anonlint:allow seedpurity(fixed demo seed keeps the example output reproducible)
 	if err != nil {
 		log.Fatal(err)
 	}

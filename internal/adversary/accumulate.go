@@ -113,7 +113,7 @@ func normalizeLog(logPost, out []float64) error {
 		}
 	}
 	if math.IsInf(maxLog, -1) {
-		return fmt.Errorf("adversary: joint posterior vanished (inconsistent observations)")
+		return fmt.Errorf("%w: joint posterior vanished (inconsistent observations)", ErrCorruptTrace)
 	}
 	var sum float64
 	for i, lp := range logPost {

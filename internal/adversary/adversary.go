@@ -10,6 +10,7 @@ package adversary
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"anonmix/internal/dist"
 	"anonmix/internal/entropy"
@@ -308,9 +309,19 @@ func (a *Analyst) Entropy(mt *trace.MessageTrace) (float64, error) {
 // trace is complete. Messages without a receiver report (still in flight,
 // or dropped) are skipped and listed in the second return value.
 func (a *Analyst) AnalyzeAll(tuples []trace.Tuple) (map[trace.MessageID]Posterior, []trace.MessageID, error) {
+	// Analyze in message-ID order: the incomplete list's order and which
+	// corrupt trace surfaces its error first must not depend on map
+	// iteration order.
+	collated := trace.Collate(tuples)
+	ids := make([]trace.MessageID, 0, len(collated))
+	for id := range collated {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	out := make(map[trace.MessageID]Posterior)
 	var incomplete []trace.MessageID
-	for id, mt := range trace.Collate(tuples) {
+	for _, id := range ids {
+		mt := collated[id]
 		if !mt.ReceiverSeen {
 			incomplete = append(incomplete, id)
 			continue

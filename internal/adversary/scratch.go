@@ -305,7 +305,7 @@ func snapshotLog(logPost []float64) (h float64, top trace.NodeID, mass float64, 
 		}
 	}
 	if math.IsInf(maxLog, -1) {
-		return 0, 0, 0, fmt.Errorf("adversary: joint posterior vanished (inconsistent observations)")
+		return 0, 0, 0, fmt.Errorf("%w: joint posterior vanished (inconsistent observations)", ErrCorruptTrace)
 	}
 	var sum, wsum float64
 	for _, lp := range logPost {

@@ -1,0 +1,200 @@
+// Package allow implements the anonlint suppression syntax: a comment of
+// the form
+//
+//	//anonlint:allow <analyzer>(<reason>)
+//
+// suppresses diagnostics of the named analyzer on the annotated line and
+// on the line immediately below it (so both end-of-line annotations and
+// standalone annotations above the offending statement work). The reason
+// is mandatory and non-empty by construction, which keeps every
+// suppression in the tree grepable and justified:
+//
+//	grep -rn 'anonlint:allow' --include='*.go'
+//
+// Malformed annotations — any comment starting with "anonlint:" that does
+// not parse as a well-formed allow with a non-empty reason — never
+// suppress anything. They are collected and reported as diagnostics by
+// the anonlint runner, so a typo surfaces as a lint failure instead of
+// silently disabling (or failing to disable) a check.
+package allow
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Prefix is the comment prefix that marks an anonlint control comment.
+// Like //go: directives there is no space after //.
+const Prefix = "anonlint:"
+
+// Suppression is one parsed allow annotation.
+type Suppression struct {
+	// Analyzer is the analyzer name the annotation suppresses.
+	Analyzer string
+	// Reason is the justification inside the parentheses (non-empty).
+	Reason string
+	// Pos is the position of the annotation comment.
+	Pos token.Pos
+}
+
+// Malformed is a comment that claims the anonlint: prefix but does not
+// parse as a valid suppression. It suppresses nothing.
+type Malformed struct {
+	// Pos is the position of the broken comment.
+	Pos token.Pos
+	// Text is the raw comment text (including the // marker).
+	Text string
+	// Detail says what is wrong with it.
+	Detail string
+}
+
+// Parse parses a single comment's text (with or without the leading //).
+// It returns the analyzer name and reason when the comment is a
+// well-formed allow annotation. isDirective reports whether the comment
+// claims the anonlint: prefix at all — when isDirective is true and ok is
+// false the comment is malformed and must be reported, never honored.
+// detail explains the malformation. Parse never panics, whatever the
+// input: a malformed directive degrades to "no suppression".
+func Parse(text string) (analyzer, reason string, ok, isDirective bool, detail string) {
+	body := strings.TrimPrefix(text, "//")
+	// A directive-style comment has no space between // and the prefix;
+	// tolerate (but still recognize and flag) the spaced variant so
+	// "// anonlint:allow ..." is reported as malformed rather than
+	// silently ignored as prose.
+	spaced := false
+	if trimmed := strings.TrimLeft(body, " \t"); trimmed != body {
+		spaced = true
+		body = trimmed
+	}
+	if !strings.HasPrefix(body, Prefix) {
+		return "", "", false, false, ""
+	}
+	rest := body[len(Prefix):]
+	if spaced {
+		return "", "", false, true, "anonlint: directives must start at //, with no space (//anonlint:allow ...)"
+	}
+	verb, args, _ := strings.Cut(rest, " ")
+	// The verb must be exactly "allow": anonlint:allowed etc. is a typo.
+	if verb != "allow" {
+		return "", "", false, true, "unknown anonlint directive " + quote(verb) + " (only allow is defined)"
+	}
+	args = strings.TrimSpace(args)
+	open := strings.IndexByte(args, '(')
+	if open < 0 || !strings.HasSuffix(args, ")") {
+		return "", "", false, true, "allow needs the form analyzer(reason)"
+	}
+	name := strings.TrimSpace(args[:open])
+	why := strings.TrimSpace(args[open+1 : len(args)-1])
+	if !validName(name) {
+		return "", "", false, true, "allow needs an analyzer name before the parenthesis"
+	}
+	if why == "" {
+		return "", "", false, true, "allow reason must not be empty"
+	}
+	return name, why, true, true, ""
+}
+
+// quote renders a possibly hostile string for a diagnostic (control and
+// non-ASCII bytes become '?', long strings are truncated).
+func quote(s string) string {
+	const max = 40
+	b := []byte{'"'}
+	for i := 0; i < len(s) && i < max; i++ {
+		c := s[i]
+		if c < 32 || c >= 127 {
+			c = '?'
+		}
+		b = append(b, c)
+	}
+	if len(s) > max {
+		b = append(b, "..."...)
+	}
+	return string(append(b, '"'))
+}
+
+// validName reports whether s is a plausible analyzer name: a non-empty
+// run of lowercase letters and digits starting with a letter.
+func validName(s string) bool {
+	if s == "" || s[0] < 'a' || s[0] > 'z' {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// Set holds every suppression of one package, keyed by file and line.
+type Set struct {
+	// byLine maps filename -> line -> analyzer -> suppression for the
+	// lines each annotation covers.
+	byLine map[string]map[int]map[string]Suppression
+	// malformed lists the broken anonlint: comments, in file order.
+	malformed []Malformed
+	fset      *token.FileSet
+}
+
+// Collect parses every comment of the given files and returns the
+// package's suppression set.
+func Collect(fset *token.FileSet, files []*ast.File) *Set {
+	s := &Set{byLine: make(map[string]map[int]map[string]Suppression), fset: fset}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, reason, ok, isDirective, detail := Parse(c.Text)
+				if !isDirective {
+					continue
+				}
+				if !ok {
+					s.malformed = append(s.malformed, Malformed{Pos: c.Pos(), Text: c.Text, Detail: detail})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := s.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]Suppression)
+					s.byLine[pos.Filename] = lines
+				}
+				// The annotation covers its own line (end-of-line form)
+				// and the next line (standalone form above the site).
+				for _, ln := range []int{pos.Line, pos.Line + 1} {
+					m := lines[ln]
+					if m == nil {
+						m = make(map[string]Suppression)
+						lines[ln] = m
+					}
+					m[name] = Suppression{Analyzer: name, Reason: reason, Pos: c.Pos()}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// Allows reports whether a diagnostic of the named analyzer at pos is
+// suppressed by an annotation.
+func (s *Set) Allows(pos token.Pos, analyzer string) bool {
+	if s == nil || s.fset == nil {
+		return false
+	}
+	p := s.fset.Position(pos)
+	m := s.byLine[p.Filename]
+	if m == nil {
+		return false
+	}
+	_, ok := m[p.Line][analyzer]
+	return ok
+}
+
+// Malformed returns the broken anonlint: comments found during Collect,
+// for the runner to report as diagnostics.
+func (s *Set) Malformed() []Malformed {
+	if s == nil {
+		return nil
+	}
+	return s.malformed
+}

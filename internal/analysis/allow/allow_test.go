@@ -1,0 +1,114 @@
+package allow_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"anonmix/internal/analysis/allow"
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		text        string
+		analyzer    string
+		reason      string
+		ok          bool
+		isDirective bool
+	}{
+		{"//anonlint:allow detrand(timing probe)", "detrand", "timing probe", true, true},
+		{"//anonlint:allow seedpurity( padded reason )", "seedpurity", "padded reason", true, true},
+		{"//anonlint:allow floatcmp(nested (parens) survive)", "floatcmp", "nested (parens) survive", true, true},
+		// Not directives at all.
+		{"// ordinary prose", "", "", false, false},
+		{"//nolint:gosec", "", "", false, false},
+		{"", "", "", false, false},
+		// Malformed directives: recognized, never honored.
+		{"// anonlint:allow detrand(x)", "", "", false, true}, // spaced
+		{"//anonlint:allowed detrand(x)", "", "", false, true},
+		{"//anonlint:deny detrand(x)", "", "", false, true},
+		{"//anonlint:allow detrand", "", "", false, true},   // no parens
+		{"//anonlint:allow detrand()", "", "", false, true}, // empty reason
+		{"//anonlint:allow (reason)", "", "", false, true},  // no analyzer
+		{"//anonlint:allow DetRand(x)", "", "", false, true},
+		{"//anonlint:allow detrand(x", "", "", false, true}, // unclosed
+	}
+	for _, c := range cases {
+		analyzer, reason, ok, isDirective, detail := allow.Parse(c.text)
+		if analyzer != c.analyzer || reason != c.reason || ok != c.ok || isDirective != c.isDirective {
+			t.Errorf("Parse(%q) = (%q, %q, %v, %v), want (%q, %q, %v, %v)",
+				c.text, analyzer, reason, ok, isDirective, c.analyzer, c.reason, c.ok, c.isDirective)
+		}
+		if isDirective && !ok && detail == "" {
+			t.Errorf("Parse(%q): malformed directive must carry a detail", c.text)
+		}
+	}
+}
+
+// TestCollectCoverage pins the suppression span: an annotation covers its
+// own line and the next one, for the named analyzer only, and malformed
+// directives are collected without suppressing anything.
+func TestCollectCoverage(t *testing.T) {
+	const src = `package p
+
+func f() {
+	_ = 1 //anonlint:allow detrand(same line)
+	_ = 2
+	_ = 3
+	//anonlint:allow floatcmp(next line)
+	_ = 4
+	//anonlint:allow bogus
+	_ = 5
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := allow.Collect(fset, []*ast.File{f})
+
+	pos := func(line int) token.Pos {
+		return fset.File(f.Pos()).LineStart(line)
+	}
+	checks := []struct {
+		line     int
+		analyzer string
+		want     bool
+	}{
+		{4, "detrand", true},  // annotation's own line
+		{5, "detrand", true},  // line below
+		{6, "detrand", false}, // two below: out of range
+		{4, "floatcmp", false},
+		{7, "floatcmp", true},
+		{8, "floatcmp", true},
+		{8, "detrand", false},
+		{10, "bogus", false}, // malformed: suppresses nothing
+	}
+	for _, c := range checks {
+		if got := set.Allows(pos(c.line), c.analyzer); got != c.want {
+			t.Errorf("Allows(line %d, %q) = %v, want %v", c.line, c.analyzer, got, c.want)
+		}
+	}
+	mal := set.Malformed()
+	if len(mal) != 1 {
+		t.Fatalf("Malformed() returned %d entries, want 1", len(mal))
+	}
+	if got := fset.Position(mal[0].Pos).Line; got != 9 {
+		t.Errorf("malformed directive reported at line %d, want 9", got)
+	}
+	if mal[0].Detail == "" {
+		t.Error("malformed directive has empty detail")
+	}
+}
+
+func TestNilSet(t *testing.T) {
+	var s *allow.Set
+	if s.Allows(token.NoPos, "detrand") {
+		t.Error("nil set must not allow anything")
+	}
+	if s.Malformed() != nil {
+		t.Error("nil set must have no malformed entries")
+	}
+}

@@ -1,0 +1,63 @@
+package allow_test
+
+import (
+	"strings"
+	"testing"
+
+	"anonmix/internal/analysis/allow"
+)
+
+// FuzzParseAllow feeds arbitrary comment text to the annotation parser.
+// The contract under fuzz: Parse never panics, a malformed directive
+// degrades to "no suppression" (ok=false) rather than silently
+// suppressing, and every accepted annotation has a well-formed analyzer
+// name and a non-empty reason.
+func FuzzParseAllow(f *testing.F) {
+	seeds := []string{
+		"//anonlint:allow detrand(wall-clock metrics only)",
+		"//anonlint:allow seedpurity(fixed demo seed)",
+		"//anonlint:allow detrand()",
+		"//anonlint:allow detrand",
+		"//anonlint:allow (no name)",
+		"//anonlint:allow detrand(unclosed",
+		"//anonlint:allowed detrand(typo verb)",
+		"// anonlint:allow detrand(spaced)",
+		"//anonlint:",
+		"//anonlint:allow",
+		"//anonlint:allow \x00\xff(\n)",
+		"//go:generate echo hi",
+		"plain text, not even a comment",
+		"//anonlint:allow detrand((nested))",
+		"//anonlint:allow detrand(a)extra",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		analyzer, reason, ok, isDirective, detail := allow.Parse(text)
+		if ok {
+			if !isDirective {
+				t.Fatalf("Parse(%q): ok without isDirective", text)
+			}
+			if analyzer == "" {
+				t.Fatalf("Parse(%q): accepted with empty analyzer", text)
+			}
+			for i := 0; i < len(analyzer); i++ {
+				c := analyzer[i]
+				if (c < 'a' || c > 'z') && (c < '0' || c > '9') {
+					t.Fatalf("Parse(%q): accepted analyzer %q with invalid byte %q", text, analyzer, c)
+				}
+			}
+			if strings.TrimSpace(reason) == "" {
+				t.Fatalf("Parse(%q): accepted with empty reason", text)
+			}
+		} else {
+			if analyzer != "" || reason != "" {
+				t.Fatalf("Parse(%q): rejected but returned analyzer=%q reason=%q", text, analyzer, reason)
+			}
+			if isDirective && detail == "" {
+				t.Fatalf("Parse(%q): malformed directive without detail", text)
+			}
+		}
+	})
+}

@@ -1,0 +1,209 @@
+// Package analysistest runs anonlint analyzers over testdata corpora and
+// checks their diagnostics against // want annotations, in the spirit of
+// golang.org/x/tools/go/analysis/analysistest (which is not vendored
+// here; the toolchain is the only dependency).
+//
+// A corpus is a directory under the test's testdata/src tree. Each
+// corpus package is type-checked against the real repository packages
+// and the standard library, so corpora may import e.g.
+// anonmix/internal/stats to exercise cross-package fact propagation.
+//
+// Expectations are written on the line they refer to:
+//
+//	rng := rand.New(rand.NewSource(42)) // want `literal seed`
+//
+// Several patterns may follow one want; each is an anchored-nowhere
+// regexp that must match one diagnostic message reported on that line.
+// Lines without a want comment must produce no diagnostics.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"anonmix/internal/analysis/anonlint"
+)
+
+// wantRe matches the expectation marker inside a comment. The first
+// pattern must start immediately with its quote so prose that merely
+// mentions the word want is not mistaken for an expectation.
+var wantRe = regexp.MustCompile("// want ([\"`].*)$")
+
+// Run loads the corpus packages named by paths (directories below
+// srcRoot, usually "testdata/src"), runs the analyzer over them, and
+// reports any mismatch between diagnostics and // want annotations as
+// test failures. Later corpus packages may import earlier ones by their
+// path, which is how cross-package fact propagation is tested.
+func Run(t *testing.T, srcRoot string, a *anonlint.Analyzer, paths ...string) {
+	t.Helper()
+	RunSuite(t, srcRoot, []anonlint.Configured{{Analyzer: a}}, paths...)
+}
+
+// RunSuite is Run for several configured analyzers at once, matching
+// how cmd/anonlint composes them. Malformed //anonlint: directives in
+// the corpus surface as diagnostics of the pseudo-analyzer "allow" and
+// can be asserted with want annotations like any other.
+func RunSuite(t *testing.T, srcRoot string, suite []anonlint.Configured, paths ...string) {
+	t.Helper()
+	moduleRoot, err := filepath.Abs(findModuleRoot(t))
+	if err != nil {
+		t.Fatalf("resolving module root: %v", err)
+	}
+	prog, err := anonlint.LoadCorpus(moduleRoot, srcRoot, paths...)
+	if err != nil {
+		t.Fatalf("loading corpus: %v", err)
+	}
+	diags, err := prog.Run(suite)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	wants := collectWants(t, prog, paths)
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		key := lineKey{file: pos.Filename, line: pos.Line}
+		if !wants.match(key, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	wants.reportUnmatched(t)
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type expectation struct {
+	key     lineKey
+	pattern *regexp.Regexp
+	matched bool
+}
+
+type wantSet struct{ byLine map[lineKey][]*expectation }
+
+// match consumes the first unmatched expectation on the line whose
+// pattern matches message; it reports whether one was found.
+func (w *wantSet) match(key lineKey, message string) bool {
+	for _, e := range w.byLine[key] {
+		if !e.matched && e.pattern.MatchString(message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func (w *wantSet) reportUnmatched(t *testing.T) {
+	t.Helper()
+	for _, es := range w.byLine {
+		for _, e := range es {
+			if !e.matched {
+				t.Errorf("%s:%d: no diagnostic matched want %q", e.key.file, e.key.line, e.pattern)
+			}
+		}
+	}
+}
+
+// collectWants scans the corpus packages' comments for want markers.
+func collectWants(t *testing.T, prog *anonlint.Program, paths []string) *wantSet {
+	t.Helper()
+	target := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		target[p] = true
+	}
+	w := &wantSet{byLine: make(map[lineKey][]*expectation)}
+	for _, pkg := range prog.Packages {
+		if !target[pkg.Path] {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					w.add(t, prog.Fset, c)
+				}
+			}
+		}
+	}
+	return w
+}
+
+func (w *wantSet) add(t *testing.T, fset *token.FileSet, c *ast.Comment) {
+	t.Helper()
+	m := wantRe.FindStringSubmatch(c.Text)
+	if m == nil {
+		return
+	}
+	pos := fset.Position(c.Pos())
+	key := lineKey{file: pos.Filename, line: pos.Line}
+	rest := strings.TrimSpace(m[1])
+	n := 0
+	for rest != "" {
+		lit, tail, err := nextString(rest)
+		if err != nil {
+			t.Fatalf("%s: malformed want comment: %v", pos, err)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %q: %v", pos, lit, err)
+		}
+		w.byLine[key] = append(w.byLine[key], &expectation{key: key, pattern: re})
+		rest = strings.TrimSpace(tail)
+		n++
+	}
+	if n == 0 {
+		t.Fatalf("%s: want comment has no patterns", pos)
+	}
+}
+
+// nextString splits one leading Go string literal (quoted or backquoted)
+// off s and returns its value plus the remainder.
+func nextString(s string) (lit, rest string, err error) {
+	switch s[0] {
+	case '`':
+		end := strings.IndexByte(s[1:], '`')
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated backquoted pattern in %q", s)
+		}
+		return s[1 : 1+end], s[2+end:], nil
+	case '"':
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				v, err := strconv.Unquote(s[:i+1])
+				if err != nil {
+					return "", "", fmt.Errorf("bad pattern %s: %v", s[:i+1], err)
+				}
+				return v, s[i+1:], nil
+			}
+		}
+		return "", "", fmt.Errorf("unterminated quoted pattern in %q", s)
+	default:
+		return "", "", fmt.Errorf("expected quoted pattern, found %q", s)
+	}
+}
+
+// findModuleRoot walks up from the test's working directory (the package
+// directory under go test) to the directory containing go.mod.
+func findModuleRoot(t *testing.T) string {
+	t.Helper()
+	dir := "."
+	for i := 0; i < 10; i++ {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		dir = filepath.Join("..", dir)
+	}
+	t.Fatal("go.mod not found above test directory")
+	return ""
+}

@@ -1,0 +1,126 @@
+// Package anonlint is the repository's static-analysis framework: a
+// small, dependency-free re-implementation of the golang.org/x/tools
+// go/analysis vocabulary (Analyzer, Pass, diagnostics, object facts) on
+// top of the standard library's go/ast and go/types.
+//
+// The usual driver stack (x/tools analysis + go/packages) is not
+// available in the build environment, so anonlint loads packages itself:
+// `go list -json -deps -export` enumerates the module's packages in
+// dependency order, module packages are type-checked from source, and
+// standard-library imports are satisfied from the compiler's export data
+// (the files `go list -export` points at). Because every module package
+// shares one type-checking universe, an object fact exported while
+// analyzing internal/stats is visible by object identity when analyzing
+// a package that imports it — the same cross-package propagation model
+// as go/analysis facts, held in memory for the one run.
+//
+// The analyzers themselves live in sibling packages (detrand,
+// seedpurity, errcontract, floatcmp); the suite that binds them to the
+// repository's packages is internal/analysis/suite, and cmd/anonlint is
+// the command-line driver.
+package anonlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+
+	"anonmix/internal/analysis/allow"
+)
+
+// An Analyzer is one static check. Run inspects a package via the Pass
+// and reports findings with Pass.Reportf; returning an error aborts the
+// whole anonlint run (reserved for internal failures, not findings).
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //anonlint:allow annotations. Lowercase letters and digits.
+	Name string
+	// Doc is the one-paragraph description printed by cmd/anonlint.
+	Doc string
+	// Run performs the check on one package.
+	Run func(*Pass) error
+}
+
+// A Fact is a serializable-in-spirit claim about a types.Object, exported
+// while analyzing the object's defining package and importable from any
+// later pass that can see the object. Facts must be pointer types.
+type Fact interface {
+	// AFact marks the type as a fact (mirrors go/analysis).
+	AFact()
+}
+
+// A Diagnostic is one finding, positioned in the shared FileSet.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Pos
+	// Analyzer names the analyzer that produced it.
+	Analyzer string
+	// Message describes the finding.
+	Message string
+}
+
+// factKey identifies a fact by subject object and concrete fact type.
+type factKey struct {
+	obj types.Object
+	typ reflect.Type
+}
+
+// factStore holds every exported fact of a run, across packages.
+type factStore map[factKey]Fact
+
+// A Pass presents one package to one analyzer.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset is the run-wide file set (shared by all packages).
+	Fset *token.FileSet
+	// Files are the package's parsed source files (no _test.go files:
+	// anonlint checks production code; test files are exempt from the
+	// invariants by design).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo carries the type-checker's expression and identifier
+	// tables for Files.
+	TypesInfo *types.Info
+	// Allow is the package's parsed //anonlint:allow suppression set.
+	Allow *allow.Set
+
+	facts  factStore
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos unless an //anonlint:allow annotation
+// for this analyzer covers the line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Allow.Allows(pos, p.Analyzer.Name) {
+		return
+	}
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// ExportObjectFact attaches fact to obj for the rest of the run. fact
+// must be a pointer; obj must not be nil.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if obj == nil || fact == nil {
+		return
+	}
+	p.facts[factKey{obj, reflect.TypeOf(fact)}] = fact
+}
+
+// ImportObjectFact copies into fact the fact of fact's own concrete type
+// previously exported for obj, reporting whether one was found. fact
+// must be a non-nil pointer of the same type as the exported fact.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if obj == nil || fact == nil {
+		return false
+	}
+	got, ok := p.facts[factKey{obj, reflect.TypeOf(fact)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}

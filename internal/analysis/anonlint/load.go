@@ -1,0 +1,254 @@
+package anonlint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one loaded, type-checked module package.
+type Package struct {
+	// Path is the import path.
+	Path string
+	// Dir is the package directory on disk.
+	Dir string
+	// Files are the parsed non-test source files.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info is the type-checker's table for Files.
+	Info *types.Info
+	// Target marks packages named by the load patterns (as opposed to
+	// packages pulled in only as dependencies). Analyzers run on every
+	// module package so facts propagate, but diagnostics are reported
+	// only for targets.
+	Target bool
+}
+
+// A Program is a load result: every module package reachable from the
+// patterns, in dependency order (imports before importers), sharing one
+// FileSet and one type universe.
+type Program struct {
+	// Fset is the shared file set.
+	Fset *token.FileSet
+	// Packages lists the module packages in dependency order.
+	Packages []*Package
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	Export     string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load enumerates the packages matching patterns (resolved relative to
+// dir, typically the module root) with the go tool, type-checks every
+// module package from source in dependency order, and satisfies
+// standard-library imports from compiler export data. Test files are not
+// loaded; see Pass.Files.
+func Load(dir string, patterns ...string) (*Program, error) {
+	prog, _, err := load(dir, patterns)
+	return prog, err
+}
+
+// load is the shared implementation behind Load and LoadCorpus; it also
+// returns the loader so further packages can be checked into the same
+// type universe.
+func load(dir string, patterns []string) (*Program, *loader, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-json", "-deps", "-export", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("anonlint: go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	exports := make(map[string]string) // stdlib import path -> export data file
+	var listed []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("anonlint: decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("anonlint: go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Standard {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+			continue
+		}
+		listed = append(listed, p)
+	}
+
+	fset := token.NewFileSet()
+	checked := make(map[string]*types.Package)
+	ld := &loader{fset: fset, checked: checked, imp: newImporter(fset, exports, checked)}
+
+	prog := &Program{Fset: fset}
+	for _, p := range listed {
+		if len(p.CgoFiles) > 0 {
+			return nil, nil, fmt.Errorf("anonlint: %s uses cgo, which the loader does not support", p.ImportPath)
+		}
+		var names []string
+		for _, name := range p.GoFiles {
+			names = append(names, filepath.Join(p.Dir, name))
+		}
+		pkg, err := ld.check(p.ImportPath, p.Dir, names, !p.DepOnly)
+		if err != nil {
+			return nil, nil, err
+		}
+		prog.Packages = append(prog.Packages, pkg)
+	}
+	return prog, ld, nil
+}
+
+// LoadCorpus loads the module's packages (as non-target dependencies)
+// and then the given corpus packages from srcRoot, in order: each path p
+// is the directory srcRoot/p, type-checked with import path p, so a
+// later corpus package may import an earlier one by that path — the
+// analysistest harness uses this to exercise cross-package fact
+// propagation. Corpus packages may import the module's packages and any
+// standard-library package in the module's dependency closure.
+func LoadCorpus(moduleDir, srcRoot string, paths ...string) (*Program, error) {
+	prog, ld, err := load(moduleDir, []string{"./..."})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range prog.Packages {
+		p.Target = false
+	}
+	for _, p := range paths {
+		dir := filepath.Join(srcRoot, filepath.FromSlash(p))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("anonlint: corpus %s: %v", p, err)
+		}
+		var names []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				names = append(names, filepath.Join(dir, e.Name()))
+			}
+		}
+		if len(names) == 0 {
+			return nil, fmt.Errorf("anonlint: corpus %s: no .go files in %s", p, dir)
+		}
+		pkg, err := ld.check(p, dir, names, true)
+		if err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, pkg)
+	}
+	return prog, nil
+}
+
+// loader type-checks additional packages into a shared universe.
+type loader struct {
+	fset    *token.FileSet
+	checked map[string]*types.Package
+	imp     *mixedImporter
+}
+
+// check parses and type-checks one package from explicit file paths.
+func (ld *loader) check(importPath, dir string, files []string, target bool) (*Package, error) {
+	var parsed []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(ld.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("anonlint: %v", err)
+		}
+		parsed = append(parsed, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: ld.imp}
+	tp, err := conf.Check(importPath, ld.fset, parsed, info)
+	if err != nil {
+		return nil, fmt.Errorf("anonlint: type-checking %s: %v", importPath, err)
+	}
+	ld.checked[importPath] = tp
+	return &Package{
+		Path:   importPath,
+		Dir:    dir,
+		Files:  parsed,
+		Types:  tp,
+		Info:   info,
+		Target: target,
+	}, nil
+}
+
+// NewInfo returns a types.Info with every table an analyzer may consult
+// allocated. Exported for the analysistest harness, which type-checks
+// corpus packages itself.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// mixedImporter resolves module packages from the run's own source-checked
+// results and everything else (the standard library) from gc export data.
+type mixedImporter struct {
+	checked map[string]*types.Package
+	gc      types.Importer
+}
+
+// NewImporter returns a types.Importer that prefers the source-checked
+// packages in checked and falls back to gc export data files (import
+// path -> file, as produced by `go list -export`). The analysistest
+// harness uses it to type-check corpora against the real repository
+// packages.
+func NewImporter(fset *token.FileSet, exports map[string]string, checked map[string]*types.Package) types.Importer {
+	return newImporter(fset, exports, checked)
+}
+
+func newImporter(fset *token.FileSet, exports map[string]string, checked map[string]*types.Package) *mixedImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("anonlint: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return &mixedImporter{
+		checked: checked,
+		gc:      importer.ForCompiler(fset, "gc", lookup),
+	}
+}
+
+// Import implements types.Importer.
+func (m *mixedImporter) Import(path string) (*types.Package, error) {
+	if p := m.checked[path]; p != nil {
+		return p, nil
+	}
+	return m.gc.Import(path)
+}

@@ -1,0 +1,75 @@
+package anonlint
+
+import (
+	"sort"
+
+	"anonmix/internal/analysis/allow"
+)
+
+// Configured binds an analyzer to the packages it applies to.
+type Configured struct {
+	// Analyzer is the check.
+	Analyzer *Analyzer
+	// Match reports whether the analyzer applies to the package with the
+	// given import path. A nil Match applies it to every package.
+	Match func(importPath string) bool
+}
+
+// Run applies the suite to every package of the program in dependency
+// order (so facts exported by a dependency are visible to its importers)
+// and returns the diagnostics for target packages, sorted by position.
+// Malformed //anonlint: comments in target packages are reported as
+// diagnostics of the pseudo-analyzer "allow"; they cannot themselves be
+// suppressed.
+func (prog *Program) Run(suite []Configured) ([]Diagnostic, error) {
+	facts := make(factStore)
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		set := allow.Collect(prog.Fset, pkg.Files)
+		if pkg.Target {
+			for _, m := range set.Malformed() {
+				diags = append(diags, Diagnostic{
+					Pos:      m.Pos,
+					Analyzer: "allow",
+					Message:  "malformed anonlint comment (suppresses nothing): " + m.Detail,
+				})
+			}
+		}
+		for _, c := range suite {
+			if c.Match != nil && !c.Match(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  c.Analyzer,
+				Fset:      prog.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Allow:     set,
+				facts:     facts,
+				report: func(d Diagnostic) {
+					if pkg.Target {
+						diags = append(diags, d)
+					}
+				},
+			}
+			if err := c.Analyzer.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := prog.Fset.Position(diags[i].Pos), prog.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

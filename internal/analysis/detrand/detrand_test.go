@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"anonmix/internal/analysis/analysistest"
+	"anonmix/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, "testdata/src", detrand.Analyzer, "detrand")
+}

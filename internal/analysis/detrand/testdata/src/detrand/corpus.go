@@ -1,0 +1,134 @@
+// Package corpus exercises the detrand analyzer. Each want comment
+// asserts a diagnostic on its line; lines without one must stay silent.
+package corpus
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// --- wall clock ---
+
+func clock() time.Time {
+	return time.Now() // want `time.Now in determinism-contract package corpus`
+}
+
+func clockAnnotated() time.Time {
+	return time.Now() //anonlint:allow detrand(corpus: timing probe that never flows into a result)
+}
+
+func clockAnnotatedAbove() time.Time {
+	//anonlint:allow detrand(corpus: standalone annotation covers the next line)
+	return time.Now()
+}
+
+// Arithmetic on a stored time is fine; only the Now call is ambient.
+func later(t0 time.Time) time.Time {
+	return t0.Add(time.Second)
+}
+
+// --- ambient entropy ---
+
+func globalDraw() int {
+	return rand.Intn(10) // want `global math/rand.Intn draws from the runtime-seeded shared source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand.Shuffle`
+}
+
+func seededDraw(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10) // a method on an explicit generator is not ambient
+}
+
+// --- map iteration order ---
+
+func orderedCopy(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m { // writes keyed by the loop key commute
+		out[k] = v
+	}
+	return out
+}
+
+func count(m map[string]int) int {
+	n := 0
+	for _, v := range m { // integer accumulation commutes
+		n += v
+	}
+	return n
+}
+
+func drain(m map[string]int) {
+	for k := range m { // delete keyed by the loop key is safe
+		delete(m, k)
+	}
+}
+
+func keysSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // collect-and-sort re-establishes an order
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func keysUnsorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want `map entries collected into keys but never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func firstKey(m map[int]int) int {
+	for k := range m { // want `range over map m is order-sensitive: return inside map iteration`
+		return k
+	}
+	return -1
+}
+
+func sendAll(m map[int]int, ch chan<- int) {
+	for k := range m { // want `range over map m is order-sensitive: channel send`
+		ch <- k
+	}
+}
+
+func sumFloats(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `IEEE float reduction is order-dependent`
+		total += v
+	}
+	return total
+}
+
+func sumFloatsAllowed(m map[string]float64) float64 {
+	total := 0.0
+	//anonlint:allow detrand(corpus: reduction error is tolerated here)
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func callOut(m map[string]int, f func(int)) {
+	for _, v := range m { // want `call to f \(not provably order-independent\)`
+		f(v)
+	}
+}
+
+func invariantWrite(m map[int]bool, marks map[int]string, names []int) {
+	for k := range m { // storing a loop-invariant value commutes even on collision
+		marks[names[k%len(names)]] = "seen"
+	}
+}
+
+// --- malformed annotations are reported and suppress nothing ---
+
+func malformed() time.Time {
+	//anonlint:allow detrand(} // want `malformed anonlint comment \(suppresses nothing\)`
+	return time.Now() // want `time.Now in determinism-contract package`
+}

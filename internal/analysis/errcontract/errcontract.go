@@ -1,0 +1,118 @@
+// Package errcontract implements the anonlint analyzer that pins the
+// configuration-error contract: every error produced inside a
+// Validate/normalize/Parse* function must stay errors.Is-matchable
+// against a package sentinel (scenario.ErrBadConfig, the capability
+// sentinels, dist.ErrInvalid, ...). The differential harness asserts
+// that all backends reject a bad Config with the *same* sentinel, and
+// the fuzz targets assert that nothing but ErrBadConfig or a capability
+// error ever escapes normalize — one ad-hoc errors.New in a validation
+// path breaks both.
+//
+// Concretely, inside any function whose name matches Validate/validate*,
+// normalize*/Normalize*, or Parse*/parse*, the analyzer flags:
+//
+//   - errors.New(...): a fresh, unmatchable error identity. Wrap a
+//     sentinel instead: fmt.Errorf("%w: ...", ErrBadConfig, ...).
+//     (Package-level sentinel *declarations* are exempt: `var ErrX =
+//     errors.New(...)` is how sentinels are born.)
+//
+//   - fmt.Errorf with a constant format string that contains no %w verb:
+//     the arguments' error identities are flattened into text.
+//
+// Returning a sentinel directly, propagating an err value, errors.Join,
+// and %w-wrapping are all accepted.
+package errcontract
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"anonmix/internal/analysis/anonlint"
+)
+
+// Analyzer is the errcontract check.
+var Analyzer = &anonlint.Analyzer{
+	Name: "errcontract",
+	Doc:  "Validate/normalize/Parse* errors must wrap a shared sentinel (%w) so errors.Is keeps working",
+	Run:  run,
+}
+
+// matchedFunc reports whether a function name is part of the
+// configuration-error contract.
+func matchedFunc(name string) bool {
+	switch {
+	case name == "Validate" || name == "validate":
+		return true
+	case strings.HasPrefix(name, "Validate") || strings.HasPrefix(name, "validate"):
+		return true
+	case strings.HasPrefix(name, "normalize") || strings.HasPrefix(name, "Normalize"):
+		return true
+	case strings.HasPrefix(name, "Parse") || strings.HasPrefix(name, "parse"):
+		return true
+	}
+	return false
+}
+
+func run(pass *anonlint.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !matchedFunc(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := callee(pass, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				switch {
+				case fn.Pkg().Path() == "errors" && fn.Name() == "New":
+					pass.Reportf(call.Pos(),
+						"errors.New inside %s creates an unmatchable error identity: wrap a package sentinel with fmt.Errorf(\"%%w: ...\", ...) instead",
+						fd.Name.Name)
+				case fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
+					if format, ok := constString(pass, call.Args); ok && !strings.Contains(format, "%w") {
+						pass.Reportf(call.Pos(),
+							"fmt.Errorf without %%w inside %s drops the sentinel identity the differential harness matches with errors.Is",
+							fd.Name.Name)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// constString returns the constant value of the call's first argument
+// when it is an untyped or string constant.
+func constString(pass *anonlint.Pass, args []ast.Expr) (string, bool) {
+	if len(args) == 0 {
+		return "", false
+	}
+	tv, ok := pass.TypesInfo.Types[args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func callee(pass *anonlint.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,12 @@
+package errcontract_test
+
+import (
+	"testing"
+
+	"anonmix/internal/analysis/analysistest"
+	"anonmix/internal/analysis/errcontract"
+)
+
+func TestErrcontract(t *testing.T) {
+	analysistest.Run(t, "testdata/src", errcontract.Analyzer, "errcontract")
+}

@@ -1,0 +1,65 @@
+// Package corpus exercises the errcontract analyzer: error identities
+// created inside Validate/normalize/Parse* functions must stay
+// errors.Is-matchable against a package sentinel.
+package corpus
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Package-level sentinel declarations are exactly how sentinels are
+// born; they are exempt even though errors.New appears.
+var ErrBadThing = errors.New("corpus: bad thing")
+
+type Thing struct {
+	N int
+}
+
+func (t *Thing) Validate() error {
+	if t.N < 0 {
+		return errors.New("negative n") // want `errors.New inside Validate creates an unmatchable error identity`
+	}
+	if t.N > 100 {
+		return fmt.Errorf("n too large: %d", t.N) // want `fmt.Errorf without %w inside Validate drops the sentinel identity`
+	}
+	if t.N == 13 {
+		return fmt.Errorf("%w: unlucky n %d", ErrBadThing, t.N)
+	}
+	return nil
+}
+
+func normalizeThing(t *Thing) error {
+	if t == nil {
+		return fmt.Errorf("%w: nil thing", ErrBadThing)
+	}
+	if t.N%2 == 1 {
+		return errors.Join(ErrBadThing, fmt.Errorf("%w: odd n", ErrBadThing))
+	}
+	return ErrBadThing
+}
+
+func ParseThing(s string) (*Thing, error) {
+	if s == "" {
+		return nil, fmt.Errorf("empty input") // want `fmt.Errorf without %w inside ParseThing`
+	}
+	if s == "?" {
+		return nil, errors.New("unparseable") // want `errors.New inside ParseThing`
+	}
+	return &Thing{N: len(s)}, nil
+}
+
+// Functions outside the contract may mint ad-hoc errors freely.
+func Load(s string) error {
+	if s == "" {
+		return errors.New("load failed")
+	}
+	return fmt.Errorf("no loader for %q", s)
+}
+
+func validateAllowed(t *Thing) error {
+	if t.N == 7 {
+		return errors.New("deliberate one-off") //anonlint:allow errcontract(corpus: this path is unreachable from normalize)
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+// Package floatcmp implements the anonlint analyzer that flags exact
+// equality between computed floating-point values. The repository's
+// agreement contracts are all tolerance-based — exact results match to
+// ulps, backends match within confidence intervals — so a raw == between
+// two computed float64s is almost always a latent bug: it encodes "these
+// two IEEE expressions round identically", which survives only until a
+// compiler, an architecture, or an evaluation-order change breaks it.
+//
+// Flagged: x == y and x != y where both operands have floating-point (or
+// complex) type and neither is a constant expression. Comparisons
+// against constants (x == 0 guarding a division, ratio != 1 checking a
+// sentinel value) are deliberate exactness checks and stay legal, as
+// does the NaN self-test x != x. Test files are outside anonlint's scope
+// entirely (ulps assertions live there), and a tolerance helper that
+// genuinely needs bit equality can carry an
+// //anonlint:allow floatcmp(reason) annotation.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"anonmix/internal/analysis/anonlint"
+)
+
+// Analyzer is the floatcmp check.
+var Analyzer = &anonlint.Analyzer{
+	Name: "floatcmp",
+	Doc:  "no exact ==/!= between computed floating-point values outside tolerance helpers and tests",
+	Run:  run,
+}
+
+func run(pass *anonlint.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass, be.X) || !isFloat(pass, be.Y) {
+				return true
+			}
+			if isConst(pass, be.X) || isConst(pass, be.Y) {
+				return true
+			}
+			// x != x (also on field chains like p.LinkLoss) is the
+			// portable NaN test.
+			if be.Op == token.NEQ && sameRef(pass, be.X, be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos,
+				"exact %s between computed floats %s and %s: compare against a tolerance (or annotate a deliberate bit-equality check)",
+				be.Op, types.ExprString(be.X), types.ExprString(be.Y))
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(pass *anonlint.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+func isConst(pass *anonlint.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// sameRef reports whether both operands are the same side-effect-free
+// reference chain: the same variable, or the same field selected from
+// the same chain (p.LinkLoss != p.LinkLoss).
+func sameRef(pass *anonlint.Pass, x, y ast.Expr) bool {
+	x, y = ast.Unparen(x), ast.Unparen(y)
+	switch x := x.(type) {
+	case *ast.Ident:
+		iy, ok := y.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		ox, oy := pass.TypesInfo.Uses[x], pass.TypesInfo.Uses[iy]
+		return ox != nil && ox == oy
+	case *ast.SelectorExpr:
+		sy, ok := y.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		ox, oy := pass.TypesInfo.Uses[x.Sel], pass.TypesInfo.Uses[sy.Sel]
+		return ox != nil && ox == oy && sameRef(pass, x.X, sy.X)
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"anonmix/internal/analysis/analysistest"
+	"anonmix/internal/analysis/floatcmp"
+)
+
+func TestFloatcmp(t *testing.T) {
+	analysistest.Run(t, "testdata/src", floatcmp.Analyzer, "floatcmp")
+}

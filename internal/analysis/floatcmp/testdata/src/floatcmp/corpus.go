@@ -1,0 +1,58 @@
+// Package corpus exercises the floatcmp analyzer: exact ==/!= between
+// computed floating-point values is flagged; comparisons against
+// constants and the NaN self-test are not.
+package corpus
+
+import "math"
+
+type Params struct {
+	LinkLoss float64
+}
+
+func exactEqual(a, b float64) bool {
+	return a == b // want `exact == between computed floats a and b`
+}
+
+func exactNotEqual(a, b float64) bool {
+	return a != b // want `exact != between computed floats a and b`
+}
+
+func computedBoth(xs []float64) bool {
+	return sum(xs) == math.Sqrt(2) // want `exact == between computed floats`
+}
+
+func sum(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// Comparing against a constant is a deliberate exactness check.
+func zeroGuard(x float64) bool {
+	return x == 0
+}
+
+func sentinelGuard(ratio float64) bool {
+	return ratio != 1.0
+}
+
+// The portable NaN self-tests.
+func isNaN(x float64) bool {
+	return x != x
+}
+
+func fieldNaN(p *Params) bool {
+	return p.LinkLoss != p.LinkLoss
+}
+
+// Integer comparisons are out of scope.
+func intEqual(a, b int) bool {
+	return a == b
+}
+
+// A tolerance helper that genuinely needs bit equality can say so.
+func bitIdentical(a, b float64) bool {
+	return a == b //anonlint:allow floatcmp(corpus: deliberate bit-identity check)
+}

@@ -1,0 +1,380 @@
+// Package seedpurity implements the anonlint analyzer that pins the
+// repository's seed-provenance invariant: every RNG is constructed from
+// an explicit seed that arrived as a parameter or configuration field —
+// never from a package-level variable, a hard-coded literal, or the wall
+// clock. The invariant is what makes every randomized result a pure
+// function of its Config.Seed, which the differential harness and the
+// golden files depend on.
+//
+// The root constructors are math/rand.NewSource and the internal/stats
+// toolkit (NewRand, Fork, ForkSeed, NewStream), each taking its seed as
+// the first parameter. Seed-consuming helpers propagate: a function that
+// passes one of its own parameters as the seed of a known constructor is
+// itself recorded (as an object fact) as a constructor, so call sites in
+// other packages are checked against the same rule — the cross-package
+// fact propagation the rest of the suite piggybacks on.
+//
+// A seed argument is flagged only when it is provably impure: a constant
+// expression, an expression reading a package-level variable, a
+// time.Now()-derived value, or a local variable whose every assignment
+// is one of those. Anything the analyzer cannot prove (function results,
+// struct fields, channel reads) is accepted — the check is precise, not
+// paranoid.
+package seedpurity
+
+import (
+	"go/ast"
+	"go/types"
+
+	"anonmix/internal/analysis/anonlint"
+)
+
+// Analyzer is the seedpurity check.
+var Analyzer = &anonlint.Analyzer{
+	Name: "seedpurity",
+	Doc:  "RNG seeds must come from explicit parameters or fields, never package state, literals, or the clock",
+	Run:  run,
+}
+
+// SeedConsumer is the object fact recorded for a function that feeds one
+// of its own parameters into an RNG constructor: Params lists the indices
+// of those seed parameters.
+type SeedConsumer struct {
+	Params []int
+}
+
+// AFact marks SeedConsumer as an anonlint fact.
+func (*SeedConsumer) AFact() {}
+
+// roots maps import path -> function name -> seed parameter indices for
+// the known RNG constructors.
+var roots = map[string]map[string][]int{
+	"math/rand": {
+		"NewSource": {0},
+	},
+	"math/rand/v2": {
+		"NewPCG":         {0, 1},
+		"NewChaCha8":     {0},
+		"NewZipf":        {0},
+		"New":            nil, // takes a Source, handled via NewPCG etc.
+		"NewExpFloat64":  nil,
+		"NewNormFloat64": nil,
+	},
+	"anonmix/internal/stats": {
+		"NewRand":   {0},
+		"Fork":      {0},
+		"ForkSeed":  {0},
+		"NewStream": {0},
+	},
+}
+
+func run(pass *anonlint.Pass) error {
+	// Phase 1: derive facts for this package's own seed-consuming
+	// helpers, to a fixpoint so helper chains within the package resolve
+	// regardless of declaration order.
+	fns := packageFuncs(pass)
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range fns {
+			if deriveFact(pass, fd) {
+				changed = true
+			}
+		}
+	}
+
+	// Phase 2: check every constructor call site.
+	for _, file := range pass.Files {
+		var enclosing []*ast.FuncDecl
+		var visit func(ast.Node) bool
+		visit = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				enclosing = append(enclosing, n)
+				if n.Body != nil {
+					ast.Inspect(n.Body, visit)
+				}
+				enclosing = enclosing[:len(enclosing)-1]
+				return false
+			case *ast.CallExpr:
+				var outer *ast.FuncDecl
+				if len(enclosing) > 0 {
+					outer = enclosing[len(enclosing)-1]
+				}
+				checkCall(pass, n, outer)
+			}
+			return true
+		}
+		ast.Inspect(file, visit)
+	}
+	return nil
+}
+
+// packageFuncs returns every function declaration of the package.
+func packageFuncs(pass *anonlint.Pass) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// seedParams returns the seed parameter indices of the called function,
+// or nil/false when the callee is not an RNG constructor.
+func seedParams(pass *anonlint.Pass, call *ast.CallExpr) ([]int, bool) {
+	fn := callee(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil, false
+	}
+	if byName, ok := roots[fn.Pkg().Path()]; ok {
+		if idx, ok := byName[fn.Name()]; ok {
+			return idx, len(idx) > 0
+		}
+	}
+	var fact SeedConsumer
+	if pass.ImportObjectFact(fn, &fact) {
+		return fact.Params, len(fact.Params) > 0
+	}
+	return nil, false
+}
+
+// deriveFact records fd as a seed consumer when it passes one of its own
+// parameters as a constructor seed. It reports whether the fact set grew.
+func deriveFact(pass *anonlint.Pass, fd *ast.FuncDecl) bool {
+	fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return false
+	}
+	var have SeedConsumer
+	pass.ImportObjectFact(fn, &have)
+	params := paramObjects(pass, fd)
+	found := map[int]bool{}
+	for _, i := range have.Params {
+		found[i] = true
+	}
+	grew := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		idx, ok := seedParams(pass, call)
+		if !ok {
+			return true
+		}
+		for _, i := range idx {
+			if i >= len(call.Args) {
+				continue
+			}
+			obj := identUse(pass, call.Args[i])
+			if obj == nil {
+				continue
+			}
+			for pi, p := range params {
+				if obj == p && !found[pi] {
+					found[pi] = true
+					grew = true
+				}
+			}
+		}
+		return true
+	})
+	if grew {
+		fact := &SeedConsumer{}
+		for i := range params {
+			if found[i] {
+				fact.Params = append(fact.Params, i)
+			}
+		}
+		pass.ExportObjectFact(fn, fact)
+	}
+	return grew
+}
+
+// paramObjects returns the parameter objects of fd in declaration order
+// (the receiver is not a seed candidate).
+func paramObjects(pass *anonlint.Pass, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			out = append(out, pass.TypesInfo.Defs[name])
+		}
+	}
+	return out
+}
+
+// checkCall flags impure seed arguments at constructor call sites.
+func checkCall(pass *anonlint.Pass, call *ast.CallExpr, outer *ast.FuncDecl) {
+	idx, ok := seedParams(pass, call)
+	if !ok {
+		return
+	}
+	for _, i := range idx {
+		if i >= len(call.Args) {
+			continue
+		}
+		arg := call.Args[i]
+		if reason := impure(pass, arg, outer, 3); reason != "" {
+			pass.Reportf(arg.Pos(),
+				"RNG seed must derive from an explicit parameter or field, not %s", reason)
+		}
+	}
+}
+
+// impure reports why e is a provably impure seed source, or "" when the
+// analyzer cannot prove impurity. depth bounds local-variable tracing.
+func impure(pass *anonlint.Pass, e ast.Expr, outer *ast.FuncDecl, depth int) string {
+	e = ast.Unparen(e)
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+		return "the constant " + tv.Value.String()
+	}
+	// A conversion wraps its operand: int64(x) is as pure as x.
+	if call, ok := e.(*ast.CallExpr); ok {
+		if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+			return impure(pass, call.Args[0], outer, depth)
+		}
+		if fn := callee(pass, call); fn != nil && fn.Pkg() != nil {
+			if fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+				return "the wall clock (time.Now)"
+			}
+			// A method call inherits its receiver's impurity:
+			// time.Now().UnixNano() is still the wall clock.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					if r := impure(pass, sel.X, outer, depth); r != "" {
+						return r
+					}
+				}
+			}
+		}
+		// Calls to the stats derivation helpers are as pure as their own
+		// seed argument.
+		if idx, ok := seedParams(pass, call); ok {
+			for _, i := range idx {
+				if i < len(call.Args) {
+					if r := impure(pass, call.Args[i], outer, depth); r != "" {
+						return r
+					}
+				}
+			}
+			return ""
+		}
+		return "" // other call results: unknown, accepted
+	}
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		// pkg.Var reads package state; obj.Field is a field read and fine.
+		if obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var); ok && isPackageLevel(obj) {
+			return "the package-level variable " + obj.Pkg().Name() + "." + obj.Name()
+		}
+		return ""
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		obj, _ := pass.TypesInfo.Uses[id].(*types.Var)
+		if obj == nil {
+			return ""
+		}
+		if isPackageLevel(obj) {
+			return "the package-level variable " + obj.Name()
+		}
+		if depth <= 0 || outer == nil {
+			return ""
+		}
+		// A local: impure only if it has assignments and every one is
+		// provably impure.
+		rhs := localAssignments(pass, outer, obj)
+		if len(rhs) == 0 {
+			return ""
+		}
+		first := ""
+		for _, r := range rhs {
+			reason := impure(pass, r, outer, depth-1)
+			if reason == "" {
+				return ""
+			}
+			if first == "" {
+				first = reason
+			}
+		}
+		return first
+	}
+	if be, ok := e.(*ast.BinaryExpr); ok {
+		// Arithmetic over impure operands is impure only when *every*
+		// operand is; mixing in a parameter launders nothing but is not
+		// provably bad.
+		rx := impure(pass, be.X, outer, depth)
+		ry := impure(pass, be.Y, outer, depth)
+		if rx != "" && ry != "" {
+			return rx
+		}
+		return ""
+	}
+	return ""
+}
+
+// localAssignments collects the RHS expressions assigned to obj within
+// fn's body (including its declaration).
+func localAssignments(pass *anonlint.Pass, fn *ast.FuncDecl, obj types.Object) []ast.Expr {
+	var out []ast.Expr
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				target := pass.TypesInfo.Defs[id]
+				if target == nil {
+					target = pass.TypesInfo.Uses[id]
+				}
+				if target == obj {
+					out = append(out, n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if pass.TypesInfo.Defs[name] == obj && i < len(n.Values) {
+					out = append(out, n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isPackageLevel reports whether v is a package-level variable.
+func isPackageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+func callee(pass *anonlint.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+func identUse(pass *anonlint.Pass, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.TypesInfo.Uses[id]
+}

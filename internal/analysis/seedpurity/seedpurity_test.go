@@ -1,0 +1,15 @@
+package seedpurity_test
+
+import (
+	"testing"
+
+	"anonmix/internal/analysis/analysistest"
+	"anonmix/internal/analysis/seedpurity"
+)
+
+// TestSeedpurity loads package a (roots, in-package facts) and then
+// package b, which imports a — the b expectations only hold if the
+// SeedConsumer facts derived in a survive the package boundary.
+func TestSeedpurity(t *testing.T) {
+	analysistest.Run(t, "testdata/src", seedpurity.Analyzer, "seedpurity/a", "seedpurity/b")
+}

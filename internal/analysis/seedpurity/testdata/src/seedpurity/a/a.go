@@ -1,0 +1,81 @@
+// Package a exercises the seedpurity analyzer at root-constructor call
+// sites and defines seed-consuming helpers whose facts package b checks.
+package a
+
+import (
+	"math/rand"
+	"time"
+
+	"anonmix/internal/stats"
+)
+
+// defaultSeed is package state: seeding from it hides the provenance.
+var defaultSeed int64 = 1
+
+type Config struct {
+	Seed int64
+}
+
+// --- impure roots ---
+
+func literalSeed() rand.Source {
+	return rand.NewSource(42) // want `RNG seed must derive from an explicit parameter or field, not the constant 42`
+}
+
+func packageVarSeed() rand.Source {
+	return rand.NewSource(defaultSeed) // want `not the package-level variable defaultSeed`
+}
+
+func clockSeed() rand.Source {
+	return rand.NewSource(time.Now().UnixNano()) // want `not the wall clock \(time.Now\)`
+}
+
+func tracedLocalSeed() rand.Source {
+	s := int64(7)
+	return rand.NewSource(s) // want `not the constant 7`
+}
+
+func statsLiteralSeed() *rand.Rand {
+	return stats.NewRand(1234) // want `not the constant 1234`
+}
+
+// --- pure roots ---
+
+func paramSeed(seed int64) rand.Source {
+	return rand.NewSource(seed)
+}
+
+func fieldSeed(cfg Config) rand.Source {
+	return rand.NewSource(cfg.Seed)
+}
+
+func derivedParamSeed(seed int64) rand.Source {
+	return rand.NewSource(seed ^ 0x9e3779b9)
+}
+
+func annotatedSeed() rand.Source {
+	return rand.NewSource(99) //anonlint:allow seedpurity(corpus: fixed demo seed)
+}
+
+// --- helpers that should acquire SeedConsumer facts ---
+
+// NewThing passes its own parameter into a root constructor, making it a
+// seed consumer for cross-package call sites.
+func NewThing(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// NewChained propagates through NewThing, one fact hop away.
+func NewChained(seed int64, n int) *rand.Rand {
+	r := NewThing(seed)
+	for i := 0; i < n; i++ {
+		r.Int63()
+	}
+	return r
+}
+
+// inPackageLiteral checks that locally derived facts already apply to
+// same-package call sites.
+func inPackageLiteral() *rand.Rand {
+	return NewThing(2002) // want `not the constant 2002`
+}

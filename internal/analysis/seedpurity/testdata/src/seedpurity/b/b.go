@@ -1,0 +1,27 @@
+// Package b imports package a and checks that the SeedConsumer facts
+// derived there propagate across the package boundary: a.NewThing and
+// a.NewChained are constructors here too.
+package b
+
+import (
+	"seedpurity/a"
+)
+
+var ambient int64 = 3
+
+func literalThroughFact() {
+	a.NewThing(99) // want `RNG seed must derive from an explicit parameter or field, not the constant 99`
+}
+
+func packageVarThroughFact() {
+	a.NewChained(ambient, 4) // want `not the package-level variable ambient`
+}
+
+func paramThroughFact(seed int64) {
+	a.NewThing(seed)
+	a.NewChained(seed+1, 2)
+}
+
+func fieldThroughFact(cfg a.Config) {
+	a.NewThing(cfg.Seed)
+}

@@ -1,0 +1,45 @@
+package suite_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"anonmix/internal/analysis/anonlint"
+	"anonmix/internal/analysis/suite"
+)
+
+// TestRepoIsAnonlintClean runs the full configured suite over the whole
+// module, exactly as `make lint` and the CI gate do, and fails on any
+// finding. The tree must stay clean: fix the finding, or annotate the
+// site with //anonlint:allow <analyzer>(<reason>) when it is deliberate.
+func TestRepoIsAnonlintClean(t *testing.T) {
+	prog, err := anonlint.Load(moduleRoot(t), "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := prog.Run(suite.Analyzers())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: %s: %s", prog.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		t.Errorf("%d anonlint finding(s); run `go run ./cmd/anonlint ./...` at the module root to reproduce", len(diags))
+	}
+}
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir := "."
+	for i := 0; i < 10; i++ {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		dir = filepath.Join("..", dir)
+	}
+	t.Fatal("go.mod not found above test directory")
+	return ""
+}

@@ -597,6 +597,7 @@ func BestTwoPoint(e *events.Engine, mean float64, lo, hi int) (dist.TwoPoint, fl
 		for l2 := int(math.Ceil(mean)); l2 <= hi; l2++ {
 			var p1 float64
 			if l1 == l2 {
+				//anonlint:allow floatcmp(degenerate two-point is feasible only when the mean hits the atom exactly)
 				if float64(l1) != mean {
 					continue
 				}

@@ -509,7 +509,7 @@ func Run(cfg Config) (Result, error) {
 	if !ok {
 		return Result{}, fmt.Errorf("%w: %q (known: %s)", ErrUnknownBackend, norm.Backend, backendNames())
 	}
-	start := time.Now()
+	start := time.Now() //anonlint:allow detrand(wall-clock metrics only, never flows into Result)
 	res, err := b.Run(norm)
 	if err != nil {
 		return Result{}, err

@@ -144,7 +144,7 @@ func runRouted(cfg Config) (Result, error) {
 	sessions := cfg.Workload.Messages
 	rounds := cfg.Workload.Rounds
 
-	start := time.Now()
+	start := time.Now() //anonlint:allow detrand(wall-clock metrics only, never flows into Result)
 	// Each session draws from its own counter-based stream — the same
 	// streams the Monte-Carlo estimator consumes per trial, so backend
 	// agreement is draw-for-draw, not just statistical. The sampler's path
@@ -428,7 +428,7 @@ func runRoutedTimeline(cfg Config) (Result, error) {
 	nw.Start()
 	defer nw.Close()
 
-	start := time.Now()
+	start := time.Now() //anonlint:allow detrand(wall-clock metrics only, never flows into Result)
 	// Per-phase samplers over the dense spaces; drawPhasePath maps the
 	// reusable dense buffer to a fresh union-identity route.
 	samplers := make([]*pathsel.Sampler, len(sels))
@@ -801,7 +801,7 @@ func runCrowds(cfg Config) (Result, error) {
 	}
 	sessions := cfg.Workload.Messages
 	rounds := cfg.Workload.Rounds
-	start := time.Now()
+	start := time.Now() //anonlint:allow detrand(wall-clock metrics only, never flows into Result)
 	rng := stats.NewRand(cfg.Workload.Seed)
 	senders := make([]trace.NodeID, sessions)
 	ids := make([]trace.MessageID, sessions*rounds)
@@ -1000,6 +1000,9 @@ func countPosterior(counts map[trace.NodeID]int, counted []trace.NodeID, honest 
 // count, or −1 when the maximum is tied or no observation was made.
 func topCountUnique(counts map[trace.NodeID]int) trace.NodeID {
 	best, bestCount, unique := trace.NodeID(-1), -1, false
+	// A strict maximum is reached (and ties rejected) whatever the sweep
+	// order: the result is a pure function of the multiset of counts.
+	//anonlint:allow detrand(strict argmax with tie rejection is order-independent)
 	for v, m := range counts {
 		switch {
 		case m > bestCount:

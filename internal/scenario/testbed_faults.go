@@ -57,8 +57,15 @@ func faultNetConfig(nwCfg *simnet.Config, cfg *Config) {
 // must not hide behind the loss statistics.
 func checkUnexpectedDrops(nw *simnet.Network) error {
 	ds := nw.DropStats()
-	for cause, n := range ds.ByCause {
-		if n > 0 && cause != simnet.DropLoss && cause != simnet.DropCrash {
+	// Sweep causes in sorted order so the same defect always surfaces
+	// the same error, whatever the map iteration order.
+	causes := make([]string, 0, len(ds.ByCause))
+	for cause := range ds.ByCause {
+		causes = append(causes, cause)
+	}
+	sort.Strings(causes)
+	for _, cause := range causes {
+		if n := ds.ByCause[cause]; n > 0 && cause != simnet.DropLoss && cause != simnet.DropCrash {
 			return fmt.Errorf("scenario: testbed dropped %d packets with unexpected cause %q (samples: %v)",
 				n, cause, ds.Samples)
 		}
@@ -212,7 +219,7 @@ func runRoutedFaulty(cfg Config) (Result, error) {
 	}
 
 	sessions := cfg.Workload.Messages
-	start := time.Now()
+	start := time.Now() //anonlint:allow detrand(wall-clock metrics only, never flows into Result)
 	// One counter-based stream per session, so a reroute wave's redraws
 	// come from the failed session's own stream — deterministic regardless
 	// of which sessions fail or in what order the waves return them. The

@@ -891,9 +891,18 @@ func (nw *Network) drain() {
 }
 
 // flushShard releases every partial batch the shard holds (quiescence
-// flush — the mix "fires on timeout").
+// flush — the mix "fires on timeout"). Batches flush in node order:
+// flushBatch consumes the shard's RNG for the departure shuffle, so a
+// map-ordered sweep here would leak iteration order into the draw
+// sequence and break per-seed bit-reproducibility.
 func (nw *Network) flushShard(s *shard) {
-	for node, q := range s.batches {
+	nodes := make([]trace.NodeID, 0, len(s.batches))
+	for node := range s.batches {
+		nodes = append(nodes, node)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, node := range nodes {
+		q := s.batches[node]
 		delete(s.batches, node)
 		nw.buffered.Add(int64(-len(q)))
 		nw.flushBatch(s, q)
