@@ -6,7 +6,7 @@ DATE := $(shell date +%Y%m%d)
 # stack of PRs landing together) never clobbers an earlier measurement.
 SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo nogit)
 
-.PHONY: all build vet lint test race bench bench-smoke bench-compare cover fuzz-smoke profile clean
+.PHONY: all build vet lint test race bench bench-smoke bench-compare cover fuzz-smoke serve-smoke profile clean
 
 all: build vet lint test
 
@@ -108,6 +108,13 @@ fuzz-smoke:
 	$(GO) test ./internal/faults -run '^$$' -fuzz '^FuzzParseFaults$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/pathsel -run '^$$' -fuzz '^FuzzStrategyLookup$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/onion -run '^$$' -fuzz '^FuzzBuildPeel$$' -fuzztime $(FUZZTIME)
+
+# serve-smoke boots the anond daemon on an ephemeral port and exercises
+# the HTTP surface end to end over a real socket: every /v1 endpoint's
+# success and failure statuses, NDJSON streaming, and a SIGTERM drain
+# with a request in flight. CI runs exactly this target.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # clean removes only untracked snapshots: committed BENCH_*.json files are
 # the bench-compare trajectory baselines and must survive.

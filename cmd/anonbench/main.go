@@ -18,6 +18,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -26,15 +27,31 @@ import (
 	"strconv"
 	"strings"
 
+	"anonmix/internal/cliutil"
 	"anonmix/internal/figures"
 	"anonmix/internal/pathsel"
 )
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "anonbench:", err)
-		os.Exit(1)
+		if !cliutil.Silent(err) {
+			// %v prints the full wrapped sentinel chain.
+			fmt.Fprintln(os.Stderr, "anonbench:", err)
+		}
+		// Exit 2 for configuration/usage errors (unknown figures are
+		// usage: the figure name came off the command line), 1 for
+		// runtime failures.
+		os.Exit(exitCode(err))
 	}
+}
+
+// exitCode extends the shared contract with the figure registry's
+// sentinel: asking for a figure that does not exist is a usage error.
+func exitCode(err error) int {
+	if errors.Is(err, figures.ErrUnknownFigure) {
+		return 2
+	}
+	return cliutil.Code(err)
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -75,7 +92,7 @@ func run(args []string, stdout io.Writer) error {
 		relSeed      = fs.Int64("rel-seed", 1, "seed for reliability-sweep")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return cliutil.Usage(err)
 	}
 
 	if *list {

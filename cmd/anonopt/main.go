@@ -23,12 +23,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
 
+	"anonmix/internal/cliutil"
 	"anonmix/internal/dist"
 	"anonmix/internal/entropy"
 	"anonmix/internal/optimize"
@@ -38,9 +40,26 @@ import (
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "anonopt:", err)
-		os.Exit(1)
+		if !cliutil.Silent(err) {
+			// %v prints the full wrapped sentinel chain.
+			fmt.Fprintln(os.Stderr, "anonopt:", err)
+		}
+		// Exit 2 for configuration/usage errors, 1 for runtime failures
+		// (see internal/cliutil). Optimizer problem errors are
+		// configuration errors too: the solvers only see what the flags
+		// built.
+		os.Exit(exitCode(err))
 	}
+}
+
+// exitCode extends the shared contract with the optimizer's sentinels:
+// an invalid or infeasible problem is a usage error — it was assembled
+// verbatim from the command line.
+func exitCode(err error) int {
+	if errors.Is(err, optimize.ErrBadProblem) || errors.Is(err, optimize.ErrInfeasible) {
+		return 2
+	}
+	return cliutil.Code(err)
 }
 
 func run(args []string, w io.Writer) error {
@@ -54,7 +73,7 @@ func run(args []string, w io.Writer) error {
 		epochs  = fs.String("epochs", "", "timeline of population epochs (anonsim syntax, e.g. 'msgs=1000;msgs=1000,comp=2'); switches to the epoch-aware solver")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return cliutil.Usage(err)
 	}
 	// The scenario layer hands out the process-shared memoizing engine, so
 	// the optimizer, the baselines, and the -compare rows reuse one cache.

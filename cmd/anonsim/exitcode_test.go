@@ -1,0 +1,38 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"anonmix/internal/cliutil"
+)
+
+// TestExitCodes pins the CLI contract end to end through run(): exit 2
+// for configuration/usage errors, 1 for capability refusals, 0 for
+// success — and the error message carries the wrapped sentinel chain.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantMsg  string // substring of the error, "" for success
+	}{
+		{"success", []string{"-n", "15", "-c", "1", "-backend", "exact", "-strategy", "fixed:4"}, 0, ""},
+		{"bad n", []string{"-n", "1"}, 2, "invalid configuration"},
+		{"bad backend", []string{"-backend", "quantum"}, 2, "unknown backend"},
+		{"bad strategy spec", []string{"-strategy", "uniform:9,1"}, 2, ""},
+		{"bad flag", []string{"-n", "notanumber"}, 2, "invalid value"},
+		{"unknown flag", []string{"-frobnicate"}, 2, "not defined"},
+		{"capability refusal", []string{"-backend", "exact", "-protocol", "crowds", "-pf", "0.7", "-n", "20", "-c", "1"}, 1, "backend"},
+	}
+	for _, tc := range cases {
+		err := run(tc.args, io.Discard)
+		if got := cliutil.Code(err); got != tc.wantCode {
+			t.Errorf("%s: exit code %d, want %d (err: %v)", tc.name, got, tc.wantCode, err)
+		}
+		if tc.wantMsg != "" && (err == nil || !strings.Contains(err.Error(), tc.wantMsg)) {
+			t.Errorf("%s: error %v does not mention %q", tc.name, err, tc.wantMsg)
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"anonmix/internal/cliutil"
 	"anonmix/internal/faults"
 	"anonmix/internal/pathsel"
 	"anonmix/internal/scenario"
@@ -36,8 +37,14 @@ import (
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "anonsim:", err)
-		os.Exit(1)
+		if !cliutil.Silent(err) {
+			// %v prints the full wrapped sentinel chain.
+			fmt.Fprintln(os.Stderr, "anonsim:", err)
+		}
+		// Exit 2 for configuration/usage errors (the invocation can never
+		// succeed as written, including flag-parse failures), 1 for
+		// runtime failures and backend refusals.
+		os.Exit(cliutil.Code(err))
 	}
 }
 
@@ -65,7 +72,7 @@ func run(args []string, w io.Writer) error {
 		list       = fs.Bool("strategies", false, "list registered strategy specs")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return cliutil.Usage(err)
 	}
 	if *list {
 		for _, e := range pathsel.Specs() {

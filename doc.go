@@ -141,15 +141,45 @@
 // suite (internal/scenario/reliability_test.go), the fault arm of the
 // differential harness, and faults.FuzzParseFaults.
 //
-// The three commands are thin shells over the scenario layer: anonsim
-// runs one scenario on any backend (-backend, -strategy, -protocol),
-// anonopt solves the design problem and ranks named strategies against
-// the optimum, anonbench regenerates figures. None of them constructs a
-// network or an estimator directly.
+// The commands are thin shells over the scenario layer: anonsim runs one
+// scenario on any backend (-backend, -strategy, -protocol), anonopt
+// solves the design problem and ranks named strategies against the
+// optimum, anonbench regenerates figures, and anond serves the same stack
+// over HTTP. None of them constructs a network or an estimator directly,
+// and all of them classify failures through scenario.Classify: exit code
+// 2 (or HTTP 400) for configurations that can never succeed as written,
+// 1 (HTTP 422) for capability refusals, 1 (HTTP 500) for runtime
+// failures.
 //
 // The benchmarks in bench_test.go regenerate every figure and theorem of
 // the evaluation section; EXPERIMENTS.md records paper-vs-measured for
 // each, and DESIGN.md documents the model reconstruction.
+//
+// # The anond service
+//
+// internal/anond + cmd/anond expose the stack as a daemon — anonymity
+// analysis as a service. POST /v1/scenario runs any backend, POST
+// /v1/degradation serves the repeated-communication curve H_1..H_k, POST
+// /v1/optimize solves the static and epoch-aware design problems, and
+// GET /v1/metrics and /v1/health report counters and liveness. Requests
+// are the scenario vocabulary in JSON; the strategy, timeline, and fault
+// fields reuse the CLIs' compact string syntaxes verbatim.
+//
+// The daemon leans on the library's concurrency contracts rather than
+// adding its own: concurrent requests share the process-wide engine
+// cache; byte-identical in-flight requests coalesce into one computation
+// through a single-flight group keyed by the canonicalized request
+// fingerprint (the computation runs on a detached context canceled only
+// when the last waiting client disconnects); a disconnected client's
+// context cancels its run at the backends' next batch checkpoint
+// (scenario.RunContext); and ?stream=1 turns a long run into NDJSON
+// progress lines fed from Config.Progress, ending in one terminal result
+// or error line. A per-client token bucket answers 429 with Retry-After
+// when a client outruns its budget, and SIGTERM drains gracefully:
+// health flips to 503, new compute work is refused, in-flight runs
+// finish, and the final metrics snapshot is flushed to the log.
+// `make serve-smoke` exercises all of this over a real socket and is a
+// blocking CI step.
 //
 // # Performance
 //

@@ -1,0 +1,41 @@
+package anond
+
+// HTTP status mapping. The daemon reuses the CLIs' error classification
+// (scenario.Classify) so "what kind of failure is this" is decided in
+// exactly one place; the only daemon-local extension is the optimizer's
+// problem sentinels, which — like anonopt's exit code 2 — are
+// configuration errors: the problem was assembled verbatim from the
+// request body.
+
+import (
+	"errors"
+	"net/http"
+
+	"anonmix/internal/optimize"
+	"anonmix/internal/scenario"
+)
+
+// statusClientClosedRequest is the de-facto (nginx) status for a request
+// whose client disconnected before the answer existed. The response is
+// never seen; the status only feeds the daemon's own metrics and logs.
+const statusClientClosedRequest = 499
+
+// statusFor maps a handler failure to its HTTP status: 400 for
+// configurations that can never succeed as written, 422 for well-formed
+// scenarios this backend cannot express (switch backends and retry), 499
+// for canceled runs, 500 for everything else.
+func statusFor(err error) int {
+	if errors.Is(err, optimize.ErrBadProblem) || errors.Is(err, optimize.ErrInfeasible) {
+		return http.StatusBadRequest
+	}
+	switch scenario.Classify(err) {
+	case scenario.ClassBadConfig:
+		return http.StatusBadRequest
+	case scenario.ClassCapability:
+		return http.StatusUnprocessableEntity
+	case scenario.ClassCanceled:
+		return statusClientClosedRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}

@@ -1,0 +1,120 @@
+package anond
+
+// Daemon counters. One mutex-guarded block keeps every counter update
+// and every snapshot internally consistent (a snapshot never shows a
+// response without its request); the engine-cache statistics ride along
+// from the scenario layer's own atomic snapshot.
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"anonmix/internal/scenario"
+)
+
+type metrics struct {
+	start time.Time
+	now   func() time.Time
+
+	mu          sync.Mutex
+	requests    map[string]int64
+	statuses    map[int]int64
+	coalesced   int64
+	rateLimited int64
+	canceled    int64
+	inFlight    int64
+}
+
+func newMetrics(now func() time.Time) *metrics {
+	if now == nil {
+		now = time.Now
+	}
+	return &metrics{
+		start:    now(),
+		now:      now,
+		requests: map[string]int64{},
+		statuses: map[int]int64{},
+	}
+}
+
+func (m *metrics) request(endpoint string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[endpoint]++
+	m.inFlight++
+}
+
+func (m *metrics) response(status int, coalesced bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.statuses[status]++
+	m.inFlight--
+	if coalesced {
+		m.coalesced++
+	}
+	switch status {
+	case statusClientClosedRequest:
+		m.canceled++
+	case 429:
+		m.rateLimited++
+	}
+}
+
+// MetricsResponse is the /v1/metrics document.
+type MetricsResponse struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Requests counts received requests per endpoint; Statuses counts
+	// answered statuses (stringified codes, plus "499" for canceled
+	// runs whose answer nobody read).
+	Requests map[string]int64 `json:"requests"`
+	Statuses map[string]int64 `json:"statuses"`
+	// Coalesced counts responses served by joining another client's
+	// in-flight identical computation.
+	Coalesced   int64 `json:"coalesced"`
+	RateLimited int64 `json:"rate_limited"`
+	Canceled    int64 `json:"canceled"`
+	InFlight    int64 `json:"in_flight"`
+	// EngineCache is the process-wide exact-engine LRU (cumulative since
+	// process start or the last ResetCacheStats).
+	EngineCache CacheStatsResponse `json:"engine_cache"`
+}
+
+// CacheStatsResponse is the wire form of scenario.EngineCacheStats.
+type CacheStatsResponse struct {
+	Hits         uint64 `json:"hits"`
+	Misses       uint64 `json:"misses"`
+	Evictions    uint64 `json:"evictions"`
+	DeltaDerived uint64 `json:"delta_derived"`
+	Size         int    `json:"size"`
+	Capacity     int    `json:"capacity"`
+}
+
+func cacheStatsResponse(st scenario.EngineCacheStats) CacheStatsResponse {
+	return CacheStatsResponse{
+		Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions,
+		DeltaDerived: st.DeltaDerived, Size: st.Size, Capacity: st.Capacity,
+	}
+}
+
+func (m *metrics) snapshot() MetricsResponse {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := MetricsResponse{
+		UptimeSeconds: m.now().Sub(m.start).Seconds(),
+		Requests:      make(map[string]int64, len(m.requests)),
+		Statuses:      make(map[string]int64, len(m.statuses)),
+		Coalesced:     m.coalesced,
+		RateLimited:   m.rateLimited,
+		Canceled:      m.canceled,
+		InFlight:      m.inFlight,
+		EngineCache:   cacheStatsResponse(scenario.CacheStats()),
+	}
+	for ep, n := range m.requests {
+		out.Requests[ep] = n
+	}
+	for code, n := range m.statuses {
+		out.Statuses[strconv.Itoa(code)] = n
+	}
+	return out
+}

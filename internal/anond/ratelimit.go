@@ -1,0 +1,83 @@
+package anond
+
+// Per-client token-bucket rate limiting. Each client (keyed by remote
+// host) owns a bucket of Burst tokens refilled at Rate tokens/second;
+// a compute request spends one token, and an empty bucket answers 429
+// with a Retry-After hint. The clock is injectable so tests control
+// refill deterministically.
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// bucket is one client's token balance at its last refill instant.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// limiter is a per-client token bucket. A nil limiter allows everything.
+type limiter struct {
+	rate  float64 // tokens per second
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+func newLimiter(rate, burst float64, now func() time.Time) *limiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &limiter{rate: rate, burst: burst, now: now, buckets: map[string]*bucket{}}
+}
+
+// allow spends one token from client's bucket. When the bucket is empty
+// it reports false together with the wait until the next token accrues.
+func (l *limiter) allow(client string) (ok bool, retryAfter time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t := l.now()
+	b := l.buckets[client]
+	if b == nil {
+		l.prune()
+		b = &bucket{tokens: l.burst, last: t}
+		l.buckets[client] = b
+	} else {
+		b.tokens = math.Min(l.burst, b.tokens+t.Sub(b.last).Seconds()*l.rate)
+		b.last = t
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+}
+
+// prune caps the map's footprint against client-address churn by
+// dropping buckets that have refilled to full — forgetting one of those
+// is observationally identical to a fresh client.
+func (l *limiter) prune() {
+	const maxClients = 4096
+	if len(l.buckets) < maxClients {
+		return
+	}
+	t := l.now()
+	for client, b := range l.buckets {
+		if math.Min(l.burst, b.tokens+t.Sub(b.last).Seconds()*l.rate) >= l.burst {
+			delete(l.buckets, client)
+		}
+	}
+}

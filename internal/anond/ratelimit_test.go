@@ -1,0 +1,97 @@
+package anond
+
+// Token-bucket tests on an injected clock: refill arithmetic is checked
+// at exact instants, no sleeps.
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock safe for concurrent reads.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func TestLimiterBurstAndRefill(t *testing.T) {
+	clock := newFakeClock()
+	l := newLimiter(2, 3, clock.Now) // 2 tokens/s, bucket of 3
+	for i := range 3 {
+		if ok, _ := l.allow("a"); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	ok, retry := l.allow("a")
+	if ok {
+		t.Fatal("4th immediate request allowed past the burst")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Errorf("retry hint %v outside (0, 1s] at 2 tokens/s", retry)
+	}
+	// Other clients own their own buckets.
+	if ok, _ := l.allow("b"); !ok {
+		t.Error("fresh client denied by another client's empty bucket")
+	}
+	// Half a second accrues one token at 2/s.
+	clock.Advance(500 * time.Millisecond)
+	if ok, _ := l.allow("a"); !ok {
+		t.Error("request denied after refill")
+	}
+	if ok, _ := l.allow("a"); ok {
+		t.Error("second request allowed on a single refilled token")
+	}
+	// Refill caps at the burst.
+	clock.Advance(time.Hour)
+	for i := range 3 {
+		if ok, _ := l.allow("a"); !ok {
+			t.Fatalf("post-idle request %d denied", i)
+		}
+	}
+	if ok, _ := l.allow("a"); ok {
+		t.Error("idle refill exceeded the burst cap")
+	}
+}
+
+func TestLimiterDisabled(t *testing.T) {
+	if l := newLimiter(0, 5, nil); l != nil {
+		t.Fatal("rate 0 should disable the limiter")
+	}
+	var l *limiter
+	if ok, _ := l.allow("anyone"); !ok {
+		t.Error("nil limiter denied a request")
+	}
+}
+
+func TestLimiterPrune(t *testing.T) {
+	clock := newFakeClock()
+	l := newLimiter(1, 1, clock.Now)
+	for i := 0; i < 5000; i++ {
+		l.allow(strconv.Itoa(i))
+		clock.Advance(2 * time.Second) // every earlier bucket refills
+	}
+	l.mu.Lock()
+	n := len(l.buckets)
+	l.mu.Unlock()
+	if n > 4096 {
+		t.Errorf("bucket map grew to %d entries despite pruning", n)
+	}
+}

@@ -1,0 +1,50 @@
+// Package cliutil holds the exit-code contract shared by the anonmix
+// command-line tools: exit 2 for configuration/usage errors (the
+// invocation can never succeed as written — flag-parse failures,
+// ErrBadConfig and the other invalid-configuration sentinels), exit 1
+// for runtime failures, capability refusals, and cancellations. The
+// anond daemon maps the same scenario.Classify classes to HTTP statuses,
+// so a scenario rejected with exit 2 here is exactly the one rejected
+// with 400 there.
+package cliutil
+
+import (
+	"errors"
+	"flag"
+
+	"anonmix/internal/scenario"
+)
+
+// usageError marks a flag-parse failure so Code can treat it as a usage
+// error alongside the bad-config sentinels.
+type usageError struct{ err error }
+
+func (e *usageError) Error() string { return e.err.Error() }
+func (e *usageError) Unwrap() error { return e.err }
+
+// Usage wraps a flag-parse failure as a usage error (exit 2).
+// flag.ErrHelp passes through unwrapped: -h is not a failure, but it
+// still exits 2 like any other "nothing was computed" invocation.
+func Usage(err error) error {
+	if err == nil || errors.Is(err, flag.ErrHelp) {
+		return err
+	}
+	return &usageError{err}
+}
+
+// Code maps an error to the shared CLI exit code: 0 for nil, 2 for
+// usage/configuration errors, 1 for everything else.
+func Code(err error) int {
+	if err == nil {
+		return 0
+	}
+	var ue *usageError
+	if errors.As(err, &ue) || errors.Is(err, flag.ErrHelp) {
+		return 2
+	}
+	return scenario.ExitCode(err)
+}
+
+// Silent reports whether the error should exit without printing: the
+// flag package has already printed usage for -h.
+func Silent(err error) bool { return errors.Is(err, flag.ErrHelp) }

@@ -265,7 +265,8 @@ func estimateLossy(cfg Config, analyst *adversary.Analyst, selector *pathsel.Sel
 	parts := make([]part, batches)
 	compromised := analyst.Compromised
 
-	var nextBatch atomic.Int64
+	var nextBatch, done atomic.Int64
+	var aborted atomic.Bool
 	workers := cfg.Workers
 	if workers > batches {
 		workers = batches
@@ -279,6 +280,10 @@ func estimateLossy(cfg Config, analyst *adversary.Analyst, selector *pathsel.Sel
 			return
 		}
 		for {
+			if canceled(cfg.Cancel) {
+				aborted.Store(true)
+				return
+			}
 			b := int(nextBatch.Add(1)) - 1
 			if b >= batches {
 				return
@@ -329,9 +334,15 @@ func estimateLossy(cfg Config, analyst *adversary.Analyst, selector *pathsel.Sel
 				}
 				p.sumDeg.Add(hd)
 			}
+			if d := int(done.Add(int64(hi - lo))); cfg.Progress != nil {
+				cfg.Progress(d, cfg.Trials)
+			}
 		}
 	})
 
+	if aborted.Load() {
+		return Result{}, errCanceled(int(done.Load()), cfg.Trials)
+	}
 	var sum, sumDeg stats.Summary
 	var compSenders, injected int
 	var attempts uint64

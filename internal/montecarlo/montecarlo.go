@@ -19,6 +19,7 @@
 package montecarlo
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -114,6 +115,19 @@ type Config struct {
 	// attempts per message (PolicyReroute); 0 means
 	// faults.DefaultMaxAttempts.
 	MaxAttempts int
+	// Cancel, when non-nil, aborts the run early: workers poll the channel
+	// between trial batches, and once it fires the estimator returns an
+	// error wrapping context.Canceled instead of a partial result. A nil
+	// channel never fires (the default: runs are not cancelable). Because
+	// the check sits on batch boundaries, cancellation never perturbs the
+	// per-trial streams — a run that completes is bit-identical whether or
+	// not a cancel channel was armed.
+	Cancel <-chan struct{}
+	// Progress, when non-nil, is called after every completed trial batch
+	// with the cumulative completed-trial count and the total budget. It
+	// may be called concurrently from worker goroutines (cumulative counts
+	// can therefore arrive out of order) and must return quickly.
+	Progress func(done, total int)
 }
 
 // Result summarizes an estimation run.
@@ -167,6 +181,24 @@ func batchBounds(b, trials int) (lo, hi int) {
 		hi = trials
 	}
 	return lo, hi
+}
+
+// canceled polls a cancellation channel without blocking; a nil channel
+// never fires.
+func canceled(ch <-chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// errCanceled is the estimators' cancellation error: it wraps
+// context.Canceled so callers classify it with errors.Is rather than by
+// message.
+func errCanceled(done, total int) error {
+	return fmt.Errorf("montecarlo: canceled after %d of %d trials: %w", done, total, context.Canceled)
 }
 
 // EstimateH runs the sampled estimation of H*(S).
@@ -270,7 +302,8 @@ func EstimateH(cfg Config) (Result, error) {
 	// Workers steal whole batches from a shared counter; each batch's
 	// partial summary depends only on its own trials' streams, and the
 	// batch-ordered merge below makes the result scheduling-independent.
-	var nextBatch atomic.Int64
+	var nextBatch, done atomic.Int64
+	var aborted atomic.Bool
 	workers := cfg.Workers
 	if workers > batches {
 		workers = batches
@@ -285,6 +318,10 @@ func EstimateH(cfg Config) (Result, error) {
 		}
 		ar := &arena{sampler: sp}
 		for {
+			if canceled(cfg.Cancel) {
+				aborted.Store(true)
+				return
+			}
 			b := int(nextBatch.Add(1)) - 1
 			if b >= batches {
 				return
@@ -319,9 +356,15 @@ func EstimateH(cfg Config) (Result, error) {
 				}
 				p.sum.Add(h)
 			}
+			if d := int(done.Add(int64(hi - lo))); cfg.Progress != nil {
+				cfg.Progress(d, cfg.Trials)
+			}
 		}
 	})
 
+	if aborted.Load() {
+		return Result{}, errCanceled(int(done.Load()), cfg.Trials)
+	}
 	var total stats.Summary
 	var compSenders int
 	for i := range parts {
@@ -428,7 +471,8 @@ func estimateRounds(cfg Config, analyst *adversary.Analyst, selector *pathsel.Se
 	batches := numBatches(cfg.Trials)
 	parts := make([]part, batches)
 
-	var nextBatch atomic.Int64
+	var nextBatch, done atomic.Int64
+	var aborted atomic.Bool
 	workers := cfg.Workers
 	if workers > batches {
 		workers = batches
@@ -442,6 +486,10 @@ func estimateRounds(cfg Config, analyst *adversary.Analyst, selector *pathsel.Se
 			return
 		}
 		for {
+			if canceled(cfg.Cancel) {
+				aborted.Store(true)
+				return
+			}
 			b := int(nextBatch.Add(1)) - 1
 			if b >= batches {
 				return
@@ -480,9 +528,15 @@ func estimateRounds(cfg Config, analyst *adversary.Analyst, selector *pathsel.Se
 					p.roundsSum += identifiedAt
 				}
 			}
+			if d := int(done.Add(int64(hi - lo))); cfg.Progress != nil {
+				cfg.Progress(d, cfg.Trials)
+			}
 		}
 	})
 
+	if aborted.Load() {
+		return Result{}, errCanceled(int(done.Load()), cfg.Trials)
+	}
 	var total stats.Summary
 	var compSenders, identified, roundsSum int
 	hRounds := make([]float64, cfg.Rounds)

@@ -93,6 +93,44 @@ func CacheStats() EngineCacheStats {
 	}
 }
 
+// ResetCacheStats zeroes the cache counters and returns the pre-reset
+// snapshot. Resident engines stay cached — unlike ResetEngines — so a
+// long-running server can carve its uptime into reporting windows
+// without discarding warm state. The snapshot and the zeroing happen
+// under one lock acquisition, so no concurrent Engine call can land a
+// counter increment between the two (every increment is attributed to
+// exactly one window).
+func ResetCacheStats() EngineCacheStats {
+	engineCache.mu.Lock()
+	defer engineCache.mu.Unlock()
+	prev := EngineCacheStats{
+		Hits:         engineCache.hits,
+		Misses:       engineCache.misses,
+		Evictions:    engineCache.evictions,
+		DeltaDerived: engineCache.deltaDerived,
+		Size:         engineCache.order.Len(),
+		Capacity:     engineCache.capacity,
+	}
+	engineCache.hits, engineCache.misses = 0, 0
+	engineCache.evictions, engineCache.deltaDerived = 0, 0
+	return prev
+}
+
+// Delta returns the counter advance from prev to s: the activity between
+// two CacheStats snapshots taken without an intervening reset. Size and
+// Capacity are occupancy gauges, not counters, so the later snapshot's
+// values carry through unchanged.
+func (s EngineCacheStats) Delta(prev EngineCacheStats) EngineCacheStats {
+	return EngineCacheStats{
+		Hits:         s.Hits - prev.Hits,
+		Misses:       s.Misses - prev.Misses,
+		Evictions:    s.Evictions - prev.Evictions,
+		DeltaDerived: s.DeltaDerived - prev.DeltaDerived,
+		Size:         s.Size,
+		Capacity:     s.Capacity,
+	}
+}
+
 // SetEngineCacheCapacity bounds the engine cache to n entries (minimum 1),
 // evicting least-recently-used engines if it already holds more. It returns
 // the previous capacity.

@@ -1,0 +1,229 @@
+package scenario
+
+// Concurrency hammers for the process-wide engine cache. These tests are
+// the teeth behind two serving-daemon contracts:
+//
+//   - An engine handed out by Engine() stays valid after the LRU evicts
+//     its entry; eviction only drops the cache's reference.
+//   - Counter snapshots are atomic: every request is attributed to
+//     exactly one ResetCacheStats window, with nothing torn or lost.
+//
+// Run them under -race; that is where a violation actually surfaces.
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"anonmix/internal/dist"
+	"anonmix/internal/events"
+)
+
+// TestEngineEvictionUnderUse pins eviction-under-use: with capacity 1 and
+// several goroutines cycling through distinct (N, C) keys, nearly every
+// returned engine is evicted — and used as a delta-derivation source —
+// while another goroutine is still computing on it. Evictees must keep
+// producing correct anonymity degrees; the shared family tables and
+// per-engine memo maps must stay race-free.
+func TestEngineEvictionUnderUse(t *testing.T) {
+	ResetEngines()
+	defer func() {
+		SetEngineCacheCapacity(DefaultEngineCacheCapacity)
+		ResetEngines()
+	}()
+	SetEngineCacheCapacity(1)
+
+	u, err := dist.NewUniform(1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := [][2]int{{20, 1}, {21, 2}, {22, 3}, {23, 4}}
+	// Reference values from fresh engines that never touch the cache.
+	want := make([]float64, len(keys))
+	for i, nc := range keys {
+		fresh, err := events.New(nc[0], nc[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want[i], err = fresh.AnonymityDegree(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const goroutines = 8
+	iters := 40
+	if testing.Short() {
+		iters = 8
+	}
+	errc := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				i := (g + it) % len(keys)
+				e, err := Engine(keys[i][0], keys[i][1])
+				if err != nil {
+					errc <- err
+					return
+				}
+				// By the time this computes, another goroutine has very
+				// likely evicted the entry and derived a different key's
+				// engine from it.
+				h, err := e.AnonymityDegree(u)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if math.Abs(h-want[i]) > 1e-12 {
+					errc <- fmt.Errorf("(%d,%d): H = %v on possibly-evicted engine, want %v",
+						keys[i][0], keys[i][1], h, want[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	st := CacheStats()
+	if st.Size != 1 || st.Capacity != 1 {
+		t.Errorf("cache occupancy after hammer: %+v, want size 1 at capacity 1", st)
+	}
+	if st.Evictions == 0 {
+		t.Error("four keys through a capacity-1 cache evicted nothing; the hammer never hammered")
+	}
+	if st.Hits+st.Misses != uint64(goroutines*iters) {
+		t.Errorf("hits %d + misses %d != %d requests", st.Hits, st.Misses, goroutines*iters)
+	}
+}
+
+// TestCacheStatsWindowsUnderLoad carves the counters into reporting
+// windows with ResetCacheStats while Engine callers are mid-flight, then
+// checks conservation: the windows' hits+misses sum exactly to the
+// request count. A snapshot torn across the reset, or an increment lost
+// between snapshot and zeroing, breaks the equality.
+func TestCacheStatsWindowsUnderLoad(t *testing.T) {
+	ResetEngines()
+	defer ResetEngines()
+
+	keys := [][2]int{{20, 1}, {21, 1}, {22, 2}, {30, 3}}
+	const goroutines = 8
+	iters := 50
+	if testing.Short() {
+		iters = 10
+	}
+
+	stop := make(chan struct{})
+	var windows []EngineCacheStats
+	var collector sync.WaitGroup
+	collector.Add(1)
+	go func() {
+		defer collector.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				windows = append(windows, ResetCacheStats())
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	errc := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				nc := keys[(g*7+it)%len(keys)]
+				if _, err := Engine(nc[0], nc[1]); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	collector.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	// The leftover since the last mid-flight reset is the final window.
+	windows = append(windows, ResetCacheStats())
+
+	var total uint64
+	for _, w := range windows {
+		total += w.Hits + w.Misses
+	}
+	if want := uint64(goroutines * iters); total != want {
+		t.Errorf("windows account for %d requests across %d windows, want %d",
+			total, len(windows), want)
+	}
+}
+
+// TestResetCacheStatsKeepsEngines pins the reset semantics a long-running
+// server depends on: counters zero, snapshot returned, warm engines kept.
+func TestResetCacheStatsKeepsEngines(t *testing.T) {
+	ResetEngines()
+	defer ResetEngines()
+
+	if _, err := Engine(50, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Engine(50, 5); err != nil {
+		t.Fatal(err)
+	}
+	prev := ResetCacheStats()
+	if prev.Hits != 1 || prev.Misses != 1 || prev.Size != 1 {
+		t.Errorf("pre-reset snapshot %+v, want 1 hit / 1 miss / size 1", prev)
+	}
+	st := CacheStats()
+	if st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("counters after reset: %+v, want zeros", st)
+	}
+	if st.Size != 1 {
+		t.Errorf("reset dropped resident engines: size %d, want 1", st.Size)
+	}
+	// The engine survived the reset, so this is a hit, not a rebuild.
+	if _, err := Engine(50, 5); err != nil {
+		t.Fatal(err)
+	}
+	if st = CacheStats(); st.Hits != 1 || st.Misses != 0 {
+		t.Errorf("post-reset request: %+v, want 1 hit / 0 misses", st)
+	}
+}
+
+// TestCacheStatsDelta pins the window arithmetic between two snapshots.
+func TestCacheStatsDelta(t *testing.T) {
+	ResetEngines()
+	defer ResetEngines()
+
+	if _, err := Engine(50, 5); err != nil {
+		t.Fatal(err)
+	}
+	base := CacheStats()
+	if _, err := Engine(60, 6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Engine(60, 6); err != nil {
+		t.Fatal(err)
+	}
+	d := CacheStats().Delta(base)
+	if d.Hits != 1 || d.Misses != 1 {
+		t.Errorf("delta %+v, want 1 hit / 1 miss", d)
+	}
+	if d.Size != 2 || d.Capacity != DefaultEngineCacheCapacity {
+		t.Errorf("delta gauges %+v, want the later snapshot's size 2 and default capacity", d)
+	}
+}

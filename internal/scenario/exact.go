@@ -153,6 +153,14 @@ func runExactRounds(cfg Config, e *events.Engine) (Result, error) {
 		conf     = cfg.Workload.Confidence
 	)
 	for s := 0; s < sessions; s++ {
+		// The serial reference loop checkpoints on the same 64-session
+		// granule as the parallel batch loops, so cancellation latency is
+		// comparable across backends.
+		if s%sessionBatchSize == 0 {
+			if err := cfg.checkCanceled(); err != nil {
+				return Result{}, err
+			}
+		}
 		rng := stats.NewStream(cfg.Workload.Seed, int64(s))
 		sender := cfg.Workload.Sender
 		if !cfg.Workload.FixedSender {
@@ -166,23 +174,26 @@ func runExactRounds(cfg Config, e *events.Engine) (Result, error) {
 				idCount++
 				idRounds++
 			}
-			continue
+		} else {
+			entropies, identifiedAt, err := arena.Session(&rng, sender, conf)
+			if err != nil {
+				return Result{}, err
+			}
+			for r, h := range entropies {
+				hSums[r] += h
+			}
+			final := entropies[rounds-1]
+			sum.Add(final)
+			if final < 1e-9 {
+				deanon++
+			}
+			if identifiedAt > 0 {
+				idCount++
+				idRounds += identifiedAt
+			}
 		}
-		entropies, identifiedAt, err := arena.Session(&rng, sender, conf)
-		if err != nil {
-			return Result{}, err
-		}
-		for r, h := range entropies {
-			hSums[r] += h
-		}
-		final := entropies[rounds-1]
-		sum.Add(final)
-		if final < 1e-9 {
-			deanon++
-		}
-		if identifiedAt > 0 {
-			idCount++
-			idRounds += identifiedAt
+		if done := s + 1; done == sessions || done%sessionBatchSize == 0 {
+			cfg.emitProgress(done, sessions, nil)
 		}
 	}
 	for r := range hSums {
@@ -222,12 +233,17 @@ func runExactTimeline(cfg Config, deliveryRate float64) (Result, error) {
 	res := Result{MaxH: timelineMaxH(cfg.phases)}
 	for i := range cfg.phases {
 		p := &cfg.phases[i]
+		if err := cfg.checkCanceled(); err != nil {
+			return Result{}, err
+		}
 		if p.epoch.Messages == 0 {
 			// A phase without traffic only moves the population: zero
 			// weight in the mixture and, like the sampled backends, no
 			// per-epoch H (EpochResult.H is defined as the entropy of the
 			// phase's analyzed traffic).
-			res.Epochs = append(res.Epochs, EpochResult{Index: i, N: p.n(), C: p.c()})
+			er := EpochResult{Index: i, N: p.n(), C: p.c()}
+			res.Epochs = append(res.Epochs, er)
+			cfg.emitProgress(i+1, len(cfg.phases), &er)
 			continue
 		}
 		e, err := Engine(p.n(), p.c(), engineOptions(cfg)...)
@@ -250,9 +266,9 @@ func runExactTimeline(cfg Config, deliveryRate float64) (Result, error) {
 		}
 		res.H += weights[i] * h
 		res.CompromisedSenderShare += weights[i] * compShare
-		res.Epochs = append(res.Epochs, EpochResult{
-			Index: i, N: p.n(), C: p.c(), Messages: p.epoch.Messages, H: h,
-		})
+		er := EpochResult{Index: i, N: p.n(), C: p.c(), Messages: p.epoch.Messages, H: h}
+		res.Epochs = append(res.Epochs, er)
+		cfg.emitProgress(i+1, len(cfg.phases), &er)
 	}
 	res.Normalized = res.H / res.MaxH
 	if cfg.Faults != nil {

@@ -50,8 +50,12 @@ func (mcBackend) Run(cfg Config) (Result, error) {
 		Workers:       cfg.Workload.Workers,
 		EngineOptions: engineOptions(cfg),
 		Engine:        engine,
+		Cancel:        cfg.cancelChan(),
 	}
 	applyFaults(&mcCfg, cfg)
+	if cfg.Progress != nil {
+		mcCfg.Progress = func(done, total int) { cfg.emitProgress(done, total, nil) }
+	}
 	res, err := montecarlo.EstimateH(mcCfg)
 	if err != nil {
 		return Result{}, err
@@ -107,14 +111,23 @@ func runMCTimeline(cfg Config) (Result, error) {
 		Estimated: true,
 		MaxH:      timelineMaxH(cfg.phases),
 	}
+	var totalMsgs int
+	for i := range cfg.phases {
+		totalMsgs += cfg.phases[i].epoch.Messages
+	}
 	var variance float64
+	var doneMsgs int
 	for i := range cfg.phases {
 		p := &cfg.phases[i]
 		er := EpochResult{Index: i, N: p.n(), C: p.c(), Messages: p.epoch.Messages}
 		if p.epoch.Messages == 0 {
 			// A phase without traffic only moves the population.
 			res.Epochs = append(res.Epochs, er)
+			cfg.emitProgress(doneMsgs, totalMsgs, &er)
 			continue
+		}
+		if err := cfg.checkCanceled(); err != nil {
+			return Result{}, err
 		}
 		engine, err := Engine(p.n(), p.c(), engineOptions(cfg)...)
 		if err != nil {
@@ -129,8 +142,13 @@ func runMCTimeline(cfg Config) (Result, error) {
 			Workers:       cfg.Workload.Workers,
 			EngineOptions: engineOptions(cfg),
 			Engine:        engine,
+			Cancel:        cfg.cancelChan(),
 		}
 		applyFaults(&mcCfg, cfg)
+		if cfg.Progress != nil {
+			base := doneMsgs
+			mcCfg.Progress = func(done, total int) { cfg.emitProgress(base+done, totalMsgs, nil) }
+		}
 		if cfg.Workload.FixedSender {
 			mcCfg.FixedSender = true
 			mcCfg.Sender = trace.NodeID(p.denseOf[cfg.Workload.Sender])
@@ -149,6 +167,8 @@ func runMCTimeline(cfg Config) (Result, error) {
 		res.HDegraded += w * pr.HDegraded
 		er.H = pr.H
 		res.Epochs = append(res.Epochs, er)
+		doneMsgs += p.epoch.Messages
+		cfg.emitProgress(doneMsgs, totalMsgs, &er)
 	}
 	res.StdErr = math.Sqrt(variance)
 	res.CI95 = 1.96 * res.StdErr

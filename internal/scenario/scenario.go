@@ -28,6 +28,7 @@
 package scenario
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -48,6 +49,11 @@ var ErrBadConfig = errors.New("scenario: invalid configuration")
 
 // ErrUnknownBackend reports a backend kind no registry entry claims.
 var ErrUnknownBackend = errors.New("scenario: unknown backend")
+
+// ErrCanceled reports a run aborted by RunContext's context. Returned
+// errors wrap both this sentinel and the context's own error, so
+// errors.Is matches either vocabulary.
+var ErrCanceled = errors.New("scenario: run canceled")
 
 // BackendKind names a registered backend.
 type BackendKind string
@@ -310,10 +316,34 @@ type Config struct {
 	// with capped exponential backoff, or end-to-end rerouting over a
 	// fresh path. Meaningful only with Faults set.
 	Reliability faults.Reliability
+	// Progress, when non-nil, receives coarse progress callbacks while the
+	// run executes: sampled backends report cumulative completed trials or
+	// sessions, closed-form timelines report completed phases, and timeline
+	// runs additionally attach each completed epoch's partial result. The
+	// callback may be invoked concurrently from worker goroutines and must
+	// return quickly; it must not call back into the scenario layer. The
+	// testbed backend honors cancellation but reports no progress (its
+	// analysis happens after the network settles).
+	Progress func(Progress)
 
 	// phases is the normalized membership schedule derived from Timeline
 	// (computed by normalize; backends read it, callers never set it).
 	phases []phase
+	// ctx carries RunContext's cancellation (nil for plain Run; backends
+	// poll it between work units, callers never set it directly).
+	ctx context.Context
+}
+
+// Progress is one progress callback of a running scenario.
+type Progress struct {
+	// Done and Total count the run's work units: sampling trials for the
+	// Monte-Carlo backend, sessions for degradation runs, messages for
+	// sampled single-shot timelines, and phases for closed-form timelines.
+	Done, Total int
+	// Epoch, when non-nil, is the just-completed phase's partial result
+	// (timeline runs only; the final Result's Epochs collect the same
+	// values).
+	Epoch *EpochResult
 }
 
 // CrowdsReport carries the Crowds-specific outcome of a testbed run: the
@@ -509,10 +539,13 @@ func Run(cfg Config) (Result, error) {
 	if !ok {
 		return Result{}, fmt.Errorf("%w: %q (known: %s)", ErrUnknownBackend, norm.Backend, backendNames())
 	}
+	if err := norm.checkCanceled(); err != nil {
+		return Result{}, err
+	}
 	start := time.Now() //anonlint:allow detrand(wall-clock metrics only, never flows into Result)
 	res, err := b.Run(norm)
 	if err != nil {
-		return Result{}, err
+		return Result{}, wrapCanceled(&norm, err)
 	}
 	res.Backend = norm.Backend
 	res.Strategy = norm.Strategy
@@ -526,6 +559,69 @@ func Run(cfg Config) (Result, error) {
 	}
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// RunContext is Run with cancellation: the context aborts the run at the
+// next checkpoint — sampled backends poll between trial batches, serial
+// loops between sessions, timelines between phases, the testbed between
+// injections — so a disconnected client stops burning CPU within one work
+// unit, not at the end of the run. Returned cancellation errors wrap both
+// ErrCanceled and the context's own error (context.Canceled or
+// context.DeadlineExceeded), so errors.Is matches either vocabulary.
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
+	cfg.ctx = ctx
+	return Run(cfg)
+}
+
+// checkCanceled polls the run's context at a checkpoint.
+func (c *Config) checkCanceled() error {
+	if c.ctx == nil {
+		return nil
+	}
+	if err := c.ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return nil
+}
+
+// cancelChan is the cancellation channel backends hand to the sampling
+// layer's batch loops (nil — never firing — when the run has no context).
+func (c *Config) cancelChan() <-chan struct{} {
+	if c.ctx == nil {
+		return nil
+	}
+	return c.ctx.Done()
+}
+
+// cancelRequested polls a cancellation channel without blocking; a nil
+// channel never fires.
+func cancelRequested(ch <-chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// wrapCanceled rewraps a lower layer's context error into the scenario
+// vocabulary, so callers match ErrCanceled no matter which layer noticed
+// the cancellation first.
+func wrapCanceled(cfg *Config, err error) error {
+	if err == nil || cfg.ctx == nil || errors.Is(err, ErrCanceled) {
+		return err
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return err
+}
+
+// emitProgress invokes the run's progress callback, if any.
+func (c *Config) emitProgress(done, total int, ep *EpochResult) {
+	if c.Progress != nil {
+		c.Progress(Progress{Done: done, Total: total, Epoch: ep})
+	}
 }
 
 // normalize validates the config and resolves every symbolic field.

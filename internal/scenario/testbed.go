@@ -157,6 +157,14 @@ func runRouted(cfg Config) (Result, error) {
 	senders := make([]trace.NodeID, sessions)
 	ids := make([]trace.MessageID, sessions*rounds)
 	for s := 0; s < sessions; s++ {
+		// Cancellation checkpoints ride the same 64-session granule as the
+		// sampling backends' batch loops; a canceled run abandons the
+		// kernel mid-traffic and the deferred Close tears it down.
+		if s%sessionBatchSize == 0 {
+			if err := cfg.checkCanceled(); err != nil {
+				return Result{}, err
+			}
+		}
 		rng := stats.NewStream(cfg.Workload.Seed, int64(s))
 		sender := cfg.Workload.Sender
 		if !cfg.Workload.FixedSender {
@@ -489,6 +497,10 @@ func runRoutedTimeline(cfg Config) (Result, error) {
 		}
 		if rounds {
 			for j := 0; j < p.epoch.Rounds; j++ {
+				// One checkpoint per round wave (sessions injections).
+				if err := cfg.checkCanceled(); err != nil {
+					return Result{}, err
+				}
 				for s := 0; s < sessions; s++ {
 					id, err := inject(e, &strs[s], senders[s])
 					if err != nil {
@@ -500,6 +512,11 @@ func runRoutedTimeline(cfg Config) (Result, error) {
 			}
 		} else {
 			for m := 0; m < p.epoch.Messages; m++ {
+				if m%sessionBatchSize == 0 {
+					if err := cfg.checkCanceled(); err != nil {
+						return Result{}, err
+					}
+				}
 				// Messages mode: each message draws from its own stream
 				// under the phase's derived seed, matching the per-phase
 				// sub-runs of the Monte-Carlo timeline.
@@ -806,6 +823,11 @@ func runCrowds(cfg Config) (Result, error) {
 	senders := make([]trace.NodeID, sessions)
 	ids := make([]trace.MessageID, sessions*rounds)
 	for s := 0; s < sessions; s++ {
+		if s%sessionBatchSize == 0 {
+			if err := cfg.checkCanceled(); err != nil {
+				return Result{}, err
+			}
+		}
 		// Honest initiators only: the predecessor analysis conditions on
 		// an uncompromised originator.
 		sender := cfg.Workload.Sender

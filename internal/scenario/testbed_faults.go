@@ -238,6 +238,11 @@ func runRoutedFaulty(cfg Config) (Result, error) {
 		originOf = make(map[trace.MessageID]int, sessions)
 	)
 	for s := 0; s < sessions; s++ {
+		if s%sessionBatchSize == 0 {
+			if err := cfg.checkCanceled(); err != nil {
+				return Result{}, err
+			}
+		}
 		strs[s] = stats.NewStream(cfg.Workload.Seed, int64(s))
 		sender := cfg.Workload.Sender
 		if !cfg.Workload.FixedSender {
@@ -266,6 +271,10 @@ func runRoutedFaulty(cfg Config) (Result, error) {
 		// draws — and with them the whole run — are deterministic under any
 		// shard interleaving.
 		for {
+			// One checkpoint per rerouting wave.
+			if err := cfg.checkCanceled(); err != nil {
+				return Result{}, err
+			}
 			reinjected := false
 			for _, f := range nw.TakeFailed() {
 				s, ok := originOf[f.Msg]

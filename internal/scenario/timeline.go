@@ -719,7 +719,9 @@ func runPhasedRounds(cfg Config, backend string, workers int) (Result, error) {
 	}
 	batches := (sessions + sessionBatchSize - 1) / sessionBatchSize
 	parts := make([]part, batches)
-	var nextBatch atomic.Int64
+	var nextBatch, doneSessions atomic.Int64
+	var aborted atomic.Bool
+	cancel := cfg.cancelChan()
 	if workers > batches {
 		workers = batches
 	}
@@ -732,6 +734,10 @@ func runPhasedRounds(cfg Config, backend string, workers int) (Result, error) {
 			return
 		}
 		for {
+			if cancelRequested(cancel) {
+				aborted.Store(true)
+				return
+			}
 			b := int(nextBatch.Add(1)) - 1
 			if b >= batches {
 				return
@@ -771,8 +777,17 @@ func runPhasedRounds(cfg Config, backend string, workers int) (Result, error) {
 					p.roundsSum += identifiedAt
 				}
 			}
+			cfg.emitProgress(int(doneSessions.Add(int64(hi-lo))), sessions, nil)
 		}
 	})
+	if aborted.Load() {
+		if err := cfg.checkCanceled(); err != nil {
+			return Result{}, err
+		}
+		// Unreachable in practice (the cancel channel is the context's),
+		// kept so an abort can never fall through to a partial merge.
+		return Result{}, ErrCanceled
+	}
 	var (
 		sum        stats.Summary
 		compSender int
